@@ -1,0 +1,62 @@
+// Ablation A12: problem-size sweep. The paper fixes a 128 KB grid; real
+// codes carry far more state per step. Scale the grid from 64^2 to 512^2
+// (32 KB to 2 MB per step, with the Jacobi sweep count following its n^2
+// convergence bound) and watch the in-situ advantage track the data volume.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Ablation: grid-size sweep (I/O every step, 25 "
+               "iterations) ===\n\n";
+
+  const core::Experiment experiment;
+  util::TextTable t({"Grid", "KB/step", "T post (s)", "T in-situ (s)",
+                     "Energy savings", "I/O share of post"});
+  for (std::size_t n : {64, 128, 256, 512}) {
+    std::cerr << "[bench] " << n << "x" << n << "...\n";
+    core::CaseStudyConfig config = core::case_study(1);
+    config.name = std::to_string(n) + "^2";
+    config.iterations = 25;
+    config.problem.nx = n;
+    config.problem.ny = n;
+    // Plain-Jacobi convergence bound scales with n^2.
+    config.problem.modeled_sweeps =
+        69000.0 * static_cast<double>(n * n) / (128.0 * 128.0);
+    // Keep host time sane on big grids.
+    config.problem.executed_sweeps = 24;
+    config.vis.width = 128;
+    config.vis.height = 128;
+    // Sources scale with the grid.
+    const double s = static_cast<double>(n) / 128.0;
+    config.problem.sources = {
+        heat::HeatSource{40.0 * s, 44.0 * s, 6.0 * s, 100.0},
+        heat::HeatSource{90.0 * s, 84.0 * s, 9.0 * s, 60.0},
+    };
+
+    const auto post =
+        experiment.run(core::PipelineKind::kPostProcessing, config);
+    const auto insitu = experiment.run(core::PipelineKind::kInSitu, config);
+    const auto cmp = analysis::compare(post, insitu);
+    const auto fractions = post.timeline.fractions();
+    const double io_share = fractions.at(core::stage::kWrite) +
+                            fractions.at(core::stage::kRead);
+    t.add_row({config.name,
+               util::cell(static_cast<double>(n * n * 8) / 1024.0, 0),
+               util::cell(cmp.time_post.value()),
+               util::cell(cmp.time_insitu.value()),
+               util::cell_percent(cmp.energy_savings()),
+               util::cell_percent(io_share)});
+  }
+  std::cout << t.render();
+  std::cout
+      << "\nTakeaway: with a plain-Jacobi solver compute scales as n^4 "
+         "(n^2 cells x n^2 sweeps) while I/O scales as n^2, so the I/O "
+         "share — and in-situ's advantage — *shrinks* on larger grids. The "
+         "flip side is the exascale story of the paper's introduction: "
+         "modern solvers are near O(n^2), which keeps the I/O share (and "
+         "the in-situ savings) at the small-grid level no matter how big "
+         "the problem grows.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation A4 (paper future work): multi-node pipelines with network I/O
+// and a parallel filesystem — post-processing vs in-situ vs in-transit
+// across cluster sizes.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/net/multinode.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Ablation: multi-node pipelines (weak scaling, case "
+               "study 1 workload per node) ===\n\n";
+
+  util::TextTable t({"Nodes", "Pipeline", "Time (s)", "Avg power (kW)",
+                     "Energy (MJ)", "Savings vs post"});
+  for (std::size_t nodes : {8, 32, 128}) {
+    net::ClusterSpec cluster;
+    cluster.compute_nodes = nodes;
+    cluster.staging_nodes = std::max<std::size_t>(1, nodes / 16);
+    const net::MultiNodeStudy study(cluster, core::case_study(1));
+    const auto post = study.post_processing();
+    const auto insitu = study.in_situ();
+    const auto transit = study.in_transit();
+    for (const auto* r : {&post, &transit, &insitu}) {
+      t.add_row(
+          {std::to_string(nodes), r->pipeline,
+           util::cell(r->duration.value()),
+           util::cell(r->average_power.value() / 1000.0, 2),
+           util::cell(r->energy.value() / 1e6, 2),
+           r == &post ? std::string("--")
+                      : util::cell_percent(1.0 - r->energy.value() /
+                                                     post.energy.value())});
+    }
+  }
+  std::cout << t.render();
+
+  // Phase anatomy at one scale.
+  net::ClusterSpec cluster;
+  cluster.compute_nodes = 32;
+  cluster.staging_nodes = 2;
+  const net::MultiNodeStudy study(cluster, core::case_study(1));
+  std::cout << "\nPhase anatomy at 32 nodes (post-processing):\n";
+  util::TextTable anatomy({"Phase", "Total time (s)", "Cluster power (kW)"});
+  for (const auto& p : study.post_processing().phases) {
+    anatomy.add_row({p.name, util::cell(p.total_time().value()),
+                     util::cell(p.cluster_power.value() / 1000.0, 2)});
+  }
+  std::cout << anatomy.render();
+  std::cout << "\nTakeaway: with shared storage targets, the post-processing "
+               "write phase grows with node count while in-situ compositing "
+               "costs stay logarithmic — the single-node energy gap widens "
+               "at scale, answering the paper's multi-node future-work "
+               "question on the model.\n";
+  return 0;
+}

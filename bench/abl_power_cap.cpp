@@ -1,0 +1,41 @@
+// Ablation A7: both pipelines under RAPL package power caps. The paper
+// measures peak power because "power-capped systems" care (Sec. V-B); here
+// the cap actually bites, and the question is which pipeline suffers more.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Ablation: RAPL package power caps (case study 1) ===\n\n";
+
+  util::TextTable t({"Package cap (W)", "Pipeline", "Time (s)",
+                     "Peak system W", "Energy (kJ)", "In-situ savings"});
+  for (double cap : {0.0, 70.0, 55.0, 45.0}) {
+    std::cerr << "[bench] cap " << cap << " W...\n";
+    core::TestbedConfig bed_config;
+    bed_config.package_cap = util::Watts{cap};
+    const core::Experiment experiment(bed_config);
+    const auto post = experiment.run(core::PipelineKind::kPostProcessing,
+                                     core::case_study(1));
+    const auto insitu =
+        experiment.run(core::PipelineKind::kInSitu, core::case_study(1));
+    const double savings = 1.0 - insitu.energy / post.energy;
+    const std::string cap_label = cap == 0.0 ? "none" : util::cell(cap, 0);
+    t.add_row({cap_label, "Traditional", util::cell(post.duration.value()),
+               util::cell(post.peak_power.value()),
+               util::cell(post.energy.value() / 1000.0), "--"});
+    t.add_row({cap_label, "In-situ", util::cell(insitu.duration.value()),
+               util::cell(insitu.peak_power.value()),
+               util::cell(insitu.energy.value() / 1000.0),
+               util::cell_percent(savings)});
+  }
+  std::cout << t.render();
+  std::cout
+      << "\nTakeaway: a package cap throttles the compute-dense stages "
+         "that both pipelines share, so execution stretches for both — but "
+         "the in-situ pipeline is compute-dense *everywhere*, so aggressive "
+         "caps erode its energy advantage while the post-processing "
+         "pipeline's disk-bound phases are immune to the cap.\n";
+  return 0;
+}

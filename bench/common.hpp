@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/metrics.hpp"
+#include "src/core/experiment.hpp"
+#include "src/util/table.hpp"
+
+namespace greenvis::bench {
+
+struct CaseResults {
+  core::PipelineMetrics post;
+  core::PipelineMetrics insitu;
+};
+
+/// Run both pipelines for case study `n` at full paper scale.
+inline CaseResults run_case(int n) {
+  const core::Experiment experiment;
+  const auto config = core::case_study(n);
+  return CaseResults{
+      experiment.run(core::PipelineKind::kPostProcessing, config),
+      experiment.run(core::PipelineKind::kInSitu, config)};
+}
+
+inline std::vector<CaseResults> run_all_cases() {
+  std::vector<CaseResults> out;
+  for (int n = 1; n <= 3; ++n) {
+    std::cerr << "[bench] running case study " << n << "...\n";
+    out.push_back(run_case(n));
+  }
+  return out;
+}
+
+/// Print the paper's reported values next to ours.
+inline void paper_reference(const std::string& text) {
+  std::cout << "\nPaper reports: " << text << '\n';
+}
+
+}  // namespace greenvis::bench

@@ -1,0 +1,39 @@
+// Fig. 4: percentage of execution time spent in simulation, disk writes,
+// disk reads, and visualization for the three case studies
+// (post-processing pipeline).
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "src/core/pipeline.hpp"
+
+int main() {
+  using namespace greenvis;
+
+  std::cout << "=== Fig. 4: Execution-time breakdown (post-processing) ===\n\n";
+  util::TextTable t({"Stage", "Case Study 1", "Case Study 2", "Case Study 3"});
+
+  std::vector<std::map<std::string, double>> fractions;
+  for (int n = 1; n <= 3; ++n) {
+    std::cerr << "[bench] running case study " << n << "...\n";
+    const auto metrics = core::Experiment{}.run(
+        core::PipelineKind::kPostProcessing, core::case_study(n));
+    fractions.push_back(metrics.timeline.fractions());
+  }
+
+  for (const char* phase :
+       {core::stage::kSimulation, core::stage::kWrite, core::stage::kRead,
+        core::stage::kVisualization}) {
+    std::vector<std::string> row{phase};
+    for (const auto& f : fractions) {
+      const auto it = f.find(phase);
+      row.push_back(util::cell_percent(it == f.end() ? 0.0 : it->second));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render();
+  bench::paper_reference(
+      "case 1: 33/30/27/10%; case 2: 50/22/21/7%; case 3: 80/9/8/3% "
+      "(Simulation/Write/Read/Visualization)");
+  return 0;
+}

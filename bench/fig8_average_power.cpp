@@ -1,0 +1,24 @@
+// Fig. 8: average power of the two pipelines for the three case studies.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Fig. 8: Average power ===\n\n";
+  const auto all = bench::run_all_cases();
+
+  util::TextTable t({"Case", "In-situ (W)", "Traditional (W)", "Increase"});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto c = analysis::compare(all[i].post, all[i].insitu);
+    t.add_row({"Case Study " + std::to_string(i + 1),
+               util::cell(c.avg_power_insitu.value()),
+               util::cell(c.avg_power_post.value()),
+               "+" + util::cell_percent(c.avg_power_increase())});
+  }
+  std::cout << t.render();
+  bench::paper_reference(
+      "in-situ consumes 8%, 5%, and 3% more average power for the three "
+      "case studies");
+  return 0;
+}

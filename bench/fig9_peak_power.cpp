@@ -1,0 +1,25 @@
+// Fig. 9: peak power of the two pipelines for the three case studies.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Fig. 9: Peak power ===\n\n";
+  const auto all = bench::run_all_cases();
+
+  util::TextTable t({"Case", "In-situ (W)", "Traditional (W)", "Delta (W)"});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto c = analysis::compare(all[i].post, all[i].insitu);
+    t.add_row({"Case Study " + std::to_string(i + 1),
+               util::cell(c.peak_power_insitu.value()),
+               util::cell(c.peak_power_post.value()),
+               util::cell(c.peak_power_insitu.value() -
+                          c.peak_power_post.value())});
+  }
+  std::cout << t.render();
+  bench::paper_reference(
+      "no significant difference in peak power — an important metric for "
+      "power-capped systems (both pipelines peak during simulation)");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark micro-benchmarks for the substrate kernels: the heat
+// solver sweep, the rasterizer, marching squares, and the HDD/page-cache
+// model's bookkeeping throughput. These measure *host* performance of the
+// real computations (virtual-time modeling is not involved).
+#include <benchmark/benchmark.h>
+
+#include "src/heat/solver.hpp"
+#include "src/storage/filesystem.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/trace/clock.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/vis/contour.hpp"
+#include "src/vis/pipeline.hpp"
+#include "src/vis/rasterizer.hpp"
+
+namespace {
+
+using namespace greenvis;
+
+void BM_HeatSolverStep(benchmark::State& state) {
+  heat::HeatProblem p;
+  p.nx = static_cast<std::size_t>(state.range(0));
+  p.ny = p.nx;
+  p.executed_sweeps = 20;
+  heat::HeatSolver solver(p, nullptr);
+  solver.set_eigenmode(1, 1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.nx * p.ny * 20));
+}
+BENCHMARK(BM_HeatSolverStep)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RenderPseudocolor(benchmark::State& state) {
+  util::Field2D f(128, 128);
+  for (std::size_t j = 0; j < 128; ++j) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      f.at(i, j) = static_cast<double>(i ^ j);
+    }
+  }
+  const auto cmap = vis::ColorMap::cool_warm();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vis::render_pseudocolor(f, cmap, n, n, 0.0, 255.0, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_RenderPseudocolor)->Arg(128)->Arg(512);
+
+void BM_MarchingSquares(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Field2D f(n, n);
+  const double c = static_cast<double>(n - 1) / 2.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(i) - c;
+      const double dy = static_cast<double>(j) - c;
+      f.at(i, j) = dx * dx + dy * dy;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vis::marching_squares(f, c * c / 2.0));
+  }
+}
+BENCHMARK(BM_MarchingSquares)->Arg(128)->Arg(512);
+
+void BM_HddServiceRandom(benchmark::State& state) {
+  storage::HddModel hdd{storage::HddParams{}};
+  util::Xoshiro256 rng{1};
+  util::Seconds t{0.0};
+  for (auto _ : state) {
+    const std::uint64_t off =
+        (rng.uniform_index(100000)) * 4096ULL * 1024ULL;
+    t = hdd.service(storage::IoRequest{storage::IoKind::kRead, off, 4096}, t);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HddServiceRandom);
+
+void BM_FilesystemSyncWrite(benchmark::State& state) {
+  trace::VirtualClock clock;
+  storage::HddModel hdd{storage::HddParams{}};
+  storage::Filesystem fs(hdd, clock, storage::FsParams{});
+  const auto fd = fs.create("bench.bin");
+  const std::vector<std::uint8_t> block(4096, 0x7);
+  for (auto _ : state) {
+    fs.write(fd, block, storage::WriteMode::kSync);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FilesystemSyncWrite);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Sec. V-D: the data-reorganization what-if — how much of in-situ's energy
+// advantage can a post-processing pipeline recover by reorganizing its data
+// layout, while keeping exploratory analysis?
+//
+// Two parts: (1) the paper's arithmetic on the Table III rows; (2) a live
+// demonstration on the storage stack using the layout reorganizer.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "src/analysis/whatif.hpp"
+#include "src/fio/runner.hpp"
+#include "src/storage/layout.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Sec. V-D: Reorganization what-if ===\n\n";
+
+  // Part 1: price the strategies from the fio rows.
+  const fio::FioRunner runner;
+  std::cerr << "[bench] running the four fio jobs...\n";
+  const auto seq_rd = runner.run(fio::table3_job(fio::RwMode::kSequentialRead));
+  const auto rnd_rd = runner.run(fio::table3_job(fio::RwMode::kRandomRead));
+  const auto seq_wr =
+      runner.run(fio::table3_job(fio::RwMode::kSequentialWrite));
+  const auto rnd_wr = runner.run(fio::table3_job(fio::RwMode::kRandomWrite));
+  const auto w = analysis::reorganization_whatif(
+      seq_rd.result, rnd_rd.result, seq_wr.result, rnd_wr.result);
+
+  util::TextTable t({"Strategy", "I/O energy (kJ)", "Keeps exploration"});
+  t.add_row({"Post-processing, random I/O",
+             util::cell(w.random_io_energy.value() / 1000.0), "yes"});
+  t.add_row({"Post-processing, reorganized layout",
+             util::cell(w.reorganized_energy.value() / 1000.0), "yes"});
+  t.add_row({"In-situ (no storage I/O)", "0.0", "no"});
+  std::cout << t.render();
+  std::cout << "\nSwitching the random-I/O app to in-situ saves "
+            << util::cell(w.insitu_savings().value() / 1000.0)
+            << " kJ; reorganization instead forfeits only "
+            << util::cell(w.reorganization_residual().value() / 1000.0)
+            << " kJ of that while keeping exploratory analysis.\n";
+
+  // Part 2: live reorganization of a fragmented simulation output.
+  std::cout << "\n--- live demonstration on the storage stack ---\n";
+  core::Testbed bed;
+  auto& fs = bed.fs();
+  const auto fd = fs.create("aged_dataset.bin");
+  std::vector<std::uint8_t> payload(2 * 1024 * 1024, 0x42);
+  fs.write(fd, payload, storage::WriteMode::kBuffered);
+  fs.fsync(fd);
+  fs.close(fd);
+
+  auto cold_scan_seconds = [&] {
+    fs.drop_caches();
+    const double t0 = bed.clock().now().value();
+    const auto h = fs.open("aged_dataset.bin");
+    for (std::uint64_t off = 0; off < payload.size(); off += 4096) {
+      fs.pread_timed(h, off, 4096, storage::ReadMode::kDirect);
+    }
+    fs.close(h);
+    return bed.clock().now().value() - t0;
+  };
+
+  const double frag = fs.fragmentation("aged_dataset.bin");
+  const double before = cold_scan_seconds();
+  storage::layout::Reorganizer reorg(fs);
+  const auto report = reorg.reorganize("aged_dataset.bin");
+  const double after = cold_scan_seconds();
+
+  util::TextTable live({"Quantity", "Value"});
+  live.add_row({"Fragmentation before", util::cell(frag, 2)});
+  live.add_row({"Cold scan before (s)", util::cell(before, 2)});
+  live.add_row({"Reorganization cost (s)", util::cell(report.duration.value(), 2)});
+  live.add_row({"Fragmentation after", util::cell(report.fragmentation_after, 2)});
+  live.add_row({"Cold scan after (s)", util::cell(after, 2)});
+  live.add_row({"Scan speedup", util::cell(before / after, 1) + "x"});
+  std::cout << live.render();
+  bench::paper_reference(
+      "random-I/O app: in-situ would save 242.2 kJ (238.6+3.6); with data "
+      "rearrangement the post-processing pipeline loses only 7.3 kJ "
+      "(4.2+3.1) while retaining exploratory analysis");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table I: hardware specification of the (simulated) system under test.
+#include <iostream>
+
+#include "src/machine/spec.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace greenvis;
+  const machine::NodeSpec node = machine::sandy_bridge_testbed();
+
+  std::cout << "=== Table I: Hardware specification ===\n\n";
+  util::TextTable t({"H/W Type", "H/W Detail"});
+  t.set_align(1, util::Align::kLeft);
+  t.add_row({"CPU", "2x " + node.cpu.model});
+  t.add_row({"CPU frequency", util::cell(node.cpu.nominal_ghz, 1) + " GHz"});
+  t.add_row({"Last-level cache",
+             util::cell(node.cpu.last_level_cache.megabytes(), 0) + " MB"});
+  t.add_row({"Memory", std::to_string(node.memory.dimms) + "x " +
+                           util::cell(node.memory.dimm_size.megabytes() / 1024.0,
+                                      0) +
+                           "GB " + node.memory.type});
+  t.add_row({"Memory size",
+             util::cell(node.memory.total_size().megabytes() / 1024.0, 0) +
+                 " GB"});
+  t.add_row({"Hard disk", node.disk.model});
+  t.add_row({"Storage size",
+             util::cell(node.disk.capacity.megabytes() / 1024.0, 0) + "GB"});
+  t.add_row({"Disk interface", "6.0 Gbps"});
+  t.add_row({"OS", node.os});
+  std::cout << t.render();
+  std::cout << "\n(All components are simulated models; see DESIGN.md.)\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table II: properties of the nnread and nnwrite stages.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Table II: nnread / nnwrite properties ===\n\n";
+  const core::Experiment experiment;
+  const auto config = core::case_study(1);
+  const auto wr = experiment.run_write_stage(config, 40);
+  const auto rd = experiment.run_read_stage(config, 40);
+
+  util::TextTable t({"Metric", "nnread", "nnwrite"});
+  t.add_row({"Avg. Power (Total)", util::cell(rd.average_power.value()),
+             util::cell(wr.average_power.value())});
+  t.add_row({"Avg. Power (Dynamic)",
+             util::cell(rd.average_dynamic_power.value()),
+             util::cell(wr.average_dynamic_power.value())});
+  std::cout << t.render();
+  bench::paper_reference(
+      "nnread 115.1 W total / 10.3 W dynamic; nnwrite 114.8 W total / "
+      "10.0 W dynamic");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table III: performance, power, and energy for the four fio tests (4 GB
+// sequential/random reads/writes on the HDD model).
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/fio/runner.hpp"
+
+int main() {
+  using namespace greenvis;
+  std::cout << "=== Table III: fio tests (4 GB each) ===\n\n";
+
+  const fio::FioRunner runner;
+  std::vector<fio::FioResult> rows;
+  for (const auto mode :
+       {fio::RwMode::kSequentialRead, fio::RwMode::kRandomRead,
+        fio::RwMode::kSequentialWrite, fio::RwMode::kRandomWrite}) {
+    std::cerr << "[bench] running fio " << fio::rw_mode_name(mode) << "...\n";
+    rows.push_back(runner.run(fio::table3_job(mode)).result);
+  }
+
+  util::TextTable t({"Metric", "Sequential Read", "Random Read",
+                     "Sequential Write", "Random Write"});
+  auto add = [&](const std::string& name, auto getter, int decimals) {
+    std::vector<std::string> row{name};
+    for (const auto& r : rows) {
+      row.push_back(util::cell(getter(r), decimals));
+    }
+    t.add_row(std::move(row));
+  };
+  add("Execution time (s)",
+      [](const fio::FioResult& r) { return r.execution_time.value(); }, 1);
+  add("Full-system power (W)",
+      [](const fio::FioResult& r) { return r.full_system_power.value(); }, 1);
+  add("Disk dynamic power (W)",
+      [](const fio::FioResult& r) { return r.disk_dynamic_power.value(); }, 1);
+  add("Disk dynamic energy (KJ)",
+      [](const fio::FioResult& r) {
+        return r.disk_dynamic_energy.value() / 1000.0;
+      },
+      1);
+  add("Full-system energy (KJ)",
+      [](const fio::FioResult& r) {
+        return r.full_system_energy.value() / 1000.0;
+      },
+      1);
+  std::cout << t.render();
+  bench::paper_reference(
+      "time 35.9 / 2230.0 / 27.0 / 31.0 s; full-system power 118 / 107 / "
+      "115.4 / 117.9 W; disk dynamic power 13.5 / 2.5 / 10.9 / 13.4 W; "
+      "full-system energy 4.2 / 238.6 / 3.1 / 3.6 KJ");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Multi-node cluster study: size a visualization strategy for a machine.
+//
+// Given a node count and a staging budget, compare post-processing,
+// in-situ, and in-transit pipelines on the cluster model and print a
+// recommendation with the phase anatomy behind it.
+//
+//   $ ./cluster_study [compute_nodes] [staging_nodes] [storage_targets]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/net/multinode.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace greenvis;
+
+  net::ClusterSpec cluster;
+  cluster.compute_nodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  cluster.staging_nodes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  if (argc > 3) {
+    cluster.pfs.storage_targets = std::strtoull(argv[3], nullptr, 10);
+  }
+  if (cluster.compute_nodes == 0 ||
+      (cluster.compute_nodes & (cluster.compute_nodes - 1)) != 0) {
+    std::cerr << "compute_nodes must be a power of two\n";
+    return 1;
+  }
+
+  const net::MultiNodeStudy study(cluster, core::case_study(1));
+  std::cout << "Cluster: " << cluster.compute_nodes << " compute + "
+            << cluster.staging_nodes << " staging nodes, "
+            << cluster.pfs.storage_targets
+            << " storage targets, " << cluster.network.name << "\n\n";
+
+  const auto post = study.post_processing();
+  const auto insitu = study.in_situ();
+  const auto transit = study.in_transit();
+
+  util::TextTable t({"Pipeline", "Time (s)", "Avg power (kW)", "Energy (MJ)",
+                     "vs post-processing"});
+  for (const auto* r : {&post, &transit, &insitu}) {
+    t.add_row({r->pipeline, util::cell(r->duration.value()),
+               util::cell(r->average_power.value() / 1000.0, 2),
+               util::cell(r->energy.value() / 1e6, 2),
+               r == &post
+                   ? std::string("--")
+                   : "-" + util::cell_percent(
+                               1.0 - r->energy.value() / post.energy.value())});
+  }
+  std::cout << t.render() << '\n';
+
+  const net::MultiNodeResult* best = &post;
+  for (const auto* r : {&transit, &insitu}) {
+    if (r->energy < best->energy) {
+      best = r;
+    }
+  }
+  std::cout << "Greenest strategy: " << best->pipeline << "\n\n";
+
+  std::cout << "Phase anatomy (" << best->pipeline << "):\n";
+  util::TextTable anatomy(
+      {"Phase", "x", "Per occurrence (s)", "Total (s)", "Cluster kW"});
+  for (const auto& p : best->phases) {
+    anatomy.add_row({p.name, std::to_string(p.occurrences),
+                     util::cell(p.time_per_occurrence.value(), 3),
+                     util::cell(p.total_time().value()),
+                     util::cell(p.cluster_power.value() / 1000.0, 2)});
+  }
+  std::cout << anatomy.render();
+  std::cout << "\nCaveat: in-situ forfeits post-hoc exploration; in-transit "
+               "keeps raw data alive on the staging nodes only while they "
+               "hold it. If exploration matters, compare against "
+               "reorganized post-processing (see bench_sec5d_reorg_whatif)."
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "src/analysis/metrics.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::analysis {
+
+std::map<std::string, PhaseStats> phase_power_stats(
+    const power::PowerTrace& trace, const trace::Timeline& timeline) {
+  std::map<std::string, PhaseStats> stats;
+  std::map<std::string, double> power_sum;
+  const Seconds period = trace.period();
+  for (const auto& s : trace.samples()) {
+    const Seconds mid = s.time - period / 2.0;
+    std::string phase = timeline.category_at(mid);
+    if (phase.empty()) {
+      phase = "Idle";
+    }
+    auto& ps = stats[phase];
+    ps.time += period;
+    ps.energy += s.system * period;
+    power_sum[phase] += s.system.value();
+    ++ps.samples;
+  }
+  for (auto& [name, ps] : stats) {
+    ps.average_power =
+        Watts{power_sum[name] / static_cast<double>(ps.samples)};
+  }
+  return stats;
+}
+
+PipelineComparison compare(const core::PipelineMetrics& post,
+                           const core::PipelineMetrics& insitu) {
+  GREENVIS_REQUIRE_MSG(post.case_name == insitu.case_name,
+                       "comparing different case studies");
+  PipelineComparison c;
+  c.case_name = post.case_name;
+  c.time_post = post.duration;
+  c.time_insitu = insitu.duration;
+  c.energy_post = post.energy;
+  c.energy_insitu = insitu.energy;
+  c.avg_power_post = post.average_power;
+  c.avg_power_insitu = insitu.average_power;
+  c.peak_power_post = post.peak_power;
+  c.peak_power_insitu = insitu.peak_power;
+  return c;
+}
+
+SavingsBreakdown savings_breakdown(const core::PipelineMetrics& post,
+                                   const core::PipelineMetrics& insitu,
+                                   Watts io_stage_dynamic_power) {
+  SavingsBreakdown b;
+  b.total_savings = post.energy - insitu.energy;
+  const Seconds time_diff = post.duration - insitu.duration;
+  // Paper, Sec. V-C: "The dynamic energy savings is calculated by
+  // multiplying the average dynamic power [of the nnread/nnwrite stages]
+  // with the corresponding time spent, i.e. the difference in execution
+  // time between in-situ and post-processing pipelines."
+  b.dynamic_savings = io_stage_dynamic_power * time_diff;
+  b.static_savings = b.total_savings - b.dynamic_savings;
+  return b;
+}
+
+}  // namespace greenvis::analysis

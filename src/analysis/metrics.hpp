@@ -1,0 +1,83 @@
+// Profile analytics: everything Sec. V derives from the power traces.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/core/experiment.hpp"
+#include "src/power/trace.hpp"
+#include "src/trace/timeline.hpp"
+
+namespace greenvis::analysis {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+/// Per-phase power statistics, computed by attributing each 1 Hz sample to
+/// the phase active at its interval midpoint.
+struct PhaseStats {
+  Seconds time{0.0};
+  Watts average_power{0.0};
+  Joules energy{0.0};
+  std::size_t samples{0};
+};
+
+[[nodiscard]] std::map<std::string, PhaseStats> phase_power_stats(
+    const power::PowerTrace& trace, const trace::Timeline& timeline);
+
+/// Head-to-head comparison of the two pipelines (Figs. 7-11).
+struct PipelineComparison {
+  std::string case_name;
+  Seconds time_post{0.0};
+  Seconds time_insitu{0.0};
+  Joules energy_post{0.0};
+  Joules energy_insitu{0.0};
+  Watts avg_power_post{0.0};
+  Watts avg_power_insitu{0.0};
+  Watts peak_power_post{0.0};
+  Watts peak_power_insitu{0.0};
+
+  [[nodiscard]] double time_reduction() const {
+    return 1.0 - time_insitu / time_post;
+  }
+  [[nodiscard]] double energy_savings() const {
+    return 1.0 - energy_insitu / energy_post;
+  }
+  [[nodiscard]] double avg_power_increase() const {
+    return avg_power_insitu / avg_power_post - 1.0;
+  }
+  /// Efficiency improvement (Fig. 11): identical science output, so the
+  /// improvement is E_post / E_insitu - 1.
+  [[nodiscard]] double efficiency_improvement() const {
+    return energy_post / energy_insitu - 1.0;
+  }
+};
+
+[[nodiscard]] PipelineComparison compare(const core::PipelineMetrics& post,
+                                         const core::PipelineMetrics& insitu);
+
+/// Sec. V-C: how much of the in-situ savings comes from avoided data
+/// movement (dynamic) versus avoided idling (static). Following the paper's
+/// method: dynamic savings = the I/O stages' average *dynamic* power times
+/// the execution-time difference; static savings = the rest.
+struct SavingsBreakdown {
+  Joules total_savings{0.0};
+  Joules dynamic_savings{0.0};
+  Joules static_savings{0.0};
+
+  [[nodiscard]] double dynamic_fraction() const {
+    return total_savings.value() > 0.0
+               ? dynamic_savings / total_savings
+               : 0.0;
+  }
+  [[nodiscard]] double static_fraction() const {
+    return total_savings.value() > 0.0 ? static_savings / total_savings : 0.0;
+  }
+};
+
+[[nodiscard]] SavingsBreakdown savings_breakdown(
+    const core::PipelineMetrics& post, const core::PipelineMetrics& insitu,
+    Watts io_stage_dynamic_power);
+
+}  // namespace greenvis::analysis

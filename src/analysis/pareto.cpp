@@ -1,0 +1,42 @@
+#include "src/analysis/pareto.hpp"
+
+#include <algorithm>
+
+namespace greenvis::analysis {
+
+double energy_delay_product(const core::PipelineMetrics& m) {
+  return m.energy.value() * m.duration.value();
+}
+
+double energy_delay_squared_product(const core::PipelineMetrics& m) {
+  return m.energy.value() * m.duration.value() * m.duration.value();
+}
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.cost <= b.cost && a.penalty <= b.penalty;
+  const bool strictly_better = a.cost < b.cost || a.penalty < b.penalty;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::vector<ParetoPoint> front;
+  for (const ParetoPoint& candidate : points) {
+    bool dominated = false;
+    for (const ParetoPoint& other : points) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      front.push_back(candidate);
+    }
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.cost < b.cost;
+            });
+  return front;
+}
+
+}  // namespace greenvis::analysis

@@ -1,0 +1,41 @@
+// Energy-delay metrics and Pareto-front utilities.
+//
+// The sampling/compression/triage ablations trade a cost (energy) against a
+// quality loss (RMS error, dropped frames) or a delay. These helpers give
+// the benches and downstream users a principled way to compare such
+// configurations: energy-delay products for pipeline runs, and Pareto
+// filtering for two-objective sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace greenvis::analysis {
+
+/// Energy-delay product (J*s) — penalizes slow-but-frugal configurations.
+[[nodiscard]] double energy_delay_product(const core::PipelineMetrics& m);
+/// ED^2P (J*s^2) — the delay-dominated variant used for latency-critical
+/// settings.
+[[nodiscard]] double energy_delay_squared_product(
+    const core::PipelineMetrics& m);
+
+/// A candidate configuration in a two-objective sweep: lower is better on
+/// both axes.
+struct ParetoPoint {
+  std::string label;
+  double cost{0.0};     // e.g. energy (J)
+  double penalty{0.0};  // e.g. RMS error, stall seconds, frames dropped
+};
+
+/// The subset of `points` not dominated by any other (a point dominates
+/// another when it is no worse on both axes and strictly better on one).
+/// Returned sorted by cost; ties and duplicates are kept.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    std::vector<ParetoPoint> points);
+
+/// True when `a` dominates `b`.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+}  // namespace greenvis::analysis

@@ -1,0 +1,73 @@
+#include "src/analysis/power_fit.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/linalg.hpp"
+
+namespace greenvis::analysis {
+
+namespace {
+
+std::vector<double> duty_features(const storage::PhaseDurations& duty,
+                                  double window) {
+  std::vector<double> f(1 + storage::kDiskPhaseCount);
+  f[0] = 1.0;  // idle / intercept
+  for (std::size_t p = 0; p < storage::kDiskPhaseCount; ++p) {
+    f[1 + p] = std::min(1.0, duty.busy[p].value() / window);
+  }
+  return f;
+}
+
+}  // namespace
+
+util::Watts predict_disk_power(const power::DiskPowerParams& params,
+                               const storage::PhaseDurations& duty,
+                               util::Seconds window) {
+  GREENVIS_REQUIRE(window.value() > 0.0);
+  const auto f = duty_features(duty, window.value());
+  return params.idle + params.seek * f[1] + params.rotate_wait * f[2] +
+         params.read_transfer * f[3] + params.write_transfer * f[4] +
+         params.flush * f[5];
+}
+
+DiskPowerFit fit_disk_power(const storage::DiskActivityLog& log,
+                            const power::PowerTrace& trace) {
+  GREENVIS_REQUIRE_MSG(!trace.empty(), "need at least one sample to fit");
+  const double period = trace.period().value();
+
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  for (const auto& s : trace.samples()) {
+    const util::Seconds t1 = s.time;
+    const util::Seconds t0 = t1 - trace.period();
+    features.push_back(duty_features(log.duty_in(t0, t1), period));
+    targets.push_back(s.disk_model.value());
+  }
+  // A modest ridge keeps phases absent from the training run near zero
+  // instead of exploding on collinearity.
+  const auto beta = util::least_squares(features, targets, 1e-6);
+
+  DiskPowerFit fit;
+  fit.windows = targets.size();
+  fit.params.idle = util::Watts{beta[0]};
+  fit.params.seek = util::Watts{beta[1]};
+  fit.params.rotate_wait = util::Watts{beta[2]};
+  fit.params.read_transfer = util::Watts{beta[3]};
+  fit.params.write_transfer = util::Watts{beta[4]};
+  fit.params.flush = util::Watts{beta[5]};
+
+  double ss = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < beta.size(); ++j) {
+      pred += features[i][j] * beta[j];
+    }
+    const double r = targets[i] - pred;
+    ss += r * r;
+  }
+  fit.rms_residual_watts = std::sqrt(ss / static_cast<double>(targets.size()));
+  return fit;
+}
+
+}  // namespace greenvis::analysis

@@ -1,0 +1,39 @@
+// Disk power-model fitting — the paper's proposed runtime component:
+// "development of power models that estimates the hard disk power based on
+// the number of disk accesses, size of each access, and the corresponding
+// access pattern" (Sec. VI-A).
+//
+// The fitter regresses per-window disk power against the mechanical duty
+// cycles a drive's activity log exposes (seek / rotate / read / write /
+// flush fractions), recovering an idle floor plus per-phase active powers —
+// exactly the shape of power::DiskPowerParams. A runtime that knows these
+// coefficients can price any planned access pattern before issuing it,
+// which is what the advisor consumes.
+#pragma once
+
+#include "src/power/calibration.hpp"
+#include "src/power/trace.hpp"
+#include "src/storage/activity_log.hpp"
+
+namespace greenvis::analysis {
+
+struct DiskPowerFit {
+  power::DiskPowerParams params;
+  /// RMS of (observed - predicted) over the training windows.
+  double rms_residual_watts{0.0};
+  std::size_t windows{0};
+};
+
+/// Fit a disk power model from a run: `log` is the drive's activity,
+/// `trace` the measured power (its disk_model channel plays the role of the
+/// subtraction-derived disk power on the real testbed). Windows follow the
+/// trace's sampling period.
+[[nodiscard]] DiskPowerFit fit_disk_power(const storage::DiskActivityLog& log,
+                                          const power::PowerTrace& trace);
+
+/// Predict the disk power of a window with the fitted model.
+[[nodiscard]] util::Watts predict_disk_power(
+    const power::DiskPowerParams& params, const storage::PhaseDurations& duty,
+    util::Seconds window);
+
+}  // namespace greenvis::analysis

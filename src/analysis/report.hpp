@@ -1,0 +1,34 @@
+// Markdown study reports.
+//
+// Packages a full greenness study (both pipelines, any number of case
+// studies) into a self-contained markdown document: the deliverable a
+// facility engineer would circulate after running the audit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/metrics.hpp"
+
+namespace greenvis::analysis {
+
+struct StudyCase {
+  core::PipelineMetrics post;
+  core::PipelineMetrics insitu;
+};
+
+struct ReportConfig {
+  std::string title{"Greenness audit"};
+  std::string testbed_description{
+      "simulated 2x Xeon E5-2665, 64 GB DDR3-1333, Seagate 7200rpm"};
+  /// I/O-stage dynamic power for the Sec. V-C decomposition (from a Table
+  /// II-style stage measurement).
+  util::Watts io_stage_dynamic_power{10.0};
+};
+
+/// Render the report. Sections: summary table, per-case detail (phase
+/// powers, savings decomposition), and a recommendation paragraph.
+[[nodiscard]] std::string render_report(const std::vector<StudyCase>& cases,
+                                        const ReportConfig& config = {});
+
+}  // namespace greenvis::analysis

@@ -1,0 +1,18 @@
+#include "src/analysis/whatif.hpp"
+
+namespace greenvis::analysis {
+
+ReorganizationWhatIf reorganization_whatif(const fio::FioResult& seq_read,
+                                           const fio::FioResult& rand_read,
+                                           const fio::FioResult& seq_write,
+                                           const fio::FioResult& rand_write) {
+  ReorganizationWhatIf w;
+  w.random_io_energy =
+      rand_read.full_system_energy + rand_write.full_system_energy;
+  w.reorganized_energy =
+      seq_read.full_system_energy + seq_write.full_system_energy;
+  w.insitu_io_energy = util::Joules{0.0};
+  return w;
+}
+
+}  // namespace greenvis::analysis

@@ -1,0 +1,229 @@
+#include "src/core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/io/dataset.hpp"
+#include "src/util/error.hpp"
+#include "src/vis/filters.hpp"
+
+namespace greenvis::core {
+
+namespace {
+
+/// Simulate one step: real solve + modeled compute burst.
+void simulate_step(Testbed& bed, heat::HeatSolver& solver) {
+  solver.step();
+  bed.run_compute(solver.step_activity(), stage::kSimulation);
+}
+
+/// Render one frame: real raster + modeled compute burst.
+void visualize_step(Testbed& bed, const vis::VisPipeline& pipeline,
+                    const util::Field2D& field, PipelineOutput& out,
+                    bool keep) {
+  vis::Image image = pipeline.render(field);
+  bed.run_compute(pipeline.render_activity(), stage::kVisualization);
+  out.image_digests.push_back(image.digest());
+  ++out.visualized_steps;
+  if (keep) {
+    out.images.push_back(std::move(image));
+  }
+}
+
+}  // namespace
+
+PipelineOutput run_post_processing(Testbed& bed,
+                                   const CaseStudyConfig& config,
+                                   const PipelineOptions& options) {
+  PipelineOutput out;
+  out.pipeline_name = "Post-processing";
+  util::ThreadPool pool(options.host_threads);
+  heat::HeatSolver solver(config.problem, &pool);
+  vis::VisPipeline vis_pipeline(config.vis, &pool);
+  io::TimestepWriter writer(bed.fs(), config.dataset);
+
+  // Phase 1: simulate, writing every io_period-th step to disk.
+  for (int step = 0; step < config.iterations; ++step) {
+    simulate_step(bed, solver);
+    if (config.is_io_step(step)) {
+      const auto payload = solver.temperature().serialize();
+      bed.run_io(stage::kWrite, config.io_stage_cores,
+                 config.io_stage_utilization,
+                 [&] { writer.write_step(step, payload); });
+    }
+  }
+  out.steps = config.iterations;
+  out.final_field = solver.temperature();
+
+  // Between phases: sync and drop the caches (Sec. IV-C) so the read phase
+  // really hits the disk.
+  bed.run_io(stage::kWrite, config.io_stage_cores,
+             config.io_stage_utilization, [&] { bed.fs().drop_caches(); });
+
+  // Phase 2: read each written step back and visualize it.
+  io::TimestepReader reader(bed.fs(), config.dataset);
+  for (int step = 0; step < config.iterations; ++step) {
+    if (!config.is_io_step(step)) {
+      continue;
+    }
+    std::vector<std::uint8_t> payload;
+    bed.run_io(stage::kRead, config.io_stage_cores,
+               config.io_stage_utilization,
+               [&] { payload = reader.read_step(step); });
+    const util::Field2D field = util::Field2D::deserialize(payload);
+    visualize_step(bed, vis_pipeline, field, out, options.keep_images);
+  }
+  return out;
+}
+
+SampledOutput run_sampled_post_processing(Testbed& bed,
+                                          const CaseStudyConfig& config,
+                                          std::size_t stride,
+                                          const PipelineOptions& options) {
+  GREENVIS_REQUIRE(stride >= 1);
+  SampledOutput out;
+  out.base.pipeline_name =
+      "Post-processing (sampled 1/" + std::to_string(stride) + ")";
+  util::ThreadPool pool(options.host_threads);
+  heat::HeatSolver solver(config.problem, &pool);
+  vis::VisPipeline vis_pipeline(config.vis, &pool);
+  io::TimestepWriter writer(bed.fs(), config.dataset);
+
+  // Phase 1: simulate; sample and write every io_period-th step. Keep the
+  // exact fields so the reconstruction error can be scored later (an
+  // analysis convenience — the testbed app would not retain them).
+  std::vector<util::Field2D> truths;
+  for (int step = 0; step < config.iterations; ++step) {
+    simulate_step(bed, solver);
+    if (config.is_io_step(step)) {
+      const util::Field2D sampled = vis::downsample(solver.temperature(), stride);
+      const auto payload = sampled.serialize();
+      out.bytes_written += util::Bytes{payload.size()};
+      bed.run_io(stage::kWrite, config.io_stage_cores,
+                 config.io_stage_utilization,
+                 [&] { writer.write_step(step, payload); });
+      truths.push_back(solver.temperature());
+    }
+  }
+  out.base.steps = config.iterations;
+  out.base.final_field = solver.temperature();
+  bed.run_io(stage::kWrite, config.io_stage_cores,
+             config.io_stage_utilization, [&] { bed.fs().drop_caches(); });
+
+  // Phase 2: read the sampled steps back, reconstruct, visualize.
+  io::TimestepReader reader(bed.fs(), config.dataset);
+  double error_sum = 0.0;
+  std::size_t truth_idx = 0;
+  for (int step = 0; step < config.iterations; ++step) {
+    if (!config.is_io_step(step)) {
+      continue;
+    }
+    std::vector<std::uint8_t> payload;
+    bed.run_io(stage::kRead, config.io_stage_cores,
+               config.io_stage_utilization,
+               [&] { payload = reader.read_step(step); });
+    const util::Field2D sampled = util::Field2D::deserialize(payload);
+    const util::Field2D reconstructed =
+        stride == 1 ? sampled
+                    : vis::resample(sampled, config.problem.nx,
+                                    config.problem.ny);
+    error_sum += vis::rms_difference(reconstructed, truths[truth_idx++]);
+    visualize_step(bed, vis_pipeline, reconstructed, out.base,
+                   options.keep_images);
+  }
+  if (truth_idx > 0) {
+    out.mean_rms_error = error_sum / static_cast<double>(truth_idx);
+  }
+  return out;
+}
+
+CompressedOutput run_compressed_post_processing(
+    Testbed& bed, const CaseStudyConfig& config,
+    const io::CompressConfig& codec, const PipelineOptions& options) {
+  CompressedOutput out;
+  out.base.pipeline_name =
+      codec.mode == io::CompressionMode::kLossless
+          ? "Post-processing (lossless compression)"
+          : "Post-processing (lossy, eb=" + std::to_string(codec.error_bound) +
+                ")";
+  util::ThreadPool pool(options.host_threads);
+  heat::HeatSolver solver(config.problem, &pool);
+  vis::VisPipeline vis_pipeline(config.vis, &pool);
+  io::TimestepWriter writer(bed.fs(), config.dataset);
+
+  // Modeled cost of the predictive codec per cell (compress and decompress
+  // are both a predictor + a quantize/unpack).
+  const double cells =
+      static_cast<double>(config.problem.nx * config.problem.ny);
+  machine::ActivityRecord codec_work;
+  codec_work.flops = cells * 60.0;
+  codec_work.active_cores = 1;
+  codec_work.dram_bytes = util::Bytes{static_cast<std::uint64_t>(cells * 16)};
+
+  std::vector<util::Field2D> truths;
+  double ratio_sum = 0.0;
+  for (int step = 0; step < config.iterations; ++step) {
+    simulate_step(bed, solver);
+    if (config.is_io_step(step)) {
+      const auto blob = io::compress_field(solver.temperature(), codec);
+      bed.run_compute(codec_work, stage::kSimulation);
+      ratio_sum += io::compression_ratio(solver.temperature(), blob);
+      out.bytes_written += util::Bytes{blob.size()};
+      bed.run_io(stage::kWrite, config.io_stage_cores,
+                 config.io_stage_utilization,
+                 [&] { writer.write_step(step, blob); });
+      truths.push_back(solver.temperature());
+    }
+  }
+  out.base.steps = config.iterations;
+  out.base.final_field = solver.temperature();
+  bed.run_io(stage::kWrite, config.io_stage_cores,
+             config.io_stage_utilization, [&] { bed.fs().drop_caches(); });
+
+  io::TimestepReader reader(bed.fs(), config.dataset);
+  std::size_t truth_idx = 0;
+  for (int step = 0; step < config.iterations; ++step) {
+    if (!config.is_io_step(step)) {
+      continue;
+    }
+    std::vector<std::uint8_t> blob;
+    bed.run_io(stage::kRead, config.io_stage_cores,
+               config.io_stage_utilization,
+               [&] { blob = reader.read_step(step); });
+    const util::Field2D field = io::decompress_field(blob);
+    bed.run_compute(codec_work, stage::kRead);
+    const util::Field2D& truth = truths[truth_idx++];
+    for (std::size_t k = 0; k < field.size(); ++k) {
+      out.max_abs_error =
+          std::max(out.max_abs_error,
+                   std::abs(field.values()[k] - truth.values()[k]));
+    }
+    visualize_step(bed, vis_pipeline, field, out.base, options.keep_images);
+  }
+  if (truth_idx > 0) {
+    out.mean_compression_ratio = ratio_sum / static_cast<double>(truth_idx);
+  }
+  return out;
+}
+
+PipelineOutput run_in_situ(Testbed& bed, const CaseStudyConfig& config,
+                           const PipelineOptions& options) {
+  PipelineOutput out;
+  out.pipeline_name = "In-situ";
+  util::ThreadPool pool(options.host_threads);
+  heat::HeatSolver solver(config.problem, &pool);
+  vis::VisPipeline vis_pipeline(config.vis, &pool);
+
+  for (int step = 0; step < config.iterations; ++step) {
+    simulate_step(bed, solver);
+    if (config.is_io_step(step)) {
+      visualize_step(bed, vis_pipeline, solver.temperature(), out,
+                     options.keep_images);
+    }
+  }
+  out.steps = config.iterations;
+  out.final_field = solver.temperature();
+  return out;
+}
+
+}  // namespace greenvis::core

@@ -1,0 +1,92 @@
+// The two visualization pipelines of Fig. 2.
+//
+//   Post-processing: [simulation -> disk write]*  sync/drop_caches
+//                    [disk read -> visualization]*
+//   In-situ:         [simulation -> visualization]*      (no disk at all)
+//
+// Both run the same solver and the same renderer, so for a given case study
+// they produce identical images (asserted via digests); only where the data
+// travels differs — which is precisely the trade the paper prices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/testbed.hpp"
+#include "src/core/workload.hpp"
+#include "src/io/compress.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/vis/image.hpp"
+
+namespace greenvis::core {
+
+/// Canonical phase names used in timelines and Fig. 4.
+namespace stage {
+inline constexpr const char* kSimulation = "Simulation";
+inline constexpr const char* kWrite = "Write";
+inline constexpr const char* kRead = "Read";
+inline constexpr const char* kVisualization = "Visualization";
+}  // namespace stage
+
+struct PipelineOutput {
+  std::string pipeline_name;
+  /// One digest per visualized step, in step order.
+  std::vector<std::uint64_t> image_digests;
+  /// Final temperature field (for cross-pipeline equality checks).
+  util::Field2D final_field;
+  int steps{0};
+  int visualized_steps{0};
+  /// Kept only when `keep_images` was requested.
+  std::vector<vis::Image> images;
+};
+
+struct PipelineOptions {
+  bool keep_images{false};
+  /// Host threads for solver/renderer (0 = hardware concurrency).
+  std::size_t host_threads{0};
+};
+
+/// Run the traditional pipeline on `bed`. The testbed's clock/timelines
+/// advance; call bed.profile() afterwards for the power trace.
+[[nodiscard]] PipelineOutput run_post_processing(
+    Testbed& bed, const CaseStudyConfig& config,
+    const PipelineOptions& options = {});
+
+/// Run the in-situ pipeline (never touches the filesystem).
+[[nodiscard]] PipelineOutput run_in_situ(Testbed& bed,
+                                         const CaseStudyConfig& config,
+                                         const PipelineOptions& options = {});
+
+/// In-situ data sampling (Woodring et al. [21]): the simulation writes only
+/// every `stride`-th sample in each dimension; post-hoc visualization
+/// reconstructs by bilinear resampling. Cuts I/O volume by ~stride^2 at a
+/// quantifiable quality cost.
+struct SampledOutput {
+  PipelineOutput base;
+  /// Mean RMS reconstruction error across visualized steps (0 for stride 1).
+  double mean_rms_error{0.0};
+  /// Payload bytes written to storage.
+  util::Bytes bytes_written{0};
+};
+
+[[nodiscard]] SampledOutput run_sampled_post_processing(
+    Testbed& bed, const CaseStudyConfig& config, std::size_t stride,
+    const PipelineOptions& options = {});
+
+/// Application-driven compression (Wang et al. [22]): each written step is
+/// compressed in situ (Lorenzo-predictive codec, lossless or bounded-error)
+/// and decompressed before post-hoc rendering.
+struct CompressedOutput {
+  PipelineOutput base;
+  double mean_compression_ratio{0.0};
+  /// Largest per-value reconstruction error observed (0 when lossless).
+  double max_abs_error{0.0};
+  util::Bytes bytes_written{0};
+};
+
+[[nodiscard]] CompressedOutput run_compressed_post_processing(
+    Testbed& bed, const CaseStudyConfig& config,
+    const io::CompressConfig& codec, const PipelineOptions& options = {});
+
+}  // namespace greenvis::core

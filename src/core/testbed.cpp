@@ -1,0 +1,82 @@
+#include "src/core/testbed.hpp"
+
+#include <cmath>
+
+#include "src/storage/hdd.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::core {
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config), cost_(config.node, config.cost) {
+  storage::HddParams hdd;
+  hdd.spec = config_.node.disk;
+  device_ = std::make_unique<storage::HddModel>(hdd);
+  fs_ = std::make_unique<storage::Filesystem>(*device_, clock_, config_.fs);
+}
+
+double Testbed::governed_frequency(
+    const machine::ActivityRecord& activity) const {
+  if (config_.package_cap.value() <= 0.0) {
+    return config_.frequency_ghz;
+  }
+  const power::PowerModel model = power_model();
+  const auto ladder = machine::e5_2665_pstates();
+  // Walk the ladder downward until the package fits under the cap; the
+  // lowest P-state is granted unconditionally (RAPL cannot go below Pn).
+  double granted = ladder.front().frequency_ghz;
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    if (it->frequency_ghz > config_.frequency_ghz + 1e-9) {
+      continue;  // never exceed the configured clock
+    }
+    machine::ComponentLoad load;
+    load.active_cores = static_cast<double>(activity.active_cores);
+    load.core_utilization = activity.core_utilization;
+    load.frequency_ghz = it->frequency_ghz;
+    if (model.package_power(load) <= config_.package_cap) {
+      granted = it->frequency_ghz;
+      break;
+    }
+  }
+  return granted;
+}
+
+void Testbed::run_compute(const machine::ActivityRecord& activity,
+                          const std::string& phase) {
+  const double freq = governed_frequency(activity);
+  const util::Seconds dur = cost_.duration(activity, freq);
+  const util::Seconds t0 = clock_.now();
+  loads_.add(t0, t0 + dur, cost_.load(activity, dur, freq));
+  phases_.record(phase, t0, t0 + dur);
+  clock_.advance(dur);
+}
+
+void Testbed::run_io(const std::string& phase, double cores,
+                     double utilization, const std::function<void()>& body) {
+  GREENVIS_REQUIRE(cores >= 0.0 && utilization > 0.0 && utilization <= 1.0);
+  const util::Seconds t0 = clock_.now();
+  body();
+  const util::Seconds t1 = clock_.now();
+  if (t1 > t0) {
+    machine::ComponentLoad load;
+    load.active_cores = cores;
+    load.core_utilization = utilization;
+    load.frequency_ghz = config_.effective_io_ghz();
+    loads_.add(t0, t1, load);
+    phases_.record(phase, t0, t1);
+  }
+}
+
+void Testbed::idle(util::Seconds duration) { clock_.advance(duration); }
+
+power::PowerModel Testbed::power_model() const {
+  return power::PowerModel(config_.calibration, power::hdd_power_params());
+}
+
+power::PowerTrace Testbed::profile() const {
+  const power::PowerModel model = power_model();
+  power::PowerProfiler profiler(model, config_.profiler);
+  return profiler.profile(loads_, device_.get(), clock_.now());
+}
+
+}  // namespace greenvis::core

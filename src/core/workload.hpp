@@ -1,0 +1,43 @@
+// The three application configurations of Sec. IV-C.
+//
+// Fifty iterations of the proxy heat-transfer simulation on a 128x128
+// (128 KB) grid; I/O + visualization every iteration (case study 1), every
+// alternate iteration (case 2), every eighth iteration (case 3). A sync +
+// drop_caches separates the pipeline phases.
+#pragma once
+
+#include <string>
+
+#include "src/heat/solver.hpp"
+#include "src/io/dataset.hpp"
+#include "src/vis/pipeline.hpp"
+
+namespace greenvis::core {
+
+struct CaseStudyConfig {
+  std::string name{"Case Study 1"};
+  int iterations{50};
+  /// Visualize (and, in the post-processing pipeline, write/read) every
+  /// `io_period`-th iteration, starting with iteration 0.
+  int io_period{1};
+  heat::HeatProblem problem{};
+  vis::VisConfig vis{};
+  io::DatasetConfig dataset{};
+  /// CPU footprint of the sync-I/O loops: application + block layer +
+  /// journal thread (calibrated to Table II's stage powers).
+  double io_stage_cores{3.0};
+  double io_stage_utilization{0.5};
+
+  [[nodiscard]] bool is_io_step(int step) const {
+    return step % io_period == 0;
+  }
+  [[nodiscard]] int io_steps() const {
+    return (iterations + io_period - 1) / io_period;
+  }
+};
+
+/// Case study n in {1, 2, 3} (io_period 1, 2, 8), with the default proxy
+/// problem: hot-spot sources on a cold plate, Dirichlet boundaries.
+[[nodiscard]] CaseStudyConfig case_study(int n);
+
+}  // namespace greenvis::core

@@ -1,0 +1,55 @@
+// fio-style I/O job specifications.
+//
+// Sec. V-D of the paper uses the fio disk benchmark's sequential and random
+// tests, reading and writing 4 GB, to extrapolate the study to random-access
+// applications (Table III). These are the four job shapes, with the
+// parameters fitted where the paper does not report them (block sizes,
+// buffering) — see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/units.hpp"
+
+namespace greenvis::fio {
+
+enum class RwMode {
+  kSequentialRead,
+  kRandomRead,
+  kSequentialWrite,
+  kRandomWrite,
+};
+
+[[nodiscard]] const char* rw_mode_name(RwMode mode);
+
+struct FioJob {
+  std::string name{"job"};
+  RwMode mode{RwMode::kSequentialRead};
+  /// Total bytes transferred by the job.
+  util::Bytes total_size{util::gibibytes(4)};
+  /// Per-request block size.
+  util::Bytes block_size{util::mebibytes(1)};
+  /// Random jobs bypass the cache on reads (O_DIRECT); writes are buffered.
+  /// Sequential writes end with an fsync (durability), random writes do not
+  /// (the kernel's background writeback races the submission loop, as on the
+  /// testbed).
+  bool end_fsync{true};
+  std::uint64_t seed{0xF10u};
+};
+
+/// The four Table III jobs with the fitted parameters.
+[[nodiscard]] FioJob table3_job(RwMode mode);
+
+/// One row of Table III.
+struct FioResult {
+  std::string job_name;
+  util::Seconds execution_time{0.0};
+  util::Watts full_system_power{0.0};
+  util::Watts disk_dynamic_power{0.0};
+  util::Joules disk_dynamic_energy{0.0};
+  util::Joules full_system_energy{0.0};
+  util::Bytes bytes_transferred{0};
+};
+
+}  // namespace greenvis::fio

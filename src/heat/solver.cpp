@@ -1,0 +1,246 @@
+#include "src/heat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::heat {
+
+HeatSolver::HeatSolver(const HeatProblem& problem, util::ThreadPool* pool)
+    : problem_(problem),
+      pool_(pool),
+      u_(problem.nx, problem.ny, 0.0),
+      next_(problem.nx, problem.ny, 0.0),
+      rhs_(problem.nx, problem.ny, 0.0) {
+  GREENVIS_REQUIRE(problem_.nx >= 3 && problem_.ny >= 3);
+  GREENVIS_REQUIRE(problem_.alpha > 0.0 && problem_.dx > 0.0 &&
+                   problem_.dt > 0.0);
+  GREENVIS_REQUIRE(problem_.executed_sweeps >= 1);
+  GREENVIS_REQUIRE(problem_.modeled_sweeps >= 1.0);
+  GREENVIS_REQUIRE_MSG(problem_.theta >= 0.5 && problem_.theta <= 1.0,
+                       "theta must lie in [0.5, 1]");
+  if (problem_.conductivity.size() > 0) {
+    GREENVIS_REQUIRE_MSG(problem_.conductivity.nx() == problem_.nx &&
+                             problem_.conductivity.ny() == problem_.ny,
+                         "conductivity field dimensions must match the grid");
+    for (double k : problem_.conductivity.values()) {
+      GREENVIS_REQUIRE_MSG(k >= 0.0, "conductivity must be non-negative");
+    }
+  }
+  apply_boundary(u_);
+  apply_sources(u_);
+}
+
+double HeatSolver::face_conductivity(std::size_t ia, std::size_t ja,
+                                     std::size_t ib, std::size_t jb) const {
+  if (problem_.conductivity.size() == 0) {
+    return 1.0;
+  }
+  const double ka = problem_.conductivity.at(ia, ja);
+  const double kb = problem_.conductivity.at(ib, jb);
+  const double sum = ka + kb;
+  return sum > 0.0 ? 2.0 * ka * kb / sum : 0.0;
+}
+
+void HeatSolver::apply_boundary(Field2D& f) const {
+  if (problem_.boundary != BoundaryKind::kDirichlet) {
+    return;  // insulated boundaries are handled by mirrored neighbors
+  }
+  const std::size_t nx = problem_.nx;
+  const std::size_t ny = problem_.ny;
+  for (std::size_t i = 0; i < nx; ++i) {
+    f.at(i, 0) = problem_.boundary_value;
+    f.at(i, ny - 1) = problem_.boundary_value;
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    f.at(0, j) = problem_.boundary_value;
+    f.at(nx - 1, j) = problem_.boundary_value;
+  }
+}
+
+void HeatSolver::apply_sources(Field2D& f) const {
+  for (const HeatSource& s : problem_.sources) {
+    const double r2 = s.radius * s.radius;
+    for (std::size_t j = 0; j < problem_.ny; ++j) {
+      for (std::size_t i = 0; i < problem_.nx; ++i) {
+        const double dxs = static_cast<double>(i) - s.cx;
+        const double dys = static_cast<double>(j) - s.cy;
+        if (dxs * dxs + dys * dys <= r2) {
+          f.at(i, j) = s.temperature;
+        }
+      }
+    }
+  }
+}
+
+double HeatSolver::step() {
+  const std::size_t nx = problem_.nx;
+  const std::size_t ny = problem_.ny;
+  const double r = problem_.alpha * problem_.dt / (problem_.dx * problem_.dx);
+  const double theta = problem_.theta;
+  const double tr = theta * r;          // implicit weight
+  const double er = (1.0 - theta) * r;  // explicit weight
+  const double inv_diag = 1.0 / (1.0 + 4.0 * tr);
+  const bool insulated = problem_.boundary == BoundaryKind::kInsulated;
+
+  // With insulated boundaries every cell is an unknown; with Dirichlet only
+  // the interior is.
+  const std::size_t j_lo = insulated ? 0 : 1;
+  const std::size_t j_hi = insulated ? ny : ny - 1;
+  const std::size_t i_lo = insulated ? 0 : 1;
+  const std::size_t i_hi = insulated ? nx : nx - 1;
+
+  // Right-hand side: u^n plus the explicit share of the Laplacian
+  // (theta = 1 short-circuits to rhs = u^n, the pure backward-Euler path).
+  rhs_ = u_;
+  if (er > 0.0) {
+    const bool het = problem_.conductivity.size() > 0;
+    for (std::size_t j = j_lo; j < j_hi; ++j) {
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        const double c = u_.at(i, j);
+        const double west = i > 0 ? u_.at(i - 1, j) : c;
+        const double east = i + 1 < nx ? u_.at(i + 1, j) : c;
+        const double south = j > 0 ? u_.at(i, j - 1) : c;
+        const double north = j + 1 < ny ? u_.at(i, j + 1) : c;
+        if (!het) {
+          rhs_.at(i, j) = c + er * (west + east + south + north - 4.0 * c);
+        } else {
+          const double ww = i > 0 ? face_conductivity(i, j, i - 1, j) : 1.0;
+          const double we = i + 1 < nx ? face_conductivity(i, j, i + 1, j) : 1.0;
+          const double ws = j > 0 ? face_conductivity(i, j, i, j - 1) : 1.0;
+          const double wn = j + 1 < ny ? face_conductivity(i, j, i, j + 1) : 1.0;
+          rhs_.at(i, j) = c + er * (ww * (west - c) + we * (east - c) +
+                                    ws * (south - c) + wn * (north - c));
+        }
+      }
+    }
+  }
+
+  Field2D* cur = &u_;
+  Field2D* nxt = &next_;
+
+  const bool heterogeneous = problem_.conductivity.size() > 0;
+
+  auto sweep_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t j = row_begin; j < row_end; ++j) {
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        const double c = cur->at(i, j);
+        const double west = i > 0 ? cur->at(i - 1, j) : c;
+        const double east = i + 1 < nx ? cur->at(i + 1, j) : c;
+        const double south = j > 0 ? cur->at(i, j - 1) : c;
+        const double north = j + 1 < ny ? cur->at(i, j + 1) : c;
+        if (!heterogeneous) {
+          nxt->at(i, j) =
+              (rhs_.at(i, j) + tr * (west + east + south + north)) * inv_diag;
+        } else {
+          const double ww = i > 0 ? face_conductivity(i, j, i - 1, j) : 1.0;
+          const double we = i + 1 < nx ? face_conductivity(i, j, i + 1, j) : 1.0;
+          const double ws = j > 0 ? face_conductivity(i, j, i, j - 1) : 1.0;
+          const double wn = j + 1 < ny ? face_conductivity(i, j, i, j + 1) : 1.0;
+          const double diag = 1.0 + tr * (ww + we + ws + wn);
+          nxt->at(i, j) = (rhs_.at(i, j) +
+                           tr * (ww * west + we * east + ws * south +
+                                 wn * north)) /
+                          diag;
+        }
+      }
+    }
+  };
+
+  for (std::size_t sweep = 0; sweep < problem_.executed_sweeps; ++sweep) {
+    // Dirichlet edge values must be visible in the target buffer too.
+    if (!insulated) {
+      apply_boundary(*nxt);
+    }
+    if (pool_ != nullptr) {
+      pool_->parallel_for(j_lo, j_hi, sweep_rows);
+    } else {
+      sweep_rows(j_lo, j_hi);
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u_) {
+    std::swap(u_, next_);
+  }
+
+  // Linear-system defect before boundary/source reinforcement.
+  double residual = 0.0;
+  for (std::size_t j = j_lo; j < j_hi; ++j) {
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      const double c = u_.at(i, j);
+      const double west = i > 0 ? u_.at(i - 1, j) : c;
+      const double east = i + 1 < nx ? u_.at(i + 1, j) : c;
+      const double south = j > 0 ? u_.at(i, j - 1) : c;
+      const double north = j + 1 < ny ? u_.at(i, j + 1) : c;
+      double defect = 0.0;
+      if (!heterogeneous) {
+        defect = (1.0 + 4.0 * tr) * c - tr * (west + east + south + north) -
+                 rhs_.at(i, j);
+      } else {
+        const double ww = i > 0 ? face_conductivity(i, j, i - 1, j) : 1.0;
+        const double we = i + 1 < nx ? face_conductivity(i, j, i + 1, j) : 1.0;
+        const double ws = j > 0 ? face_conductivity(i, j, i, j - 1) : 1.0;
+        const double wn = j + 1 < ny ? face_conductivity(i, j, i, j + 1) : 1.0;
+        defect = (1.0 + tr * (ww + we + ws + wn)) * c -
+                 tr * (ww * west + we * east + ws * south + wn * north) -
+                 rhs_.at(i, j);
+      }
+      residual = std::max(residual, std::abs(defect));
+    }
+  }
+
+  apply_boundary(u_);
+  apply_sources(u_);
+  ++steps_;
+  return residual;
+}
+
+double HeatSolver::total_heat() const {
+  return u_.sum() * problem_.dx * problem_.dx;
+}
+
+machine::ActivityRecord HeatSolver::step_activity() const {
+  machine::ActivityRecord a;
+  const double cells = static_cast<double>((problem_.nx - 2) * (problem_.ny - 2));
+  // 6 flops per cell-update: 3 adds for the stencil sum, 1 multiply by r,
+  // 1 add of the rhs, 1 multiply by the inverse diagonal.
+  a.flops = problem_.modeled_sweeps * cells * 6.0;
+  const double bytes_per_sweep =
+      static_cast<double>(problem_.nx * problem_.ny) * sizeof(double) * 2.0;
+  a.dram_bytes = util::Bytes{static_cast<std::uint64_t>(
+      problem_.modeled_sweeps * bytes_per_sweep *
+      problem_.dram_traffic_fraction)};
+  a.active_cores = problem_.modeled_active_cores;
+  a.core_utilization = 1.0;
+  return a;
+}
+
+void HeatSolver::set_eigenmode(int p, int q, double amplitude) {
+  GREENVIS_REQUIRE(problem_.boundary == BoundaryKind::kDirichlet);
+  GREENVIS_REQUIRE(p >= 1 && q >= 1);
+  const double lx = static_cast<double>(problem_.nx - 1);
+  const double ly = static_cast<double>(problem_.ny - 1);
+  for (std::size_t j = 0; j < problem_.ny; ++j) {
+    for (std::size_t i = 0; i < problem_.nx; ++i) {
+      u_.at(i, j) = amplitude *
+                    std::sin(std::numbers::pi * p * static_cast<double>(i) / lx) *
+                    std::sin(std::numbers::pi * q * static_cast<double>(j) / ly);
+    }
+  }
+  apply_boundary(u_);
+}
+
+double HeatSolver::eigenmode_decay(int p, int q) const {
+  const double r = problem_.alpha * problem_.dt / (problem_.dx * problem_.dx);
+  const double lx = static_cast<double>(problem_.nx - 1);
+  const double ly = static_cast<double>(problem_.ny - 1);
+  const double sp = std::sin(std::numbers::pi * p / (2.0 * lx));
+  const double sq = std::sin(std::numbers::pi * q / (2.0 * ly));
+  const double mu = 4.0 * (sp * sp + sq * sq);
+  return (1.0 - (1.0 - problem_.theta) * r * mu) /
+         (1.0 + problem_.theta * r * mu);
+}
+
+}  // namespace greenvis::heat

@@ -1,0 +1,196 @@
+#include "src/heat/solver3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::heat {
+
+HeatSolver3D::HeatSolver3D(const HeatProblem3D& problem,
+                           util::ThreadPool* pool)
+    : problem_(problem),
+      pool_(pool),
+      u_(problem.nx, problem.ny, problem.nz, 0.0),
+      next_(problem.nx, problem.ny, problem.nz, 0.0),
+      rhs_(problem.nx, problem.ny, problem.nz, 0.0) {
+  GREENVIS_REQUIRE(problem_.nx >= 3 && problem_.ny >= 3 && problem_.nz >= 3);
+  GREENVIS_REQUIRE(problem_.alpha > 0.0 && problem_.dx > 0.0 &&
+                   problem_.dt > 0.0);
+  GREENVIS_REQUIRE(problem_.executed_sweeps >= 1);
+  apply_boundary(u_);
+  apply_sources(u_);
+}
+
+void HeatSolver3D::apply_boundary(util::Field3D& f) const {
+  if (problem_.insulated) {
+    return;
+  }
+  const std::size_t nx = problem_.nx, ny = problem_.ny, nz = problem_.nz;
+  const double v = problem_.boundary_value;
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      f.at(0, j, k) = v;
+      f.at(nx - 1, j, k) = v;
+    }
+    for (std::size_t i = 0; i < nx; ++i) {
+      f.at(i, 0, k) = v;
+      f.at(i, ny - 1, k) = v;
+    }
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      f.at(i, j, 0) = v;
+      f.at(i, j, nz - 1) = v;
+    }
+  }
+}
+
+void HeatSolver3D::apply_sources(util::Field3D& f) const {
+  for (const HeatSource3D& s : problem_.sources) {
+    const double r2 = s.radius * s.radius;
+    for (std::size_t k = 0; k < problem_.nz; ++k) {
+      for (std::size_t j = 0; j < problem_.ny; ++j) {
+        for (std::size_t i = 0; i < problem_.nx; ++i) {
+          const double dxs = static_cast<double>(i) - s.cx;
+          const double dys = static_cast<double>(j) - s.cy;
+          const double dzs = static_cast<double>(k) - s.cz;
+          if (dxs * dxs + dys * dys + dzs * dzs <= r2) {
+            f.at(i, j, k) = s.temperature;
+          }
+        }
+      }
+    }
+  }
+}
+
+double HeatSolver3D::step() {
+  const std::size_t nx = problem_.nx, ny = problem_.ny, nz = problem_.nz;
+  const double r = problem_.alpha * problem_.dt / (problem_.dx * problem_.dx);
+  const double inv_diag = 1.0 / (1.0 + 6.0 * r);
+  const bool insulated = problem_.insulated;
+
+  rhs_ = u_;
+  const std::size_t lo = insulated ? 0 : 1;
+  const std::size_t k_hi = insulated ? nz : nz - 1;
+  const std::size_t j_hi = insulated ? ny : ny - 1;
+  const std::size_t i_hi = insulated ? nx : nx - 1;
+
+  util::Field3D* cur = &u_;
+  util::Field3D* nxt = &next_;
+
+  auto sweep_slabs = [&](std::size_t k_begin, std::size_t k_end) {
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      for (std::size_t j = lo; j < j_hi; ++j) {
+        for (std::size_t i = lo; i < i_hi; ++i) {
+          const double c = cur->at(i, j, k);
+          const double west = i > 0 ? cur->at(i - 1, j, k) : c;
+          const double east = i + 1 < nx ? cur->at(i + 1, j, k) : c;
+          const double south = j > 0 ? cur->at(i, j - 1, k) : c;
+          const double north = j + 1 < ny ? cur->at(i, j + 1, k) : c;
+          const double down = k > 0 ? cur->at(i, j, k - 1) : c;
+          const double up = k + 1 < nz ? cur->at(i, j, k + 1) : c;
+          nxt->at(i, j, k) =
+              (rhs_.at(i, j, k) +
+               r * (west + east + south + north + down + up)) *
+              inv_diag;
+        }
+      }
+    }
+  };
+
+  for (std::size_t sweep = 0; sweep < problem_.executed_sweeps; ++sweep) {
+    if (!insulated) {
+      apply_boundary(*nxt);
+    }
+    if (pool_ != nullptr) {
+      pool_->parallel_for(lo, k_hi, sweep_slabs);
+    } else {
+      sweep_slabs(lo, k_hi);
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u_) {
+    std::swap(u_, next_);
+  }
+
+  double residual = 0.0;
+  for (std::size_t k = lo; k < k_hi; ++k) {
+    for (std::size_t j = lo; j < j_hi; ++j) {
+      for (std::size_t i = lo; i < i_hi; ++i) {
+        const double c = u_.at(i, j, k);
+        const double west = i > 0 ? u_.at(i - 1, j, k) : c;
+        const double east = i + 1 < nx ? u_.at(i + 1, j, k) : c;
+        const double south = j > 0 ? u_.at(i, j - 1, k) : c;
+        const double north = j + 1 < ny ? u_.at(i, j + 1, k) : c;
+        const double down = k > 0 ? u_.at(i, j, k - 1) : c;
+        const double up = k + 1 < nz ? u_.at(i, j, k + 1) : c;
+        const double defect =
+            (1.0 + 6.0 * r) * c -
+            r * (west + east + south + north + down + up) - rhs_.at(i, j, k);
+        residual = std::max(residual, std::abs(defect));
+      }
+    }
+  }
+
+  apply_boundary(u_);
+  apply_sources(u_);
+  ++steps_;
+  return residual;
+}
+
+double HeatSolver3D::total_heat() const {
+  return u_.sum() * problem_.dx * problem_.dx * problem_.dx;
+}
+
+machine::ActivityRecord HeatSolver3D::step_activity() const {
+  machine::ActivityRecord a;
+  const double cells = static_cast<double>(
+      (problem_.nx - 2) * (problem_.ny - 2) * (problem_.nz - 2));
+  // 8 flops per cell-update: 5 adds for the stencil sum, multiply by r,
+  // add the rhs, multiply by the inverse diagonal.
+  a.flops = problem_.modeled_sweeps * cells * 8.0;
+  const double bytes_per_sweep =
+      static_cast<double>(problem_.nx * problem_.ny * problem_.nz) *
+      sizeof(double) * 2.0;
+  a.dram_bytes = util::Bytes{static_cast<std::uint64_t>(
+      problem_.modeled_sweeps * bytes_per_sweep *
+      problem_.dram_traffic_fraction)};
+  a.active_cores = problem_.modeled_active_cores;
+  return a;
+}
+
+void HeatSolver3D::set_eigenmode(int p, int q, int r, double amplitude) {
+  GREENVIS_REQUIRE(!problem_.insulated);
+  GREENVIS_REQUIRE(p >= 1 && q >= 1 && r >= 1);
+  const double lx = static_cast<double>(problem_.nx - 1);
+  const double ly = static_cast<double>(problem_.ny - 1);
+  const double lz = static_cast<double>(problem_.nz - 1);
+  for (std::size_t k = 0; k < problem_.nz; ++k) {
+    for (std::size_t j = 0; j < problem_.ny; ++j) {
+      for (std::size_t i = 0; i < problem_.nx; ++i) {
+        u_.at(i, j, k) =
+            amplitude *
+            std::sin(std::numbers::pi * p * static_cast<double>(i) / lx) *
+            std::sin(std::numbers::pi * q * static_cast<double>(j) / ly) *
+            std::sin(std::numbers::pi * r * static_cast<double>(k) / lz);
+      }
+    }
+  }
+  apply_boundary(u_);
+}
+
+double HeatSolver3D::eigenmode_decay(int p, int q, int r) const {
+  const double rr = problem_.alpha * problem_.dt / (problem_.dx * problem_.dx);
+  const double lx = static_cast<double>(problem_.nx - 1);
+  const double ly = static_cast<double>(problem_.ny - 1);
+  const double lz = static_cast<double>(problem_.nz - 1);
+  const double sp = std::sin(std::numbers::pi * p / (2.0 * lx));
+  const double sq = std::sin(std::numbers::pi * q / (2.0 * ly));
+  const double sr = std::sin(std::numbers::pi * r / (2.0 * lz));
+  const double mu = 4.0 * (sp * sp + sq * sq + sr * sr);
+  return 1.0 / (1.0 + rr * mu);
+}
+
+}  // namespace greenvis::heat

@@ -1,0 +1,170 @@
+#include "src/io/compress.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::io {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47565A31;  // "GVZ1"
+
+double lorenzo(const util::Field2D& f, std::size_t i, std::size_t j) {
+  const double west = i > 0 ? f.at(i - 1, j) : 0.0;
+  const double north = j > 0 ? f.at(i, j - 1) : 0.0;
+  const double northwest = (i > 0 && j > 0) ? f.at(i - 1, j - 1) : 0.0;
+  return west + north - northwest;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+  }
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& pos) {
+  GREENVIS_REQUIRE_MSG(pos + 4 <= in.size(), "truncated compressed blob");
+  std::uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) {
+    v |= static_cast<std::uint32_t>(in[pos++]) << (8 * k);
+  }
+  return v;
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int k = 0; k < 8; ++k) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * k)));
+  }
+}
+
+double get_f64(std::span<const std::uint8_t> in, std::size_t& pos) {
+  GREENVIS_REQUIRE_MSG(pos + 8 <= in.size(), "truncated compressed blob");
+  std::uint64_t bits = 0;
+  for (int k = 0; k < 8; ++k) {
+    bits |= static_cast<std::uint64_t>(in[pos++]) << (8 * k);
+  }
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    GREENVIS_REQUIRE_MSG(pos < in.size(), "truncated varint");
+    GREENVIS_REQUIRE_MSG(shift < 64, "varint overflow");
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> compress_field(const util::Field2D& field,
+                                         const CompressConfig& config) {
+  GREENVIS_REQUIRE(field.size() > 0);
+  if (config.mode == CompressionMode::kLossyAbsBound) {
+    GREENVIS_REQUIRE_MSG(config.error_bound > 0.0,
+                         "lossy mode needs a positive error bound");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(field.size());
+  put_u32(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(config.mode));
+  put_varint(out, field.nx());
+  put_varint(out, field.ny());
+  put_f64(out, config.error_bound);
+
+  if (config.mode == CompressionMode::kLossless) {
+    // Decoder reconstructs exactly, so predict from the original values.
+    for (std::size_t j = 0; j < field.ny(); ++j) {
+      for (std::size_t i = 0; i < field.nx(); ++i) {
+        const double pred = lorenzo(field, i, j);
+        const std::uint64_t delta = std::bit_cast<std::uint64_t>(
+            field.at(i, j)) ^ std::bit_cast<std::uint64_t>(pred);
+        put_varint(out, delta);
+      }
+    }
+    return out;
+  }
+
+  // Lossy: quantize against the bound, predicting from the *reconstruction*
+  // so the error never compounds.
+  const double step = 2.0 * config.error_bound;
+  util::Field2D recon(field.nx(), field.ny());
+  for (std::size_t j = 0; j < field.ny(); ++j) {
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      const double pred = lorenzo(recon, i, j);
+      const double q = std::round((field.at(i, j) - pred) / step);
+      GREENVIS_REQUIRE_MSG(std::abs(q) < 9.0e18,
+                           "value range too wide for the error bound");
+      const auto qi = static_cast<std::int64_t>(q);
+      put_varint(out, zigzag_encode(qi));
+      recon.at(i, j) = pred + static_cast<double>(qi) * step;
+    }
+  }
+  return out;
+}
+
+util::Field2D decompress_field(std::span<const std::uint8_t> blob) {
+  std::size_t pos = 0;
+  GREENVIS_REQUIRE_MSG(get_u32(blob, pos) == kMagic,
+                       "bad magic in compressed blob");
+  GREENVIS_REQUIRE_MSG(pos < blob.size(), "truncated compressed blob");
+  const auto mode = static_cast<CompressionMode>(blob[pos++]);
+  GREENVIS_REQUIRE_MSG(mode == CompressionMode::kLossless ||
+                           mode == CompressionMode::kLossyAbsBound,
+                       "unknown compression mode");
+  const auto nx = static_cast<std::size_t>(get_varint(blob, pos));
+  const auto ny = static_cast<std::size_t>(get_varint(blob, pos));
+  GREENVIS_REQUIRE_MSG(nx > 0 && ny > 0 && nx < (1u << 20) && ny < (1u << 20),
+                       "implausible field dimensions");
+  const double bound = get_f64(blob, pos);
+
+  util::Field2D field(nx, ny);
+  if (mode == CompressionMode::kLossless) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const double pred = lorenzo(field, i, j);
+        const std::uint64_t delta = get_varint(blob, pos);
+        field.at(i, j) = std::bit_cast<double>(
+            std::bit_cast<std::uint64_t>(pred) ^ delta);
+      }
+    }
+    return field;
+  }
+
+  GREENVIS_REQUIRE_MSG(bound > 0.0, "lossy blob without error bound");
+  const double step = 2.0 * bound;
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double pred = lorenzo(field, i, j);
+      const std::int64_t q = zigzag_decode(get_varint(blob, pos));
+      field.at(i, j) = pred + static_cast<double>(q) * step;
+    }
+  }
+  return field;
+}
+
+double compression_ratio(const util::Field2D& field,
+                         std::span<const std::uint8_t> blob) {
+  GREENVIS_REQUIRE(!blob.empty());
+  return static_cast<double>(field.serialized_bytes()) /
+         static_cast<double>(blob.size());
+}
+
+}  // namespace greenvis::io

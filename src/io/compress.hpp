@@ -1,0 +1,65 @@
+// Field compression — "application-driven compression for visualizing
+// large-scale time-varying data" (Wang, Yu & Ma [22], cited by the paper as
+// an I/O-reduction technique for these pipelines).
+//
+// Two real codecs over 2-D double fields:
+//
+//  * lossless — Gorilla/FPZIP-style: XOR each value's IEEE-754 bits with a
+//    Lorenzo-predicted value's bits and LEB128-encode the (mostly small)
+//    deltas. Bit-exact round trip.
+//  * lossy    — SZ-style bounded error: quantize the Lorenzo residual
+//    against an absolute error bound, predicting from *reconstructed*
+//    neighbors so the bound holds point-wise no matter how long the error
+//    feedback chain gets.
+//
+// Both are streaming single-pass codecs with explicit headers; corrupt
+// input fails loudly, never silently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/field.hpp"
+
+namespace greenvis::io {
+
+enum class CompressionMode : std::uint8_t {
+  kLossless = 0,
+  kLossyAbsBound = 1,
+};
+
+struct CompressConfig {
+  CompressionMode mode{CompressionMode::kLossless};
+  /// Absolute per-value error bound (lossy mode; must be > 0 there).
+  double error_bound{0.0};
+};
+
+[[nodiscard]] std::vector<std::uint8_t> compress_field(
+    const util::Field2D& field, const CompressConfig& config);
+
+/// Inverse of compress_field; throws ContractViolation on malformed input.
+[[nodiscard]] util::Field2D decompress_field(
+    std::span<const std::uint8_t> blob);
+
+/// uncompressed bytes / compressed bytes for a given blob.
+[[nodiscard]] double compression_ratio(const util::Field2D& field,
+                                       std::span<const std::uint8_t> blob);
+
+// -- building blocks (exposed for tests) --
+
+/// LEB128 unsigned varint.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+[[nodiscard]] std::uint64_t get_varint(std::span<const std::uint8_t> in,
+                                       std::size_t& pos);
+
+/// ZigZag mapping of signed to unsigned.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+}  // namespace greenvis::io

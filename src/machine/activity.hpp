@@ -1,0 +1,40 @@
+// Activity records: what a stage did, in machine-visible terms.
+//
+// Stages (solver step, rasterization, serialization) count their own
+// operations while doing the real work on host memory; the cost model turns
+// those counts into virtual seconds, and the power model turns the implied
+// utilization into watts. Disk activity is tracked separately by the storage
+// model, which knows about seeks and rotations.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/units.hpp"
+
+namespace greenvis::machine {
+
+struct ActivityRecord {
+  /// Floating-point operations performed.
+  double flops{0.0};
+  /// Bytes moved to/from DRAM (beyond-LLC traffic).
+  util::Bytes dram_bytes{0};
+  /// Number of cores the work was spread across (parallel stages use all 16,
+  /// the I/O loop uses 1).
+  std::size_t active_cores{1};
+  /// Average per-core utilization while active, in (0, 1]. The write/read
+  /// loops are mostly blocked on the disk, so their one active core sits at
+  /// a few percent.
+  double core_utilization{1.0};
+
+  ActivityRecord& operator+=(const ActivityRecord& o) {
+    flops += o.flops;
+    dram_bytes += o.dram_bytes;
+    active_cores = active_cores > o.active_cores ? active_cores : o.active_cores;
+    // Utilizations don't add across phases; keep the max (conservative).
+    core_utilization =
+        core_utilization > o.core_utilization ? core_utilization : o.core_utilization;
+    return *this;
+  }
+};
+
+}  // namespace greenvis::machine

@@ -1,0 +1,47 @@
+#include "src/machine/cost_model.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::machine {
+
+CostModel::CostModel(const NodeSpec& spec, const CostModelParams& params)
+    : spec_(spec), params_(params) {
+  GREENVIS_REQUIRE(params_.sustained_flops_per_core > 0.0);
+  GREENVIS_REQUIRE(params_.achievable_bandwidth_fraction > 0.0 &&
+                   params_.achievable_bandwidth_fraction <= 1.0);
+}
+
+Seconds CostModel::duration(const ActivityRecord& work, double freq_ghz) const {
+  GREENVIS_REQUIRE(freq_ghz > 0.0);
+  GREENVIS_REQUIRE(work.active_cores >= 1);
+  GREENVIS_REQUIRE(work.active_cores <= spec_.cpu.total_cores());
+  GREENVIS_REQUIRE(work.core_utilization > 0.0 && work.core_utilization <= 1.0);
+
+  const double freq_scale = freq_ghz / spec_.cpu.nominal_ghz;
+  const double rate = params_.sustained_flops_per_core * freq_scale *
+                      static_cast<double>(work.active_cores) *
+                      work.core_utilization;
+  const Seconds compute_time{work.flops / rate};
+
+  const double bw = spec_.memory.peak_bandwidth.value() *
+                    params_.achievable_bandwidth_fraction;
+  const Seconds memory_time{work.dram_bytes.as_double() / bw};
+
+  return std::max(compute_time, memory_time);
+}
+
+ComponentLoad CostModel::load(const ActivityRecord& work, Seconds dur,
+                              double freq_ghz) const {
+  GREENVIS_REQUIRE(dur.value() > 0.0);
+  ComponentLoad out;
+  out.active_cores = static_cast<double>(work.active_cores);
+  out.core_utilization = work.core_utilization;
+  out.frequency_ghz = freq_ghz;
+  out.dram_bandwidth =
+      util::BytesPerSecond{work.dram_bytes.as_double() / dur.value()};
+  return out;
+}
+
+}  // namespace greenvis::machine

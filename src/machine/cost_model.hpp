@@ -1,0 +1,51 @@
+// Activity -> virtual time.
+//
+// A roofline-style cost model: a stage's duration is the larger of its
+// compute time (flops over the sustained per-core rate at the current DVFS
+// frequency) and its memory time (DRAM bytes over achievable bandwidth).
+//
+// Calibration. The sustained per-core rate is fitted to the paper's testbed,
+// not to peak hardware numbers: the proxy app sweeps a 128x128 grid with 16
+// threads, which is severely barrier-bound (about 1k cells per core per
+// sweep), so the effective rate is far below the 2-flops/cycle streaming
+// rate of a Sandy Bridge core. See DESIGN.md and power/calibration.hpp.
+#pragma once
+
+#include "src/machine/activity.hpp"
+#include "src/machine/load.hpp"
+#include "src/machine/spec.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::machine {
+
+struct CostModelParams {
+  /// Effective sustained flops per core per second at the nominal frequency,
+  /// calibrated so the simulation stage holds Fig. 4's 33% share of case
+  /// study 1 against the storage model's write/read stage times
+  /// (barrier-bound 16-thread sweeps of a tiny grid run far below peak).
+  double sustained_flops_per_core{2.35e8};
+  /// Fraction of the memory system's peak bandwidth a real stencil achieves.
+  double achievable_bandwidth_fraction{0.6};
+};
+
+class CostModel {
+ public:
+  CostModel(const NodeSpec& spec, const CostModelParams& params);
+
+  /// Virtual duration of `work` at frequency `freq_ghz`.
+  [[nodiscard]] Seconds duration(const ActivityRecord& work,
+                                 double freq_ghz) const;
+
+  /// The CPU/DRAM load implied by `work` spread uniformly over `duration`.
+  [[nodiscard]] ComponentLoad load(const ActivityRecord& work,
+                                   Seconds duration, double freq_ghz) const;
+
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+  [[nodiscard]] const CostModelParams& params() const { return params_; }
+
+ private:
+  NodeSpec spec_;
+  CostModelParams params_;
+};
+
+}  // namespace greenvis::machine

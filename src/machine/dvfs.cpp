@@ -1,0 +1,30 @@
+#include "src/machine/dvfs.hpp"
+
+#include <cmath>
+
+namespace greenvis::machine {
+
+std::vector<PState> e5_2665_pstates() {
+  std::vector<PState> states;
+  const double nominal = 2.4;
+  for (double f = 1.2; f <= nominal + 1e-9; f += 0.1) {
+    states.push_back(PState{f, dynamic_power_scale(f, nominal)});
+  }
+  return states;
+}
+
+PState nearest_pstate(const std::vector<PState>& ladder, double freq_ghz) {
+  GREENVIS_REQUIRE(!ladder.empty());
+  const PState* best = &ladder.front();
+  double best_dist = std::abs(best->frequency_ghz - freq_ghz);
+  for (const auto& p : ladder) {
+    const double d = std::abs(p.frequency_ghz - freq_ghz);
+    if (d < best_dist) {
+      best = &p;
+      best_dist = d;
+    }
+  }
+  return *best;
+}
+
+}  // namespace greenvis::machine

@@ -1,0 +1,40 @@
+// DVFS (dynamic voltage and frequency scaling) states.
+//
+// The paper's discussion (Sec. V-C) notes that when in-situ savings are
+// mostly static, "techniques such as frequency scaling ... may help" the
+// post-processing pipeline. The frequency-scaling ablation bench uses these
+// P-states to quantify that claim on our model.
+#pragma once
+
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::machine {
+
+struct PState {
+  double frequency_ghz;
+  /// Core dynamic power relative to the nominal state. Dynamic power scales
+  /// as f * V^2 and voltage scales roughly linearly with frequency in the
+  /// DVFS range, so the relative factor is (f/f_nom)^3.
+  double dynamic_power_scale;
+};
+
+/// P-states for the E5-2665: 1.2 GHz to 2.4 GHz in 0.1 GHz steps (Sandy
+/// Bridge exposes roughly this ladder; turbo is excluded because the paper's
+/// runs pin the nominal clock).
+[[nodiscard]] std::vector<PState> e5_2665_pstates();
+
+/// The P-state closest to `freq_ghz` from a ladder.
+[[nodiscard]] PState nearest_pstate(const std::vector<PState>& ladder,
+                                    double freq_ghz);
+
+/// Relative core dynamic power at `freq_ghz` against `nominal_ghz`.
+[[nodiscard]] inline double dynamic_power_scale(double freq_ghz,
+                                                double nominal_ghz) {
+  GREENVIS_REQUIRE(freq_ghz > 0.0 && nominal_ghz > 0.0);
+  const double r = freq_ghz / nominal_ghz;
+  return r * r * r;
+}
+
+}  // namespace greenvis::machine

@@ -1,0 +1,73 @@
+#include "src/machine/load.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::machine {
+
+void LoadTimeline::add(Seconds begin, Seconds end, const ComponentLoad& load) {
+  GREENVIS_REQUIRE_MSG(end >= begin, "segment must not be negative");
+  if (!begins_.empty()) {
+    GREENVIS_REQUIRE_MSG(begin >= ends_.back(),
+                         "segments must be appended in time order");
+  }
+  begins_.push_back(begin);
+  ends_.push_back(end);
+  loads_.push_back(load);
+}
+
+ComponentLoad LoadTimeline::at(Seconds t) const {
+  // Find the last segment with begin <= t.
+  const auto it = std::upper_bound(begins_.begin(), begins_.end(), t);
+  if (it == begins_.begin()) {
+    return ComponentLoad{};
+  }
+  const auto idx = static_cast<std::size_t>(it - begins_.begin()) - 1;
+  if (t < ends_[idx]) {
+    return loads_[idx];
+  }
+  return ComponentLoad{};  // in a gap
+}
+
+ComponentLoad LoadTimeline::average_in(Seconds t0, Seconds t1) const {
+  GREENVIS_REQUIRE(t1 >= t0);
+  ComponentLoad avg;
+  avg.core_utilization = 0.0;
+  avg.frequency_ghz = 0.0;
+  const double window = (t1 - t0).value();
+  if (window <= 0.0 || begins_.empty()) {
+    return ComponentLoad{};
+  }
+  auto it = std::upper_bound(begins_.begin(), begins_.end(), t0);
+  std::size_t idx = it == begins_.begin()
+                        ? 0
+                        : static_cast<std::size_t>(it - begins_.begin()) - 1;
+  double busy_weight = 0.0;
+  double dram_rate_time = 0.0;
+  for (; idx < begins_.size() && begins_[idx] < t1; ++idx) {
+    const Seconds lo = std::max(begins_[idx], t0);
+    const Seconds hi = std::min(ends_[idx], t1);
+    const double w = (hi - lo).value();
+    if (w <= 0.0) {
+      continue;
+    }
+    const ComponentLoad& l = loads_[idx];
+    avg.active_cores += l.active_cores * l.core_utilization * w;
+    avg.frequency_ghz += l.frequency_ghz * w;
+    dram_rate_time += l.dram_bandwidth.value() * w;
+    busy_weight += w;
+  }
+  // Express the average as fully-utilized effective cores over the window.
+  avg.active_cores /= window;
+  avg.core_utilization = 1.0;
+  avg.frequency_ghz = busy_weight > 0.0 ? avg.frequency_ghz / busy_weight : 0.0;
+  avg.dram_bandwidth = util::BytesPerSecond{dram_rate_time / window};
+  return avg;
+}
+
+Seconds LoadTimeline::end_time() const {
+  return ends_.empty() ? Seconds{0.0} : ends_.back();
+}
+
+}  // namespace greenvis::machine

@@ -1,0 +1,63 @@
+// Component load over virtual time.
+//
+// As stages execute, the experiment runner appends piecewise-constant load
+// segments describing CPU and DRAM activity; the storage model keeps its own
+// analogous log of disk activity. The power model samples these to produce
+// the instantaneous-watts profiles of Fig. 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace greenvis::machine {
+
+using util::Seconds;
+
+/// Instantaneous utilization of the CPU/memory subsystems.
+struct ComponentLoad {
+  /// Number of busy cores (0 .. total cores). Fractional values express
+  /// partially loaded cores over a sampling window.
+  double active_cores{0.0};
+  /// Duty cycle of the busy cores in (0, 1]; an I/O loop blocked on the disk
+  /// keeps one core "active" at a few percent.
+  double core_utilization{1.0};
+  /// Core clock in GHz (DVFS state).
+  double frequency_ghz{2.4};
+  /// Achieved DRAM traffic rate.
+  util::BytesPerSecond dram_bandwidth{0.0};
+
+  /// Effective busy-core count (active cores weighted by duty cycle).
+  [[nodiscard]] double effective_cores() const {
+    return active_cores * core_utilization;
+  }
+};
+
+/// Piecewise-constant, non-overlapping load segments. Gaps are idle.
+class LoadTimeline {
+ public:
+  /// Append a segment. `begin` must be at or after the end of the previous
+  /// segment (stages run serially on the simulated node).
+  void add(Seconds begin, Seconds end, const ComponentLoad& load);
+
+  /// Load at time `t`; idle (zero) load inside gaps. Boundary samples belong
+  /// to the segment starting at `t`.
+  [[nodiscard]] ComponentLoad at(Seconds t) const;
+
+  /// Time-weighted average load over [t0, t1); gaps count as idle. The
+  /// frequency reported is the busy-time-weighted average (nominal when the
+  /// window is fully idle is the caller's concern; we return 0 activity).
+  [[nodiscard]] ComponentLoad average_in(Seconds t0, Seconds t1) const;
+
+  [[nodiscard]] std::size_t segment_count() const { return begins_.size(); }
+  [[nodiscard]] Seconds end_time() const;
+  [[nodiscard]] bool empty() const { return begins_.empty(); }
+
+ private:
+  std::vector<Seconds> begins_;
+  std::vector<Seconds> ends_;
+  std::vector<ComponentLoad> loads_;
+};
+
+}  // namespace greenvis::machine

@@ -1,0 +1,10 @@
+#include "src/machine/spec.hpp"
+
+namespace greenvis::machine {
+
+NodeSpec sandy_bridge_testbed() {
+  // All defaults in the spec structs describe exactly this node.
+  return NodeSpec{};
+}
+
+}  // namespace greenvis::machine

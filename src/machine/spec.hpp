@@ -1,0 +1,80 @@
+// Hardware specification of the simulated node.
+//
+// Mirrors Table I of the paper: a dual-socket Intel Sandy Bridge node
+// (2x Xeon E5-2665, 8 cores/socket @ 2.4 GHz, 20 MB LLC, 64 GB DDR3-1333,
+// Seagate 500 GB 7200 rpm HDD behind a 6 Gbps SATA link).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/units.hpp"
+
+namespace greenvis::machine {
+
+struct CpuSpec {
+  std::string model{"Intel Xeon E5-2665"};
+  std::size_t sockets{2};
+  std::size_t cores_per_socket{8};
+  double nominal_ghz{2.4};
+  util::Bytes last_level_cache{util::mebibytes(20)};
+
+  [[nodiscard]] std::size_t total_cores() const {
+    return sockets * cores_per_socket;
+  }
+};
+
+struct MemorySpec {
+  std::string type{"DDR3-1333"};
+  std::size_t dimms{4};
+  util::Bytes dimm_size{util::gibibytes(16)};
+  /// Peak bandwidth of the 4-channel DDR3-1333 configuration.
+  util::BytesPerSecond peak_bandwidth{util::mebibytes_per_second(4.0 * 10666.0)};
+
+  [[nodiscard]] util::Bytes total_size() const {
+    return util::Bytes{dimm_size.value() * dimms};
+  }
+};
+
+struct DiskSpec {
+  std::string model{"Seagate 7200rpm"};
+  util::Bytes capacity{util::gibibytes(500)};
+  double rpm{7200.0};
+  /// Sustained media transfer rate. Table III's 4 GB sequential read in
+  /// 35.9 s implies ~114 MiB/s, typical for this class of drive.
+  util::BytesPerSecond sustained_rate{util::mebibytes_per_second(114.0)};
+  /// Average seek for a random request (manufacturer-typical 8.5 ms).
+  util::Seconds average_seek{util::milliseconds(8.5)};
+  /// Full-stroke seek; short seeks interpolate between settle time and this.
+  util::Seconds full_stroke_seek{util::milliseconds(18.0)};
+  /// Minimum positioning cost for any head movement (arm settle + servo
+  /// lock). Fitted so Table III's random-read test reproduces: 4 GB of
+  /// 16 KiB random reads at ~8.5 ms each.
+  util::Seconds settle_time{util::milliseconds(3.3)};
+  /// Interface ("6.0 Gbps" SATA in Table I) — an upper bound, never the
+  /// bottleneck for a single spinning disk.
+  util::BytesPerSecond interface_rate{util::mebibytes_per_second(600.0)};
+  /// Native command queueing depth (reordering window for random I/O).
+  std::size_t ncq_depth{32};
+
+  /// One full platter rotation.
+  [[nodiscard]] util::Seconds rotation_period() const {
+    return util::Seconds{60.0 / rpm};
+  }
+  /// Expected rotational latency for an unscheduled access (half rotation).
+  [[nodiscard]] util::Seconds average_rotational_latency() const {
+    return rotation_period() / 2.0;
+  }
+};
+
+struct NodeSpec {
+  CpuSpec cpu;
+  MemorySpec memory;
+  DiskSpec disk;
+  std::string os{"Ubuntu 12.04, Linux 3.2.0-23"};
+};
+
+/// The paper's system under test (Table I).
+[[nodiscard]] NodeSpec sandy_bridge_testbed();
+
+}  // namespace greenvis::machine

@@ -1,0 +1,110 @@
+// Multi-node pipeline study (the paper's future work, plus the in-transit
+// variant its related-work section discusses via Bennett et al. [10]).
+//
+// A bulk-synchronous cluster model: every step all compute nodes advance
+// through the same phases (solve, halo exchange, then I/O / render /
+// composite / ship, depending on the pipeline), and each phase's duration is
+// the slowest participant's. Per-phase node power comes from the same
+// calibrated per-node power model as the single-node study; cluster power
+// adds NICs, the switch, and the parallel filesystem's storage targets.
+//
+// Three pipelines:
+//   * post-processing — checkpoint subdomains to the PFS every I/O step,
+//     then a single visualization node reads everything back and renders;
+//   * in-situ        — every node renders its tile, tiles are gathered and
+//     assembled on a root node, nothing touches storage;
+//   * in-transit     — compute nodes ship raw subdomains to dedicated
+//     staging nodes which render concurrently; the simulation only pays the
+//     send, unless the staging pipeline cannot keep up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/workload.hpp"
+#include "src/machine/cost_model.hpp"
+#include "src/net/pfs.hpp"
+#include "src/power/calibration.hpp"
+#include "src/power/model.hpp"
+
+namespace greenvis::net {
+
+struct ClusterSpec {
+  /// Compute ranks (power of two; one 128x128 subdomain each — weak
+  /// scaling).
+  std::size_t compute_nodes{16};
+  /// Dedicated staging/visualization nodes (in-transit).
+  std::size_t staging_nodes{2};
+  machine::NodeSpec node{machine::sandy_bridge_testbed()};
+  machine::CostModelParams cost{};
+  power::PowerCalibration calibration{};
+  NetworkSpec network{};
+  PfsSpec pfs{};
+};
+
+struct PhaseCost {
+  std::string name;
+  util::Seconds time_per_occurrence{0.0};
+  std::size_t occurrences{0};
+  util::Watts cluster_power{0.0};
+  /// Overlapped phases (in-transit staging work) contribute energy but not
+  /// critical-path duration; their cluster_power holds only the *extra*
+  /// power above the idle already counted elsewhere.
+  bool overlapped{false};
+
+  [[nodiscard]] util::Seconds total_time() const {
+    return time_per_occurrence * static_cast<double>(occurrences);
+  }
+  [[nodiscard]] util::Joules energy() const {
+    return cluster_power * total_time();
+  }
+};
+
+struct MultiNodeResult {
+  std::string pipeline;
+  util::Seconds duration{0.0};
+  util::Joules energy{0.0};
+  util::Watts average_power{0.0};
+  std::vector<PhaseCost> phases;
+
+  [[nodiscard]] util::Seconds phase_time(const std::string& name) const;
+};
+
+class MultiNodeStudy {
+ public:
+  MultiNodeStudy(const ClusterSpec& cluster, const core::CaseStudyConfig& workload);
+
+  [[nodiscard]] MultiNodeResult post_processing() const;
+  [[nodiscard]] MultiNodeResult in_situ() const;
+  [[nodiscard]] MultiNodeResult in_transit() const;
+
+  /// Total nodes drawing power (compute + staging + storage targets).
+  [[nodiscard]] std::size_t total_nodes() const;
+
+  // -- building blocks (exposed for tests) --
+  [[nodiscard]] util::Seconds solve_time() const;
+  [[nodiscard]] util::Seconds halo_time() const;
+  [[nodiscard]] util::Seconds render_time() const;
+  [[nodiscard]] double subdomain_bytes() const;
+  [[nodiscard]] double tile_bytes() const;
+  /// Idle power of one node (no disk — compute nodes are diskless; storage
+  /// targets add theirs separately).
+  [[nodiscard]] util::Watts node_idle_power() const;
+
+ private:
+  [[nodiscard]] MultiNodeResult finish(std::string name,
+                                       std::vector<PhaseCost> phases) const;
+  /// Cluster-wide power: `sim_nodes` at the 16-core solver load, `vis_nodes`
+  /// at the renderer load, `nics` NICs active, `targets` storage targets
+  /// streaming. Everything else idles.
+  [[nodiscard]] util::Watts cluster_power(double sim_nodes, double vis_nodes,
+                                          double nics, double targets) const;
+
+  ClusterSpec cluster_;
+  core::CaseStudyConfig workload_;
+  machine::CostModel cost_model_;
+  power::PowerModel node_power_;
+  PfsModel pfs_;
+};
+
+}  // namespace greenvis::net

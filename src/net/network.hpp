@@ -1,0 +1,58 @@
+// Interconnect model.
+//
+// The paper's future work asks for "evaluation on a multi-node system to
+// study the effect of network I/O in addition to disk I/O". This model
+// prices messages on a full-bisection fabric (2012-era QDR InfiniBand by
+// default): per-message time is latency plus bytes over per-port bandwidth,
+// and per-node NIC busy time is tracked so the cluster power model can
+// price network activity the same way the disk model prices seeks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::net {
+
+using util::Seconds;
+
+struct NetworkSpec {
+  std::string name{"QDR InfiniBand"};
+  Seconds latency{util::microseconds(1.3)};
+  util::BytesPerSecond per_port_bandwidth{
+      util::mebibytes_per_second(3200.0)};
+  util::Watts nic_idle{2.0};
+  util::Watts nic_active{5.5};
+  /// Switch power, amortized per connected port (always on).
+  util::Watts switch_per_port{3.0};
+};
+
+/// Point-to-point message time.
+[[nodiscard]] inline Seconds message_time(const NetworkSpec& net,
+                                          double bytes) {
+  GREENVIS_REQUIRE(bytes >= 0.0);
+  return net.latency + Seconds{bytes / net.per_port_bandwidth.value()};
+}
+
+/// 2-D halo exchange per step: each rank exchanges `halo_bytes` with up to
+/// four neighbors; sends overlap pairwise, so the critical path is two
+/// sequential exchanges (x then y).
+[[nodiscard]] inline Seconds halo_exchange_time(const NetworkSpec& net,
+                                                double halo_bytes) {
+  return 2.0 * message_time(net, halo_bytes);
+}
+
+/// All-to-one gather of `bytes_per_rank` from `ranks` senders into one
+/// receiver: the receiver's port is the bottleneck.
+[[nodiscard]] inline Seconds gather_time(const NetworkSpec& net,
+                                         double bytes_per_rank,
+                                         std::size_t ranks) {
+  GREENVIS_REQUIRE(ranks >= 1);
+  return net.latency +
+         Seconds{bytes_per_rank * static_cast<double>(ranks) /
+                 net.per_port_bandwidth.value()};
+}
+
+}  // namespace greenvis::net

@@ -1,0 +1,60 @@
+#include "src/power/model.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::power {
+
+Watts PowerModel::pp0_power(const ComponentLoad& load) const {
+  const double freq =
+      load.frequency_ghz > 0.0 ? load.frequency_ghz : cal_.cpu.nominal_ghz;
+  const double scale = machine::dynamic_power_scale(freq, cal_.cpu.nominal_ghz);
+  const Watts dynamic =
+      cal_.cpu.core_active * (load.effective_cores() * scale);
+  const Watts core_idle = cal_.cpu.package_idle - cal_.cpu.uncore_share;
+  return core_idle + dynamic;
+}
+
+Watts PowerModel::package_power(const ComponentLoad& load) const {
+  return pp0_power(load) + cal_.cpu.uncore_share;
+}
+
+Watts PowerModel::dram_power(const ComponentLoad& load) const {
+  const double gbs = load.dram_bandwidth.value() / 1e9;
+  return cal_.dram.idle + Watts{cal_.dram.watts_per_gbs * gbs};
+}
+
+Watts PowerModel::disk_power(const storage::PhaseDurations& duty,
+                             Seconds window) const {
+  GREENVIS_REQUIRE(window.value() > 0.0);
+  const double w = window.value();
+  auto frac = [&](storage::DiskPhase p) {
+    return std::min(1.0, duty.of(p).value() / w);
+  };
+  return disk_.idle +
+         disk_.seek * frac(storage::DiskPhase::kSeek) +
+         disk_.rotate_wait * frac(storage::DiskPhase::kRotate) +
+         disk_.read_transfer * frac(storage::DiskPhase::kReadTransfer) +
+         disk_.write_transfer * frac(storage::DiskPhase::kWriteTransfer) +
+         disk_.flush * frac(storage::DiskPhase::kFlush);
+}
+
+PowerBreakdown PowerModel::breakdown(const ComponentLoad& load,
+                                     const storage::PhaseDurations& duty,
+                                     Seconds window) const {
+  PowerBreakdown out;
+  out.package = package_power(load);
+  out.pp0 = pp0_power(load);
+  out.dram = dram_power(load);
+  out.disk = disk_power(duty, window);
+  out.rest = rest_power();
+  return out;
+}
+
+Watts PowerModel::idle_system_power() const {
+  return cal_.cpu.package_idle + cal_.dram.idle + disk_.idle +
+         cal_.rest.constant;
+}
+
+}  // namespace greenvis::power

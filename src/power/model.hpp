@@ -1,0 +1,67 @@
+// Component power model.
+//
+// Maps instantaneous component load (CPU/DRAM utilization, disk mechanical
+// duty cycles) to watts per subsystem. This is the simulated counterpart of
+// the paper's measurement rig: RAPL reports package and DRAM; the Wattsup
+// meter reports the full system; the disk and "rest of system" are the
+// subtraction residue (Sec. IV-B).
+#pragma once
+
+#include "src/machine/dvfs.hpp"
+#include "src/machine/load.hpp"
+#include "src/power/calibration.hpp"
+#include "src/storage/activity_log.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::power {
+
+using machine::ComponentLoad;
+using util::Seconds;
+
+/// Per-subsystem instantaneous power.
+struct PowerBreakdown {
+  Watts package{0.0};  // both CPU packages (RAPL PKG)
+  Watts pp0{0.0};      // core domains (RAPL PP0)
+  Watts dram{0.0};     // RAPL DRAM
+  Watts disk{0.0};
+  Watts rest{0.0};
+
+  [[nodiscard]] Watts system() const { return package + dram + disk + rest; }
+};
+
+class PowerModel {
+ public:
+  PowerModel(const PowerCalibration& calibration,
+             const DiskPowerParams& disk_params)
+      : cal_(calibration), disk_(disk_params) {}
+
+  /// Package power (both sockets) for a CPU load.
+  [[nodiscard]] Watts package_power(const ComponentLoad& load) const;
+  /// Core-domain (PP0) power for a CPU load.
+  [[nodiscard]] Watts pp0_power(const ComponentLoad& load) const;
+  [[nodiscard]] Watts dram_power(const ComponentLoad& load) const;
+  /// Disk power from per-phase busy time within a window of length
+  /// `window` (idle + duty-weighted phase powers).
+  [[nodiscard]] Watts disk_power(const storage::PhaseDurations& duty,
+                                 Seconds window) const;
+  [[nodiscard]] Watts disk_idle_power() const { return disk_.idle; }
+  [[nodiscard]] Watts rest_power() const { return cal_.rest.constant; }
+
+  /// Everything at once.
+  [[nodiscard]] PowerBreakdown breakdown(const ComponentLoad& load,
+                                         const storage::PhaseDurations& duty,
+                                         Seconds window) const;
+
+  /// Full-system power with an idle machine (the static floor the paper's
+  /// Sec. V-C attributes 91% of the savings to).
+  [[nodiscard]] Watts idle_system_power() const;
+
+  [[nodiscard]] const PowerCalibration& calibration() const { return cal_; }
+  [[nodiscard]] const DiskPowerParams& disk_params() const { return disk_; }
+
+ private:
+  PowerCalibration cal_;
+  DiskPowerParams disk_;
+};
+
+}  // namespace greenvis::power

@@ -1,0 +1,86 @@
+#include "src/power/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::power {
+
+PowerProfiler::PowerProfiler(const PowerModel& model,
+                             const ProfilerConfig& config)
+    : model_(&model), config_(config) {
+  GREENVIS_REQUIRE(config_.period.value() > 0.0);
+}
+
+PowerTrace PowerProfiler::profile(const machine::LoadTimeline& cpu_load,
+                                  const storage::BlockDevice* disk,
+                                  Seconds end) {
+  GREENVIS_REQUIRE(end.value() >= 0.0);
+  PowerTrace trace{config_.period};
+  const auto windows = static_cast<std::size_t>(
+      std::ceil(end.value() / config_.period.value() - 1e-9));
+  if (windows == 0) {
+    return trace;
+  }
+
+  util::Xoshiro256 rng{config_.seed};
+  RaplInterface rapl;
+  RaplReader reader{rapl};
+  WattsupMeter wattsup{WattsupParams{}, config_.seed ^ 0x5555u};
+
+  // Prime the RAPL reader at t = 0, as a monitor would.
+  reader.sample(RaplDomain::kPackage, Seconds{-1.0});
+  reader.sample(RaplDomain::kPp0, Seconds{-1.0});
+  reader.sample(RaplDomain::kDram, Seconds{-1.0});
+
+  for (std::size_t w = 0; w < windows; ++w) {
+    // Whole windows only: the meters keep their cadence to the end of the
+    // last started interval, as a real 1 Hz monitor does.
+    const Seconds t0 = config_.period * static_cast<double>(w);
+    const Seconds t1 = t0 + config_.period;
+    const Seconds window = t1 - t0;
+
+    const machine::ComponentLoad load = cpu_load.average_in(t0, t1);
+    storage::PhaseDurations duty;
+    if (disk != nullptr) {
+      duty = disk->activity().duty_in(t0, t1);
+    }
+    PowerBreakdown truth = model_->breakdown(load, duty, window);
+    if (disk == nullptr) {
+      truth.disk = Watts{0.0};
+    }
+
+    // Component-level variability (never negative).
+    auto jitter = [&](Watts base, double sigma) {
+      return Watts{std::max(0.0, base.value() + rng.normal(0.0, sigma))};
+    };
+    const Watts pkg = jitter(truth.package, config_.package_noise_sigma);
+    const Watts pp0 =
+        Watts{std::max(0.0, truth.pp0.value() +
+                                (pkg - truth.package).value())};
+    const Watts dram = jitter(truth.dram, config_.dram_noise_sigma);
+    const Watts dsk = disk == nullptr
+                          ? Watts{0.0}
+                          : jitter(truth.disk, config_.disk_noise_sigma);
+    const Watts system = pkg + dram + dsk + truth.rest;
+
+    // Deposit into RAPL, then read back through the monitoring path.
+    rapl.deposit(RaplDomain::kPackage, pkg * window);
+    rapl.deposit(RaplDomain::kPp0, pp0 * window);
+    rapl.deposit(RaplDomain::kDram, dram * window);
+
+    PowerSample sample;
+    sample.time = t1;
+    sample.processor = reader.sample(RaplDomain::kPackage, t1);
+    sample.pp0 = reader.sample(RaplDomain::kPp0, t1);
+    sample.dram = reader.sample(RaplDomain::kDram, t1);
+    sample.system = wattsup.sample(system);
+    sample.disk_model = dsk;
+    sample.rest_model = truth.rest;
+    trace.add(sample);
+  }
+  return trace;
+}
+
+}  // namespace greenvis::power

@@ -1,0 +1,48 @@
+#include "src/power/rapl.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::power {
+
+void RaplInterface::deposit(RaplDomain domain, Joules energy) {
+  GREENVIS_REQUIRE(energy.value() >= 0.0);
+  const auto d = static_cast<std::size_t>(domain);
+  total_joules_[d] += energy.value();
+  const double units = energy.value() / energy_unit_joules() + residue_[d];
+  const double whole = std::floor(units);
+  residue_[d] = units - whole;
+  raw_[d] = (raw_[d] + static_cast<std::uint64_t>(whole)) & 0xFFFFFFFFULL;
+}
+
+std::uint32_t RaplInterface::read_raw(RaplDomain domain) const {
+  return static_cast<std::uint32_t>(raw_[static_cast<std::size_t>(domain)]);
+}
+
+Joules RaplInterface::total_deposited(RaplDomain domain) const {
+  return Joules{total_joules_[static_cast<std::size_t>(domain)]};
+}
+
+Watts RaplReader::sample(RaplDomain domain, Seconds now) {
+  const auto d = static_cast<std::size_t>(domain);
+  const std::uint32_t raw = rapl_->read_raw(domain);
+  if (!primed_[d]) {
+    primed_[d] = true;
+    last_raw_[d] = raw;
+    last_time_[d] = now;
+    return Watts{0.0};
+  }
+  const Seconds dt = now - last_time_[d];
+  GREENVIS_REQUIRE_MSG(dt.value() > 0.0, "non-increasing sample time");
+  // Unsigned subtraction handles a single wraparound; the sampling interval
+  // must stay below the wrap period (~9 minutes at 130 W), which 1 Hz does.
+  const std::uint32_t delta = raw - last_raw_[d];
+  last_raw_[d] = raw;
+  last_time_[d] = now;
+  const double joules =
+      static_cast<double>(delta) * RaplInterface::energy_unit_joules();
+  return Watts{joules / dt.value()};
+}
+
+}  // namespace greenvis::power

@@ -1,0 +1,65 @@
+#include "src/power/trace.hpp"
+
+#include <algorithm>
+
+#include "src/util/csv.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::power {
+
+Watts PowerTrace::average(Channel channel) const {
+  if (samples_.empty()) {
+    return Watts{0.0};
+  }
+  double sum = 0.0;
+  for (const auto& s : samples_) {
+    sum += (s.*channel).value();
+  }
+  return Watts{sum / static_cast<double>(samples_.size())};
+}
+
+Watts PowerTrace::peak(Channel channel) const {
+  GREENVIS_REQUIRE(!samples_.empty());
+  double best = (samples_.front().*channel).value();
+  for (const auto& s : samples_) {
+    best = std::max(best, (s.*channel).value());
+  }
+  return Watts{best};
+}
+
+Joules PowerTrace::energy(Channel channel) const {
+  double joules = 0.0;
+  for (const auto& s : samples_) {
+    joules += (s.*channel).value() * period_.value();
+  }
+  return Joules{joules};
+}
+
+PowerTrace PowerTrace::slice(Seconds t0, Seconds t1) const {
+  PowerTrace out{period_};
+  for (const auto& s : samples_) {
+    const Seconds begin = s.time - period_;
+    if (begin < t1 && s.time > t0) {
+      out.add(s);
+    }
+  }
+  return out;
+}
+
+void PowerTrace::write_csv(std::ostream& os) const {
+  util::CsvWriter csv{os};
+  csv.row({"time_s", "processor_w", "pp0_w", "dram_w", "system_w",
+           "disk_model_w", "rest_model_w"});
+  for (const auto& s : samples_) {
+    csv.field(s.time.value());
+    csv.field(s.processor.value());
+    csv.field(s.pp0.value());
+    csv.field(s.dram.value());
+    csv.field(s.system.value());
+    csv.field(s.disk_model.value());
+    csv.field(s.rest_model.value());
+    csv.end_row();
+  }
+}
+
+}  // namespace greenvis::power

@@ -1,0 +1,70 @@
+// Power traces: the time series behind every figure in the paper.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace greenvis::power {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+/// One sampling interval's readings. `time` is the *end* of the interval;
+/// the values are interval averages, exactly like a 1 Hz meter reading.
+struct PowerSample {
+  Seconds time{0.0};
+  Watts processor{0.0};  // RAPL package (both sockets)
+  Watts pp0{0.0};        // RAPL PP0 (core domains)
+  Watts dram{0.0};       // RAPL DRAM
+  Watts system{0.0};     // Wattsup full-system
+  Watts disk_model{0.0}; // model truth (not observable on the testbed)
+  Watts rest_model{0.0}; // model truth
+
+  /// Uncore power: package minus cores (both RAPL-observable).
+  [[nodiscard]] Watts uncore_derived() const { return processor - pp0; }
+
+  /// The paper's "rest of system": full system minus RAPL domains
+  /// (Sec. IV-B). Derived from observable channels only.
+  [[nodiscard]] Watts rest_derived() const {
+    return system - processor - dram;
+  }
+};
+
+class PowerTrace {
+ public:
+  explicit PowerTrace(Seconds period) : period_(period) {}
+
+  void add(const PowerSample& sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] const std::vector<PowerSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] Seconds period() const { return period_; }
+  [[nodiscard]] Seconds duration() const {
+    return period_ * static_cast<double>(samples_.size());
+  }
+
+  using Channel = Watts PowerSample::*;
+
+  [[nodiscard]] Watts average(Channel channel) const;
+  [[nodiscard]] Watts peak(Channel channel) const;
+  /// Energy = sum of interval-average power x interval length.
+  [[nodiscard]] Joules energy(Channel channel) const;
+
+  /// Restrict to samples whose sampling interval overlaps [t0, t1) — a
+  /// window shorter than one period still yields the sample covering it.
+  [[nodiscard]] PowerTrace slice(Seconds t0, Seconds t1) const;
+
+  /// CSV: time_s,processor_w,dram_w,system_w — the Fig. 5 series.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  Seconds period_;
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace greenvis::power

@@ -1,0 +1,16 @@
+#include "src/power/wattsup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenvis::power {
+
+util::Watts WattsupMeter::sample(util::Watts true_power) {
+  const double noisy =
+      true_power.value() + rng_.normal(0.0, params_.noise_sigma_watts);
+  const double quantized =
+      std::round(noisy / params_.quantum_watts) * params_.quantum_watts;
+  return util::Watts{std::max(0.0, quantized)};
+}
+
+}  // namespace greenvis::power

@@ -1,0 +1,40 @@
+// Emulated Wattsup Pro wall meter.
+//
+// The paper's full-system measurements come from a Wattsup Pro between the
+// node and the outlet, sampled at 1 Hz by a separate monitoring machine
+// (Fig. 3). The meter reports tenths of a watt and carries a small
+// measurement error; both are modeled so full-system traces have the same
+// texture as the paper's Fig. 5 curves.
+#pragma once
+
+#include "src/util/rng.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::power {
+
+struct WattsupParams {
+  /// Display resolution (0.1 W for the Wattsup Pro).
+  double quantum_watts{0.1};
+  /// 1-sigma measurement noise.
+  double noise_sigma_watts{0.6};
+  /// Sampling interval (1 Hz).
+  util::Seconds period{1.0};
+};
+
+class WattsupMeter {
+ public:
+  explicit WattsupMeter(const WattsupParams& params = {},
+                        std::uint64_t seed = 0x57A77u)
+      : params_(params), rng_(seed) {}
+
+  /// One reading given the true average power over the last interval.
+  [[nodiscard]] util::Watts sample(util::Watts true_power);
+
+  [[nodiscard]] const WattsupParams& params() const { return params_; }
+
+ private:
+  WattsupParams params_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace greenvis::power

@@ -1,0 +1,103 @@
+#include "src/replay/engine.hpp"
+
+#include <algorithm>
+
+#include "src/core/pipeline.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::replay {
+
+namespace {
+
+std::string step_file(const TraceRecord& rec, int step) {
+  return "replay_" + rec.label + "_t" + std::to_string(step) + ".bin";
+}
+
+}  // namespace
+
+ReplayResult ReplayEngine::run(const AppTrace& trace) const {
+  GREENVIS_REQUIRE(trace.repeat >= 1);
+  core::Testbed bed(config_);
+  ReplayResult result;
+  result.app_name = trace.name;
+
+  const std::uint64_t io_chunk = util::kibibytes(64).value();
+
+  auto execute = [&](const TraceRecord& rec, int step) {
+    switch (rec.kind) {
+      case RecordKind::kCompute: {
+        machine::ActivityRecord a;
+        a.flops = rec.flops;
+        a.active_cores = rec.cores;
+        a.core_utilization = rec.utilization;
+        a.dram_bytes = util::Bytes{rec.dram_bytes};
+        bed.run_compute(a, rec.phase);
+        break;
+      }
+      case RecordKind::kWrite: {
+        bed.run_io(core::stage::kWrite, 3.0, 0.5, [&] {
+          auto& fs = bed.fs();
+          const auto fd = fs.create(step_file(rec, step));
+          for (std::uint64_t off = 0; off < rec.bytes; off += io_chunk) {
+            fs.write_synthetic(
+                fd, util::Bytes{std::min(io_chunk, rec.bytes - off)},
+                rec.mode);
+          }
+          if (rec.mode == storage::WriteMode::kBuffered) {
+            fs.fsync(fd);
+          }
+          fs.close(fd);
+        });
+        result.bytes_written += util::Bytes{rec.bytes};
+        break;
+      }
+      case RecordKind::kRead: {
+        bed.run_io(core::stage::kRead, 3.0, 0.5, [&] {
+          auto& fs = bed.fs();
+          const std::string name = step_file(rec, step);
+          GREENVIS_REQUIRE_MSG(fs.exists(name),
+                               "replay read before write: " + name);
+          const auto fd = fs.open(name);
+          const std::uint64_t size = fs.file_size(name).value();
+          for (std::uint64_t off = 0; off < size; off += io_chunk) {
+            fs.pread_timed(fd, off, std::min(io_chunk, size - off),
+                           storage::ReadMode::kDirect);
+          }
+          fs.close(fd);
+          result.bytes_read += util::Bytes{size};
+        });
+        break;
+      }
+    }
+  };
+
+  for (int step = 0; step < trace.repeat; ++step) {
+    for (const auto& rec : trace.simulate) {
+      if (rec.active_on(step)) {
+        execute(rec, step);
+      }
+    }
+  }
+  if (!trace.postprocess.empty()) {
+    bed.run_io(core::stage::kWrite, 3.0, 0.5,
+               [&] { bed.fs().drop_caches(); });
+    for (int step = 0; step < trace.repeat; ++step) {
+      for (const auto& rec : trace.postprocess) {
+        if (rec.active_on(step)) {
+          execute(rec, step);
+        }
+      }
+    }
+  }
+
+  result.duration = bed.clock().now();
+  result.timeline = bed.phases();
+  result.power_trace = bed.profile();
+  result.energy = result.power_trace.energy(&power::PowerSample::system);
+  result.average_power =
+      result.power_trace.average(&power::PowerSample::system);
+  result.peak_power = result.power_trace.peak(&power::PowerSample::system);
+  return result;
+}
+
+}  // namespace greenvis::replay

@@ -1,0 +1,38 @@
+// Trace replay engine: drives an application trace through the instrumented
+// testbed, producing the same metrics as the proxy-app experiments.
+#pragma once
+
+#include "src/core/testbed.hpp"
+#include "src/power/trace.hpp"
+#include "src/replay/trace_format.hpp"
+#include "src/trace/timeline.hpp"
+
+namespace greenvis::replay {
+
+struct ReplayResult {
+  std::string app_name;
+  util::Seconds duration{0.0};
+  util::Joules energy{0.0};
+  util::Watts average_power{0.0};
+  util::Watts peak_power{0.0};
+  trace::Timeline timeline;
+  power::PowerTrace power_trace{util::Seconds{1.0}};
+  util::Bytes bytes_written{0};
+  util::Bytes bytes_read{0};
+};
+
+class ReplayEngine {
+ public:
+  explicit ReplayEngine(const core::TestbedConfig& config = {})
+      : config_(config) {}
+
+  /// Replay on a fresh testbed: the simulate section runs `repeat` times,
+  /// then (after a sync + drop_caches, as in Sec. IV-C) the postprocess
+  /// section runs over the same step indices.
+  [[nodiscard]] ReplayResult run(const AppTrace& trace) const;
+
+ private:
+  core::TestbedConfig config_;
+};
+
+}  // namespace greenvis::replay

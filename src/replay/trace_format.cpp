@@ -1,0 +1,302 @@
+#include "src/replay/trace_format.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace greenvis::replay {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') {
+      break;
+    }
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+           line[j] != '#') {
+      ++j;
+    }
+    tokens.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+double parse_double(std::size_t line_no, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw TraceParseError(line_no, "bad number '" + text + "'");
+  }
+}
+
+/// key=value arguments after the label.
+std::map<std::string, std::string> parse_args(
+    std::size_t line_no, const std::vector<std::string>& tokens,
+    std::size_t first) {
+  std::map<std::string, std::string> args;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tokens[i].size()) {
+      throw TraceParseError(line_no,
+                            "expected key=value, got '" + tokens[i] + "'");
+    }
+    args[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return args;
+}
+
+void reject_unknown_keys(std::size_t line_no,
+                         const std::map<std::string, std::string>& args,
+                         std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : args) {
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw TraceParseError(line_no, "unknown argument '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+AppTrace parse_trace(std::string_view text) {
+  AppTrace trace;
+  std::vector<TraceRecord>* section = &trace.simulate;
+  bool saw_name = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& head = tokens[0];
+
+    if (head == "trace") {
+      if (tokens.size() != 2) {
+        throw TraceParseError(line_no, "usage: trace <name>");
+      }
+      trace.name = tokens[1];
+      saw_name = true;
+    } else if (head == "repeat") {
+      if (tokens.size() != 2) {
+        throw TraceParseError(line_no, "usage: repeat <iterations>");
+      }
+      trace.repeat = static_cast<int>(parse_double(line_no, tokens[1]));
+      if (trace.repeat < 1) {
+        throw TraceParseError(line_no, "repeat must be >= 1");
+      }
+    } else if (head == "section") {
+      if (tokens.size() != 2 ||
+          (tokens[1] != "simulate" && tokens[1] != "postprocess")) {
+        throw TraceParseError(line_no,
+                              "usage: section simulate|postprocess");
+      }
+      section = tokens[1] == "simulate" ? &trace.simulate
+                                        : &trace.postprocess;
+    } else if (head == "compute" || head == "write" || head == "read") {
+      if (tokens.size() < 2) {
+        throw TraceParseError(line_no, head + " needs a label");
+      }
+      TraceRecord rec;
+      rec.label = tokens[1];
+      const auto args = parse_args(line_no, tokens, 2);
+      auto get = [&](const char* key) -> const std::string* {
+        auto it = args.find(key);
+        return it == args.end() ? nullptr : &it->second;
+      };
+      if (const auto* v = get("every")) {
+        rec.every = static_cast<int>(parse_double(line_no, *v));
+        if (rec.every < 1) {
+          throw TraceParseError(line_no, "every must be >= 1");
+        }
+      }
+      if (head == "compute") {
+        rec.kind = RecordKind::kCompute;
+        reject_unknown_keys(line_no, args,
+                            {"phase", "flops", "cores", "util", "dram",
+                             "every"});
+        const auto* flops = get("flops");
+        if (flops == nullptr) {
+          throw TraceParseError(line_no, "compute needs flops=");
+        }
+        rec.flops = parse_double(line_no, *flops);
+        if (const auto* v = get("phase")) {
+          rec.phase = *v;
+        }
+        if (const auto* v = get("cores")) {
+          rec.cores = static_cast<std::size_t>(parse_double(line_no, *v));
+        }
+        if (const auto* v = get("util")) {
+          rec.utilization = parse_double(line_no, *v);
+        }
+        if (const auto* v = get("dram")) {
+          rec.dram_bytes =
+              static_cast<std::uint64_t>(parse_double(line_no, *v));
+        }
+      } else if (head == "write") {
+        rec.kind = RecordKind::kWrite;
+        reject_unknown_keys(line_no, args, {"bytes", "every", "mode"});
+        const auto* bytes = get("bytes");
+        if (bytes == nullptr) {
+          throw TraceParseError(line_no, "write needs bytes=");
+        }
+        rec.bytes = static_cast<std::uint64_t>(parse_double(line_no, *bytes));
+        if (rec.bytes == 0) {
+          throw TraceParseError(line_no, "write bytes must be > 0");
+        }
+        if (const auto* v = get("mode")) {
+          if (*v == "sync") {
+            rec.mode = storage::WriteMode::kSync;
+          } else if (*v == "buffered") {
+            rec.mode = storage::WriteMode::kBuffered;
+          } else {
+            throw TraceParseError(line_no, "mode must be sync|buffered");
+          }
+        }
+      } else {
+        rec.kind = RecordKind::kRead;
+        reject_unknown_keys(line_no, args, {"every"});
+      }
+      section->push_back(std::move(rec));
+    } else {
+      throw TraceParseError(line_no, "unknown directive '" + head + "'");
+    }
+  }
+
+  if (!saw_name) {
+    throw TraceParseError(1, "missing 'trace <name>' header");
+  }
+  // Every read must reference a write in the simulate section.
+  for (const auto& rec : trace.postprocess) {
+    if (rec.kind != RecordKind::kRead) {
+      continue;
+    }
+    bool found = false;
+    for (const auto& w : trace.simulate) {
+      if (w.kind == RecordKind::kWrite && w.label == rec.label) {
+        found = true;
+        break;
+      }
+    }
+    GREENVIS_REQUIRE_MSG(found, "read '" + rec.label +
+                                    "' has no matching write record");
+  }
+  return trace;
+}
+
+std::string format_trace(const AppTrace& trace) {
+  std::ostringstream os;
+  os << "trace " << trace.name << "\n";
+  os << "repeat " << trace.repeat << "\n";
+  auto emit = [&](const std::vector<TraceRecord>& records) {
+    for (const auto& r : records) {
+      switch (r.kind) {
+        case RecordKind::kCompute:
+          os << "compute " << r.label << " phase=" << r.phase
+             << " flops=" << r.flops << " cores=" << r.cores
+             << " util=" << r.utilization << " dram=" << r.dram_bytes
+             << " every=" << r.every << "\n";
+          break;
+        case RecordKind::kWrite:
+          os << "write " << r.label << " bytes=" << r.bytes
+             << " every=" << r.every << " mode="
+             << (r.mode == storage::WriteMode::kSync ? "sync" : "buffered")
+             << "\n";
+          break;
+        case RecordKind::kRead:
+          os << "read " << r.label << " every=" << r.every << "\n";
+          break;
+      }
+    }
+  };
+  os << "section simulate\n";
+  emit(trace.simulate);
+  if (!trace.postprocess.empty()) {
+    os << "section postprocess\n";
+    emit(trace.postprocess);
+  }
+  return os.str();
+}
+
+std::string mpas_like_trace() {
+  // MPAS-Ocean-like: dominant dynamics solve, lighter thermodynamics, a
+  // 16 MiB history file every other step plus a 4 MiB analysis record each
+  // step; post-hoc the history is read back and rendered.
+  return R"(trace MPAS-Ocean-like
+repeat 20
+section simulate
+compute dynamics phase=Simulation flops=2.4e10 cores=16 util=1.0 dram=6e9
+compute thermodynamics phase=Simulation flops=8e9 cores=16 util=0.9 dram=2e9
+write history bytes=16777216 every=2 mode=buffered
+write analysis bytes=4194304 every=1 mode=sync
+section postprocess
+read history every=2
+compute render phase=Visualization flops=9.4e8 cores=16 util=0.35 every=2
+)";
+}
+
+std::string xrage_like_trace() {
+  // xRAGE-like: AMR hydro step plus remesh, frequent sync restart dumps
+  // (crash protection), occasional graphics dumps read back post-hoc.
+  return R"(trace xRAGE-like
+repeat 24
+section simulate
+compute hydro phase=Simulation flops=1.8e10 cores=16 util=1.0 dram=8e9
+compute remesh phase=Simulation flops=4e9 cores=16 util=0.7 dram=3e9
+write restart bytes=33554432 every=4 mode=sync
+write graphics bytes=2097152 every=2 mode=buffered
+section postprocess
+read graphics every=2
+compute render phase=Visualization flops=9.4e8 cores=16 util=0.35 every=2
+)";
+}
+
+AppTrace to_in_situ(const AppTrace& trace, double render_flops) {
+  AppTrace out;
+  out.name = trace.name + " (in-situ)";
+  out.repeat = trace.repeat;
+  for (const auto& rec : trace.simulate) {
+    if (rec.kind == RecordKind::kWrite) {
+      TraceRecord render;
+      render.kind = RecordKind::kCompute;
+      render.label = rec.label + "_insitu_render";
+      render.phase = "Visualization";
+      render.flops = render_flops;
+      render.cores = 16;
+      render.utilization = 0.35;
+      render.every = rec.every;
+      out.simulate.push_back(std::move(render));
+    } else {
+      out.simulate.push_back(rec);
+    }
+  }
+  return out;
+}
+
+}  // namespace greenvis::replay

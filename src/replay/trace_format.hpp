@@ -1,0 +1,92 @@
+// Application trace format.
+//
+// The paper's future work wants "evaluation of real-world applications such
+// as MPAS [32] and xRAGE [33]". Those codes (and their input decks) are not
+// available here, so the replay module substitutes *workload traces*: a
+// small text format describing an application's per-step phase structure —
+// compute bursts, durable writes, post-hoc reads — which the replay engine
+// drives through the same instrumented testbed as the proxy app. Two
+// built-in traces model the public characteristics of MPAS-Ocean (heavy
+// dynamics, periodic large history writes) and xRAGE (AMR hydro, frequent
+// restart dumps).
+//
+// Grammar (line oriented, '#' comments):
+//
+//   trace <name>
+//   repeat <iterations>
+//   section simulate|postprocess
+//   compute <label> phase=<Simulation|Visualization> flops=<f>
+//           [cores=<n>] [util=<f>] [dram=<bytes>] [every=<k>]
+//   write   <label> bytes=<n> [every=<k>] [mode=sync|buffered]
+//   read    <label> [every=<k>]
+//
+// `every=k` limits a record to steps where step % k == 0 (default 1).
+// `read <label>` re-reads what `write <label>` persisted for that step.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/storage/filesystem.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::replay {
+
+enum class RecordKind { kCompute, kWrite, kRead };
+
+struct TraceRecord {
+  RecordKind kind{RecordKind::kCompute};
+  std::string label;
+  /// Phase name charged in the timeline ("Simulation", "Visualization",
+  /// "Analysis", ...). Compute records only.
+  std::string phase{"Simulation"};
+  double flops{0.0};
+  std::size_t cores{16};
+  double utilization{1.0};
+  std::uint64_t dram_bytes{0};
+  std::uint64_t bytes{0};
+  int every{1};
+  storage::WriteMode mode{storage::WriteMode::kSync};
+
+  [[nodiscard]] bool active_on(int step) const { return step % every == 0; }
+};
+
+struct AppTrace {
+  std::string name;
+  int repeat{1};
+  std::vector<TraceRecord> simulate;
+  std::vector<TraceRecord> postprocess;
+};
+
+/// Parse error with 1-based line number context.
+class TraceParseError : public util::ContractViolation {
+ public:
+  TraceParseError(std::size_t line, const std::string& message)
+      : util::ContractViolation("trace line " + std::to_string(line) + ": " +
+                                message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+[[nodiscard]] AppTrace parse_trace(std::string_view text);
+
+/// Serialize back to the text format (round-trip tested).
+[[nodiscard]] std::string format_trace(const AppTrace& trace);
+
+/// Built-in application models. Each comes in a post-processing flavour
+/// (writes + post-hoc read/render) — pass the result through
+/// `to_in_situ()` for the in-situ counterpart.
+[[nodiscard]] std::string mpas_like_trace();
+[[nodiscard]] std::string xrage_like_trace();
+
+/// Transform a post-processing trace into its in-situ equivalent: every
+/// write record becomes an in-line render of the same step (charged at the
+/// given flops), and the post-processing section disappears.
+[[nodiscard]] AppTrace to_in_situ(const AppTrace& trace,
+                                  double render_flops = 512.0 * 512.0 * 3600.0);
+
+}  // namespace greenvis::replay

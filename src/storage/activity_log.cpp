@@ -1,0 +1,68 @@
+#include "src/storage/activity_log.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::storage {
+
+const char* disk_phase_name(DiskPhase phase) {
+  switch (phase) {
+    case DiskPhase::kSeek:
+      return "seek";
+    case DiskPhase::kRotate:
+      return "rotate";
+    case DiskPhase::kReadTransfer:
+      return "read";
+    case DiskPhase::kWriteTransfer:
+      return "write";
+    case DiskPhase::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+void DiskActivityLog::record(DiskPhase phase, Seconds begin, Seconds end) {
+  GREENVIS_REQUIRE(end >= begin);
+  if (end == begin) {
+    return;  // zero-length phases carry no duty
+  }
+  if (!segments_.empty()) {
+    GREENVIS_REQUIRE_MSG(begin >= segments_.back().begin,
+                         "segments must be appended in time order");
+  }
+  segments_.push_back(DiskSegment{begin, end, phase});
+  totals_.busy[static_cast<std::size_t>(phase)] += end - begin;
+}
+
+PhaseDurations DiskActivityLog::duty_in(Seconds t0, Seconds t1) const {
+  GREENVIS_REQUIRE(t1 >= t0);
+  PhaseDurations out;
+  if (segments_.empty() || t1 == t0) {
+    return out;
+  }
+  // First segment that could overlap: begin ordered, so binary search on
+  // begin and walk forward; segments are short (one mechanical phase), so we
+  // also step back while predecessors still span t0.
+  auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), t0,
+      [](const DiskSegment& s, Seconds t) { return s.begin < t; });
+  while (it != segments_.begin() && std::prev(it)->end > t0) {
+    --it;
+  }
+  for (; it != segments_.end() && it->begin < t1; ++it) {
+    const Seconds lo = std::max(it->begin, t0);
+    const Seconds hi = std::min(it->end, t1);
+    if (hi > lo) {
+      out.busy[static_cast<std::size_t>(it->phase)] += hi - lo;
+    }
+  }
+  return out;
+}
+
+void DiskActivityLog::clear() {
+  segments_.clear();
+  totals_ = PhaseDurations{};
+}
+
+}  // namespace greenvis::storage

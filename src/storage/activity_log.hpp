@@ -1,0 +1,75 @@
+// Disk activity log.
+//
+// Block devices record what their mechanics were doing (seeking, waiting on
+// rotation, transferring, flushing) as labeled intervals of virtual time.
+// The power model turns per-phase duty cycles into the disk's dynamic power,
+// which is how the paper derives Table III's "disk dynamic power" column.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace greenvis::storage {
+
+using util::Seconds;
+
+enum class DiskPhase : std::size_t {
+  kSeek = 0,
+  kRotate = 1,
+  kReadTransfer = 2,
+  kWriteTransfer = 3,
+  kFlush = 4,
+};
+inline constexpr std::size_t kDiskPhaseCount = 5;
+
+[[nodiscard]] const char* disk_phase_name(DiskPhase phase);
+
+struct DiskSegment {
+  Seconds begin{0.0};
+  Seconds end{0.0};
+  DiskPhase phase{DiskPhase::kSeek};
+};
+
+/// Per-phase busy time within a window.
+struct PhaseDurations {
+  std::array<Seconds, kDiskPhaseCount> busy{};
+
+  [[nodiscard]] Seconds of(DiskPhase phase) const {
+    return busy[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] Seconds total() const {
+    Seconds sum{0.0};
+    for (Seconds s : busy) {
+      sum += s;
+    }
+    return sum;
+  }
+};
+
+class DiskActivityLog {
+ public:
+  /// Record a busy interval; intervals must be appended in non-decreasing
+  /// begin order (devices service requests serially).
+  void record(DiskPhase phase, Seconds begin, Seconds end);
+
+  [[nodiscard]] const std::vector<DiskSegment>& segments() const {
+    return segments_;
+  }
+
+  /// Busy time per phase overlapping [t0, t1).
+  [[nodiscard]] PhaseDurations duty_in(Seconds t0, Seconds t1) const;
+
+  /// Busy time per phase over the whole log.
+  [[nodiscard]] PhaseDurations totals() const { return totals_; }
+
+  void clear();
+
+ private:
+  std::vector<DiskSegment> segments_;
+  PhaseDurations totals_;
+};
+
+}  // namespace greenvis::storage

@@ -1,0 +1,14 @@
+#include "src/storage/block_device.hpp"
+
+namespace greenvis::storage {
+
+Seconds BlockDevice::service_batch(std::span<const IoRequest> requests,
+                                   Seconds start) {
+  Seconds t = start;
+  for (const IoRequest& r : requests) {
+    t = service(r, t);
+  }
+  return t;
+}
+
+}  // namespace greenvis::storage

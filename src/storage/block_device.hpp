@@ -1,0 +1,51 @@
+// Abstract block device.
+//
+// Devices model *timing and power activity only*; payload bytes live in the
+// filesystem layer. A device services requests serially starting at a given
+// virtual time and reports how long each took, recording its mechanical
+// phases into a DiskActivityLog along the way.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "src/storage/activity_log.hpp"
+#include "src/storage/request.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::storage {
+
+using util::Bytes;
+using util::Seconds;
+
+struct DeviceCounters {
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+  Bytes bytes_read{0};
+  Bytes bytes_written{0};
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Service one request starting at `start`; returns its completion time
+  /// (>= start). The device's head/cache state advances.
+  virtual Seconds service(const IoRequest& request, Seconds start) = 0;
+
+  /// Service a batch that the host submitted together (queue-depth > 1).
+  /// Devices with command queueing may reorder internally; the default
+  /// implementation services in submission order.
+  virtual Seconds service_batch(std::span<const IoRequest> requests,
+                                Seconds start);
+
+  /// Drain any volatile write cache (write barrier); returns completion time.
+  virtual Seconds flush(Seconds start) = 0;
+
+  [[nodiscard]] virtual Bytes capacity() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual const DiskActivityLog& activity() const = 0;
+  [[nodiscard]] virtual const DeviceCounters& counters() const = 0;
+};
+
+}  // namespace greenvis::storage

@@ -1,0 +1,58 @@
+#include "src/storage/fault.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::storage {
+
+FaultyDisk::FaultyDisk(BlockDevice& inner, const FaultConfig& config)
+    : inner_(&inner),
+      config_(config),
+      name_(std::string(inner.name()) + " (degraded)"),
+      rng_(config.seed) {
+  GREENVIS_REQUIRE(config_.retry_probability >= 0.0 &&
+                   config_.retry_probability <= 1.0);
+}
+
+bool FaultyDisk::touches_bad_range(const IoRequest& request) const {
+  for (const auto& bad : config_.bad_ranges) {
+    const std::uint64_t req_end = request.offset + request.length;
+    const std::uint64_t bad_end = bad.offset + bad.length;
+    if (request.offset < bad_end && bad.offset < req_end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Seconds FaultyDisk::service(const IoRequest& request, Seconds start) {
+  // Writes to a pending (remappable) sector succeed; only reads of the
+  // listed ranges fail hard, as with real media defects.
+  const bool hard_fail =
+      request.kind == IoKind::kRead && touches_bad_range(request);
+
+  std::size_t attempts = 1;
+  if (hard_fail) {
+    attempts = 1 + config_.retries;  // the drive tries before giving up
+  } else if (config_.retry_probability > 0.0 &&
+             rng_.uniform() < config_.retry_probability) {
+    attempts = 1 + config_.retries;
+    retries_ += config_.retries;
+  }
+
+  Seconds t = start;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    // A retry is a genuine re-issue: the head is already on track, so the
+    // wrapped device charges a full rotation waiting for the sector.
+    t = inner_->service(request, t);
+  }
+  if (hard_fail) {
+    ++hard_errors_;
+    throw DeviceError("unrecoverable read at offset " +
+                      std::to_string(request.offset));
+  }
+  return t;
+}
+
+Seconds FaultyDisk::flush(Seconds start) { return inner_->flush(start); }
+
+}  // namespace greenvis::storage

@@ -1,0 +1,66 @@
+#include "src/storage/layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::storage::layout {
+
+ReorganizeReport Reorganizer::reorganize(const std::string& name) {
+  Filesystem& fs = *fs_;
+  GREENVIS_REQUIRE(fs.exists(name));
+
+  ReorganizeReport report;
+  report.fragmentation_before = fs.fragmentation(name);
+  const Seconds start = fs.clock().now();
+  const std::uint64_t size = fs.file_size(name).value();
+  const std::uint64_t bs = fs.params().block_size.value();
+
+  // Read every block once, scheduled in *physical* order (one elevator sweep
+  // over the platter — the essence of software-directed access scheduling).
+  const auto extents = fs.extents(name);
+  struct Piece {
+    std::uint64_t device_offset;
+    std::uint64_t logical_offset;
+    std::uint64_t length;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t logical = 0;
+  for (const Extent& e : extents) {
+    pieces.push_back(Piece{e.device_offset, logical, e.length});
+    logical += e.length;
+  }
+  std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+    return a.device_offset < b.device_offset;
+  });
+
+  const Filesystem::Fd fd = fs.open(name);
+  for (const Piece& p : pieces) {
+    for (std::uint64_t off = 0; off < p.length; off += bs) {
+      const std::uint64_t lo = p.logical_offset + off;
+      if (lo >= size) {
+        break;
+      }
+      const std::uint64_t n = std::min<std::uint64_t>(bs, size - lo);
+      fs.pread_timed(fd, lo, n, ReadMode::kDirect);
+    }
+  }
+
+  // Re-home onto contiguous blocks and stream the payload back out in one
+  // sequential pass.
+  fs.rehome_contiguous(name);
+  const std::uint64_t chunk = util::mebibytes(1).value();
+  for (std::uint64_t off = 0; off < size; off += chunk) {
+    fs.mark_dirty(name, off, std::min<std::uint64_t>(chunk, size - off));
+  }
+  fs.fsync(fd);
+  fs.close(fd);
+
+  report.duration = fs.clock().now() - start;
+  report.fragmentation_after = fs.fragmentation(name);
+  report.bytes_moved = util::Bytes{2 * size};  // read once + write once
+  return report;
+}
+
+}  // namespace greenvis::storage::layout

@@ -1,0 +1,40 @@
+// Software-directed data reorganization.
+//
+// Sec. V-D of the paper argues that instead of abandoning post-processing,
+// one can apply data-rearrangement techniques (refs [30], [31]: Zhang et
+// al., Son & Kandemir) so that reads which *would* have been random become
+// sequential, recovering almost all of in-situ's energy advantage while
+// keeping exploratory analysis. The Reorganizer models that transformation:
+// it streams a fragmented file into a contiguous layout, charging the full
+// I/O cost of the move through the normal filesystem machinery.
+#pragma once
+
+#include <string>
+
+#include "src/storage/filesystem.hpp"
+
+namespace greenvis::storage::layout {
+
+struct ReorganizeReport {
+  /// Virtual time the reorganization itself took.
+  Seconds duration{0.0};
+  /// Fragmentation before/after (see Filesystem::fragmentation).
+  double fragmentation_before{0.0};
+  double fragmentation_after{0.0};
+  util::Bytes bytes_moved{0};
+};
+
+class Reorganizer {
+ public:
+  explicit Reorganizer(Filesystem& fs) : fs_(&fs) {}
+
+  /// Rewrite `name` into a contiguous layout: cold-read the fragmented
+  /// blocks (in physical elevator order, as the cited schemes schedule disk
+  /// accesses), buffer them, stream them back out sequentially, sync.
+  ReorganizeReport reorganize(const std::string& name);
+
+ private:
+  Filesystem* fs_;
+};
+
+}  // namespace greenvis::storage::layout

@@ -1,0 +1,18 @@
+// Block-level I/O requests.
+#pragma once
+
+#include <cstdint>
+
+namespace greenvis::storage {
+
+enum class IoKind { kRead, kWrite };
+
+/// One request against a block device. Offsets/lengths are bytes from the
+/// start of the device (logical block addressing).
+struct IoRequest {
+  IoKind kind{IoKind::kRead};
+  std::uint64_t offset{0};
+  std::uint32_t length{0};
+};
+
+}  // namespace greenvis::storage

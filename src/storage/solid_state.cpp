@@ -1,0 +1,54 @@
+#include "src/storage/solid_state.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::storage {
+
+SolidStateParams sata_ssd_params() { return SolidStateParams{}; }
+
+SolidStateParams nvram_params() {
+  SolidStateParams p;
+  p.name = "NVRAM";
+  p.capacity = util::gibibytes(128);
+  p.read_latency = util::microseconds(1.0);
+  p.write_latency = util::microseconds(2.0);
+  p.read_rate = util::mebibytes_per_second(6000.0);
+  p.write_rate = util::mebibytes_per_second(2500.0);
+  return p;
+}
+
+SolidStateModel::SolidStateModel(const SolidStateParams& params)
+    : params_(params) {
+  GREENVIS_REQUIRE(params_.capacity.value() > 0);
+  GREENVIS_REQUIRE(params_.read_rate.value() > 0.0);
+  GREENVIS_REQUIRE(params_.write_rate.value() > 0.0);
+}
+
+Seconds SolidStateModel::service(const IoRequest& request, Seconds start) {
+  GREENVIS_REQUIRE_MSG(
+      request.offset + request.length <= params_.capacity.value(),
+      "request beyond device capacity");
+  const bool is_read = request.kind == IoKind::kRead;
+  const Seconds latency = is_read ? params_.read_latency : params_.write_latency;
+  const Seconds xfer =
+      util::transfer_time(util::Bytes{request.length},
+                          is_read ? params_.read_rate : params_.write_rate);
+  const Seconds busy = latency + xfer;
+  log_.record(is_read ? DiskPhase::kReadTransfer : DiskPhase::kWriteTransfer,
+              start, start + busy);
+  if (is_read) {
+    ++counters_.reads;
+    counters_.bytes_read += util::Bytes{request.length};
+  } else {
+    ++counters_.writes;
+    counters_.bytes_written += util::Bytes{request.length};
+  }
+  return start + busy;
+}
+
+Seconds SolidStateModel::flush(Seconds start) {
+  // No volatile cache in the model: writes are durable on completion.
+  return start;
+}
+
+}  // namespace greenvis::storage

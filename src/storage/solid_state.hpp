@@ -1,0 +1,55 @@
+// Solid-state device models (SSD and NVRAM).
+//
+// The paper's future-work list includes "evaluation on systems using ...
+// solid-state drives and other flash-based devices such as NVRAM". These
+// models support the storage-device ablation bench: fixed per-request access
+// latency plus bandwidth-limited transfer, no mechanical phases. Activity is
+// logged as transfer time only (flash has no seek/rotate), which the disk
+// power model prices with device-specific active-power constants.
+#pragma once
+
+#include <string>
+
+#include "src/storage/block_device.hpp"
+
+namespace greenvis::storage {
+
+struct SolidStateParams {
+  std::string name{"Generic SSD"};
+  util::Bytes capacity{util::gibibytes(500)};
+  /// Fixed access latency per request (controller + flash page access).
+  Seconds read_latency{util::microseconds(90.0)};
+  Seconds write_latency{util::microseconds(60.0)};
+  util::BytesPerSecond read_rate{util::mebibytes_per_second(500.0)};
+  util::BytesPerSecond write_rate{util::mebibytes_per_second(450.0)};
+};
+
+/// SATA-era consumer SSD.
+[[nodiscard]] SolidStateParams sata_ssd_params();
+/// Byte-addressable NVRAM on the memory bus (as in the Gamell et al. deep
+/// memory hierarchy study the paper cites).
+[[nodiscard]] SolidStateParams nvram_params();
+
+class SolidStateModel final : public BlockDevice {
+ public:
+  explicit SolidStateModel(const SolidStateParams& params);
+
+  Seconds service(const IoRequest& request, Seconds start) override;
+  Seconds flush(Seconds start) override;
+
+  [[nodiscard]] Bytes capacity() const override { return params_.capacity; }
+  [[nodiscard]] std::string_view name() const override { return params_.name; }
+  [[nodiscard]] const DiskActivityLog& activity() const override {
+    return log_;
+  }
+  [[nodiscard]] const DeviceCounters& counters() const override {
+    return counters_;
+  }
+
+ private:
+  SolidStateParams params_;
+  DiskActivityLog log_;
+  DeviceCounters counters_;
+};
+
+}  // namespace greenvis::storage

@@ -1,0 +1,82 @@
+#include "src/util/args.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv, int first) {
+  GREENVIS_REQUIRE(first >= 0);
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      GREENVIS_REQUIRE_MSG(token.size() > 2, "empty option name '--'");
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[key] = argv[++i];
+      } else {
+        options_[key] = "";
+      }
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+void ArgParser::allow_only(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : options_) {
+    bool ok = false;
+    for (const auto& a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    GREENVIS_REQUIRE_MSG(ok, "unknown option --" + key);
+  }
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::get(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    GREENVIS_REQUIRE(used == it->second.size());
+    return v;
+  } catch (const std::exception&) {
+    throw ContractViolation("option --" + key + " expects a number, got '" +
+                            it->second + "'");
+  }
+}
+
+long long ArgParser::get(const std::string& key, long long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(it->second, &used);
+    GREENVIS_REQUIRE(used == it->second.size());
+    return v;
+  } catch (const std::exception&) {
+    throw ContractViolation("option --" + key + " expects an integer, got '" +
+                            it->second + "'");
+  }
+}
+
+std::string ArgParser::require(const std::string& key) const {
+  const auto it = options_.find(key);
+  GREENVIS_REQUIRE_MSG(it != options_.end(), "missing required --" + key);
+  return it->second;
+}
+
+}  // namespace greenvis::util

@@ -1,0 +1,48 @@
+// Command-line argument parsing for the CLI and example binaries.
+//
+// Supports `--key value`, bare `--flag`, and positional arguments. Typed
+// getters with defaults; optional strict mode rejects unknown options so
+// typos fail loudly instead of silently using defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace greenvis::util {
+
+class ArgParser {
+ public:
+  /// Parse argv[first..argc). A token starting with "--" is an option; it
+  /// consumes the next token as its value unless that token is itself an
+  /// option (then it is a flag). Everything else is positional.
+  ArgParser(int argc, const char* const* argv, int first = 1);
+
+  /// Restrict options to `allowed`; any other --option throws
+  /// ContractViolation. Call right after construction.
+  void allow_only(const std::vector<std::string>& allowed) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.contains(key);
+  }
+
+  /// Typed getters; return `fallback` when absent. Malformed numbers throw.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get(const std::string& key,
+                              long long fallback) const;
+
+  /// Value of a required option; throws when missing.
+  [[nodiscard]] std::string require(const std::string& key) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace greenvis::util

@@ -1,0 +1,22 @@
+// FNV-1a 64-bit checksum — used by the dataset layer to verify that what the
+// post-processing pipeline reads back is bit-identical to what the
+// simulation wrote.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace greenvis::util {
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> data,
+    std::uint64_t seed = 0xCBF29CE484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace greenvis::util

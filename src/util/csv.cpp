@@ -1,0 +1,74 @@
+#include "src/util/csv.hpp"
+
+#include <cstdio>
+
+namespace greenvis::util {
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  for (std::string_view f : fields) {
+    field(f);
+  }
+  end_row();
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const std::string& f : fields) {
+    field(f);
+  }
+  end_row();
+}
+
+void CsvWriter::write_separator() {
+  if (!at_row_start_) {
+    *out_ << ',';
+  }
+  at_row_start_ = false;
+}
+
+void CsvWriter::field(std::string_view text) {
+  write_separator();
+  *out_ << escape(text);
+}
+
+void CsvWriter::field(double value) {
+  write_separator();
+  *out_ << format_fixed(value, 6);
+}
+
+void CsvWriter::field(long long value) {
+  write_separator();
+  *out_ << value;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  at_row_start_ = true;
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string{field};
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string{buf};
+}
+
+}  // namespace greenvis::util

@@ -1,0 +1,46 @@
+// Minimal CSV writer for exporting power traces and experiment results.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenvis::util {
+
+/// Streams rows to an std::ostream, quoting fields only when required.
+/// The writer owns no buffer: benches hand it a std::ofstream or
+/// std::ostringstream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write a header or data row from strings.
+  void row(std::initializer_list<std::string_view> fields);
+  void row(const std::vector<std::string>& fields);
+
+  /// Incremental interface: field()...end_row().
+  void field(std::string_view text);
+  void field(double value);
+  void field(long long value);
+  void end_row();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// RFC-4180 quoting: wrap in quotes when the field contains a comma, quote,
+  /// or newline; double embedded quotes.
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  void write_separator();
+  std::ostream* out_;
+  bool at_row_start_{true};
+  std::size_t rows_{0};
+};
+
+/// Format a double with fixed precision — CSV exports of power samples use a
+/// stable textual form so traces diff cleanly between runs.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace greenvis::util

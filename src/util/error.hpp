@@ -1,0 +1,55 @@
+// Assertion and contract macros (Core Guidelines I.6 / E.12 style).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace greenvis::util {
+
+/// Thrown when a GREENVIS_REQUIRE/ENSURE contract is violated. Using an
+/// exception rather than abort() keeps the simulators testable: gtest can
+/// assert that invalid configurations are rejected.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& msg) : std::logic_error(msg) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& detail) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace greenvis::util
+
+/// Precondition check; always on (cost is negligible next to simulation work).
+#define GREENVIS_REQUIRE(expr)                                                \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::greenvis::util::contract_fail("precondition", #expr, __FILE__,        \
+                                      __LINE__, "");                          \
+    }                                                                         \
+  } while (false)
+
+#define GREENVIS_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::greenvis::util::contract_fail("precondition", #expr, __FILE__,        \
+                                      __LINE__, (msg));                       \
+    }                                                                         \
+  } while (false)
+
+/// Postcondition / internal invariant check.
+#define GREENVIS_ENSURE(expr)                                                 \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::greenvis::util::contract_fail("invariant", #expr, __FILE__, __LINE__, \
+                                      "");                                    \
+    }                                                                         \
+  } while (false)

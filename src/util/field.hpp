@@ -1,0 +1,59 @@
+// Dense row-major 2-D scalar field — the common currency between the heat
+// solver (which produces temperature fields) and the visualization pipeline
+// (which consumes them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+class Field2D {
+ public:
+  Field2D() = default;
+  Field2D(std::size_t nx, std::size_t ny, double fill = 0.0)
+      : nx_(nx), ny_(ny), data_(nx * ny, fill) {
+    GREENVIS_REQUIRE(nx > 0 && ny > 0);
+  }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t i, std::size_t j) {
+    return data_[j * nx_ + i];
+  }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return data_[j * nx_ + i];
+  }
+
+  [[nodiscard]] std::span<double> values() { return data_; }
+  [[nodiscard]] std::span<const double> values() const { return data_; }
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double sum() const;
+
+  /// Size of the serialized form (16-byte dims header + doubles).
+  [[nodiscard]] std::size_t serialized_bytes() const {
+    return 16 + data_.size() * sizeof(double);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Field2D deserialize(std::span<const std::uint8_t> raw);
+
+  friend bool operator==(const Field2D& a, const Field2D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t nx_{0};
+  std::size_t ny_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace greenvis::util

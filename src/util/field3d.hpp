@@ -1,0 +1,63 @@
+// Dense row-major 3-D scalar field (x fastest, then y, then z).
+//
+// The paper's reference workloads (volume rendering studies [7][8][27][29])
+// operate on 3-D data; the 3-D solver and the volume renderer exchange
+// these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+class Field3D {
+ public:
+  Field3D() = default;
+  Field3D(std::size_t nx, std::size_t ny, std::size_t nz, double fill = 0.0)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {
+    GREENVIS_REQUIRE(nx > 0 && ny > 0 && nz > 0);
+  }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(k * ny_ + j) * nx_ + i];
+  }
+  [[nodiscard]] double at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(k * ny_ + j) * nx_ + i];
+  }
+
+  [[nodiscard]] std::span<double> values() { return data_; }
+  [[nodiscard]] std::span<const double> values() const { return data_; }
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double sum() const;
+
+  [[nodiscard]] std::size_t serialized_bytes() const {
+    return 24 + data_.size() * sizeof(double);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Field3D deserialize(std::span<const std::uint8_t> raw);
+
+  friend bool operator==(const Field3D& a, const Field3D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.nz_ == b.nz_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t nx_{0};
+  std::size_t ny_{0};
+  std::size_t nz_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace greenvis::util

@@ -1,0 +1,81 @@
+#include "src/util/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  GREENVIS_REQUIRE(a.cols() == n);
+  GREENVIS_REQUIRE(b.size() == n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) {
+        pivot = r;
+      }
+    }
+    GREENVIS_REQUIRE_MSG(std::abs(a.at(pivot, col)) > 1e-12,
+                         "singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      sum -= a.at(i, c) * x[c];
+    }
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(
+    const std::vector<std::vector<double>>& features,
+    std::span<const double> targets, double ridge) {
+  GREENVIS_REQUIRE(!features.empty());
+  GREENVIS_REQUIRE(features.size() == targets.size());
+  const std::size_t k = features.front().size();
+  GREENVIS_REQUIRE(k >= 1);
+
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t row = 0; row < features.size(); ++row) {
+    const auto& f = features[row];
+    GREENVIS_REQUIRE_MSG(f.size() == k, "ragged feature rows");
+    for (std::size_t i = 0; i < k; ++i) {
+      xty[i] += f[i] * targets[row];
+      for (std::size_t j = 0; j < k; ++j) {
+        xtx.at(i, j) += f[i] * f[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    xtx.at(i, i) += ridge;
+  }
+  return solve_linear_system(std::move(xtx), std::move(xty));
+}
+
+}  // namespace greenvis::util

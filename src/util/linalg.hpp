@@ -1,0 +1,47 @@
+// Small dense linear algebra: just enough for least-squares fits of the
+// power models (normal equations on a handful of unknowns).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace greenvis::util {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting. A is n-by-n.
+/// Throws ContractViolation on a (numerically) singular system.
+[[nodiscard]] std::vector<double> solve_linear_system(Matrix a,
+                                                      std::vector<double> b);
+
+/// Ordinary least squares: minimize ||X beta - y||_2 over beta, where each
+/// row of `features` is one observation. Solved via the normal equations
+/// (fine for the well-conditioned handful-of-parameters fits we do). A tiny
+/// ridge term stabilizes collinear columns (e.g., a phase that never
+/// occurred in the training window).
+[[nodiscard]] std::vector<double> least_squares(
+    const std::vector<std::vector<double>>& features,
+    std::span<const double> targets, double ridge = 1e-9);
+
+}  // namespace greenvis::util

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// Experiments are long batch runs; the logger gives the bench/example binaries
+// a uniform way to narrate progress without pulling in a dependency. Output is
+// line-buffered to stderr so it interleaves sanely with table output on
+// stdout.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace greenvis::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Default: kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line: "[LEVEL] message".
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogStream log_debug() {
+  return detail::LogStream{LogLevel::kDebug};
+}
+[[nodiscard]] inline detail::LogStream log_info() {
+  return detail::LogStream{LogLevel::kInfo};
+}
+[[nodiscard]] inline detail::LogStream log_warn() {
+  return detail::LogStream{LogLevel::kWarn};
+}
+[[nodiscard]] inline detail::LogStream log_error() {
+  return detail::LogStream{LogLevel::kError};
+}
+
+}  // namespace greenvis::util

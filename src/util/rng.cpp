@@ -1,0 +1,19 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+
+namespace greenvis::util {
+
+double Xoshiro256::normal() {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace greenvis::util

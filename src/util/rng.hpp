@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulators (measurement noise on the power
+// meters, seek-distance jitter, thermal perturbations in the heat source)
+// draws from an explicitly seeded xoshiro256** stream so that experiments are
+// bit-reproducible across hosts and runs.
+#pragma once
+
+#include <cstdint>
+
+namespace greenvis::util {
+
+/// SplitMix64 — used only to expand a single seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and good enough for
+/// simulation noise; not for cryptography.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64_next(sm);
+    }
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire-style rejection is overkill for simulation noise; modulo bias on
+    // a 64-bit stream is < 2^-40 for any n we use.
+    return next() % n;
+  }
+
+  /// Standard normal via Marsaglia polar method (no cached spare, to keep the
+  /// generator state trivially copyable and the draw count predictable enough
+  /// for tests).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace greenvis::util

@@ -1,0 +1,131 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double max_value(std::span<const double> xs) {
+  GREENVIS_REQUIRE(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_value(std::span<const double> xs) {
+  GREENVIS_REQUIRE(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  GREENVIS_REQUIRE(!xs.empty());
+  GREENVIS_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  GREENVIS_REQUIRE(hi > lo);
+  GREENVIS_REQUIRE(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double idx = (x - lo_) / width;
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  GREENVIS_REQUIRE(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  GREENVIS_REQUIRE(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile_upper_bound(double fraction) const {
+  GREENVIS_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
+  GREENVIS_REQUIRE(total_ > 0);
+  const auto target = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(total_)));
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      return bin_high(i);
+    }
+  }
+  return hi_;
+}
+
+}  // namespace greenvis::util

@@ -1,0 +1,69 @@
+// Streaming and batch statistics used by the analysis layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace greenvis::util {
+
+/// Welford online accumulator: mean/variance/min/max in one pass without
+/// storing samples. Power profiles can run to hours of 1 Hz samples; the
+/// profiler keeps one of these per channel.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator (Chan parallel combination).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Batch helpers over a sample vector.
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+[[nodiscard]] double min_value(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped to the edge
+/// bins. Used to summarize power-sample distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double bin_high(std::size_t i) const;
+  /// Smallest x such that at least `fraction` of samples are <= x (bin upper
+  /// edge granularity).
+  [[nodiscard]] double quantile_upper_bound(double fraction) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+};
+
+}  // namespace greenvis::util

@@ -1,0 +1,74 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  GREENVIS_REQUIRE(!headers_.empty());
+  aligns_.front() = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GREENVIS_REQUIRE_MSG(cells.size() == headers_.size(),
+                       "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  GREENVIS_REQUIRE(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        os << "  ";
+      }
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (aligns_[c] == Align::kRight) {
+        os << std::string(pad, ' ') << cells[c];
+      } else {
+        os << cells[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string cell(double value, int decimals) {
+  return format_fixed(value, decimals);
+}
+
+std::string cell_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace greenvis::util

@@ -1,0 +1,95 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    GREENVIS_REQUIRE_MSG(!stopping_, "submit after shutdown");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  GREENVIS_REQUIRE(begin <= end);
+  if (begin == end) {
+    return;
+  }
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, workers_.size());
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t base = total / chunks;
+  const std::size_t extra = total % chunks;
+  std::size_t lo = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t hi = lo + len;
+    submit([&, lo, hi] {
+      body(lo, hi);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+    lo = hi;
+  }
+  GREENVIS_ENSURE(lo == end);
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock,
+               [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace greenvis::util

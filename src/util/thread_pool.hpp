@@ -1,0 +1,47 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The heat solver and the rasterizer split their grids across worker threads
+// (the proxy app in the paper runs on all 16 cores of the node). The pool is
+// created once per solver/pipeline and reused across timesteps so thread
+// creation cost never shows up in per-step work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace greenvis::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Split [begin, end) into one contiguous range per worker and run `body`
+  /// on each; returns when every range has completed. `body(lo, hi)` must not
+  /// touch indices outside [lo, hi) of shared mutable state.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_{false};
+};
+
+}  // namespace greenvis::util

@@ -1,0 +1,153 @@
+// Strong SI unit types used throughout greenvis.
+//
+// The power/energy bookkeeping in this library is the whole point of the
+// reproduction, so quantities that the paper reports (seconds, watts, joules,
+// bytes) are distinct types: adding watts to joules is a compile error, and
+// the only way to turn power into energy is to multiply by a duration.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace greenvis::util {
+
+/// A dimensioned scalar. `Tag` distinguishes units; all arithmetic that keeps
+/// the dimension is provided here, cross-dimension products are free functions
+/// below (watts * seconds = joules, etc.).
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{s * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_;
+  }
+
+ private:
+  double value_{0.0};
+};
+
+struct SecondsTag {};
+struct JoulesTag {};
+struct WattsTag {};
+
+using Seconds = Quantity<SecondsTag>;
+using Joules = Quantity<JoulesTag>;
+using Watts = Quantity<WattsTag>;
+
+/// Energy = power * time.
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value() * t.value()}; }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+/// Power = energy / time.
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value() / t.value()}; }
+/// Time = energy / power.
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value() / p.value()}; }
+
+[[nodiscard]] constexpr Seconds milliseconds(double ms) { return Seconds{ms * 1e-3}; }
+[[nodiscard]] constexpr Seconds microseconds(double us) { return Seconds{us * 1e-6}; }
+[[nodiscard]] constexpr Joules kilojoules(double kj) { return Joules{kj * 1e3}; }
+
+/// Byte counts are integral; `Bytes` is a thin wrapper to keep sizes from
+/// mixing with unrelated integers in interfaces.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(value_);
+  }
+  [[nodiscard]] constexpr double megabytes() const {
+    return as_double() / (1024.0 * 1024.0);
+  }
+
+  constexpr Bytes& operator+=(Bytes o) {
+    value_ += o.value_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.value_ + b.value_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.value_ - b.value_};
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t s) {
+    return Bytes{a.value_ * s};
+  }
+  friend constexpr auto operator<=>(Bytes a, Bytes b) = default;
+  friend std::ostream& operator<<(std::ostream& os, Bytes b) {
+    return os << b.value_;
+  }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+[[nodiscard]] constexpr Bytes kibibytes(std::uint64_t k) { return Bytes{k * 1024ULL}; }
+[[nodiscard]] constexpr Bytes mebibytes(std::uint64_t m) {
+  return Bytes{m * 1024ULL * 1024ULL};
+}
+[[nodiscard]] constexpr Bytes gibibytes(std::uint64_t g) {
+  return Bytes{g * 1024ULL * 1024ULL * 1024ULL};
+}
+
+/// Transfer rate in bytes/second (kept as double: rates are model parameters).
+struct BytesPerSecondTag {};
+using BytesPerSecond = Quantity<BytesPerSecondTag>;
+
+/// Time to move `b` bytes at rate `r`.
+constexpr Seconds transfer_time(Bytes b, BytesPerSecond r) {
+  return Seconds{b.as_double() / r.value()};
+}
+
+[[nodiscard]] constexpr BytesPerSecond mebibytes_per_second(double m) {
+  return BytesPerSecond{m * 1024.0 * 1024.0};
+}
+
+}  // namespace greenvis::util

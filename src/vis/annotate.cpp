@@ -1,0 +1,145 @@
+#include "src/vis/annotate.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::vis {
+
+namespace {
+
+/// 5x7 glyphs, one byte per column, LSB = top row.
+struct Glyph {
+  char ch;
+  std::array<std::uint8_t, 5> cols;
+};
+
+constexpr Glyph kFont[] = {
+    {'A', {0x7E, 0x09, 0x09, 0x09, 0x7E}},
+    {'B', {0x7F, 0x49, 0x49, 0x49, 0x36}},
+    {'C', {0x3E, 0x41, 0x41, 0x41, 0x22}},
+    {'D', {0x7F, 0x41, 0x41, 0x22, 0x1C}},
+    {'E', {0x7F, 0x49, 0x49, 0x49, 0x41}},
+    {'F', {0x7F, 0x09, 0x09, 0x09, 0x01}},
+    {'G', {0x3E, 0x41, 0x49, 0x49, 0x3A}},
+    {'H', {0x7F, 0x08, 0x08, 0x08, 0x7F}},
+    {'I', {0x00, 0x41, 0x7F, 0x41, 0x00}},
+    {'J', {0x20, 0x40, 0x41, 0x3F, 0x01}},
+    {'K', {0x7F, 0x08, 0x14, 0x22, 0x41}},
+    {'L', {0x7F, 0x40, 0x40, 0x40, 0x40}},
+    {'M', {0x7F, 0x02, 0x0C, 0x02, 0x7F}},
+    {'N', {0x7F, 0x04, 0x08, 0x10, 0x7F}},
+    {'O', {0x3E, 0x41, 0x41, 0x41, 0x3E}},
+    {'P', {0x7F, 0x09, 0x09, 0x09, 0x06}},
+    {'Q', {0x3E, 0x41, 0x51, 0x21, 0x5E}},
+    {'R', {0x7F, 0x09, 0x19, 0x29, 0x46}},
+    {'S', {0x26, 0x49, 0x49, 0x49, 0x32}},
+    {'T', {0x01, 0x01, 0x7F, 0x01, 0x01}},
+    {'U', {0x3F, 0x40, 0x40, 0x40, 0x3F}},
+    {'V', {0x1F, 0x20, 0x40, 0x20, 0x1F}},
+    {'W', {0x3F, 0x40, 0x38, 0x40, 0x3F}},
+    {'X', {0x63, 0x14, 0x08, 0x14, 0x63}},
+    {'Y', {0x07, 0x08, 0x70, 0x08, 0x07}},
+    {'Z', {0x61, 0x51, 0x49, 0x45, 0x43}},
+    {'0', {0x3E, 0x51, 0x49, 0x45, 0x3E}},
+    {'1', {0x00, 0x42, 0x7F, 0x40, 0x00}},
+    {'2', {0x42, 0x61, 0x51, 0x49, 0x46}},
+    {'3', {0x21, 0x41, 0x45, 0x4B, 0x31}},
+    {'4', {0x18, 0x14, 0x12, 0x7F, 0x10}},
+    {'5', {0x27, 0x45, 0x45, 0x45, 0x39}},
+    {'6', {0x3C, 0x4A, 0x49, 0x49, 0x30}},
+    {'7', {0x01, 0x71, 0x09, 0x05, 0x03}},
+    {'8', {0x36, 0x49, 0x49, 0x49, 0x36}},
+    {'9', {0x06, 0x49, 0x49, 0x29, 0x1E}},
+    {' ', {0x00, 0x00, 0x00, 0x00, 0x00}},
+    {'.', {0x00, 0x60, 0x60, 0x00, 0x00}},
+    {'-', {0x08, 0x08, 0x08, 0x08, 0x08}},
+    {':', {0x00, 0x36, 0x36, 0x00, 0x00}},
+    {'%', {0x63, 0x13, 0x08, 0x64, 0x63}},
+    {'+', {0x08, 0x08, 0x3E, 0x08, 0x08}},
+    {'=', {0x14, 0x14, 0x14, 0x14, 0x14}},
+    {'(', {0x00, 0x1C, 0x22, 0x41, 0x00}},
+    {')', {0x00, 0x41, 0x22, 0x1C, 0x00}},
+    {'/', {0x60, 0x10, 0x08, 0x04, 0x03}},
+};
+
+constexpr Glyph kUnknown{'?', {0x7F, 0x41, 0x41, 0x41, 0x7F}};
+
+const Glyph& lookup(char c) {
+  const char upper = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(c)));
+  for (const Glyph& g : kFont) {
+    if (g.ch == upper) {
+      return g;
+    }
+  }
+  return kUnknown;
+}
+
+}  // namespace
+
+void draw_text(Image& image, std::string_view text, std::int64_t x,
+               std::int64_t y, Rgb color, int scale) {
+  GREENVIS_REQUIRE(scale >= 1);
+  std::int64_t cursor = x;
+  for (char c : text) {
+    const Glyph& glyph = lookup(c);
+    for (int col = 0; col < 5; ++col) {
+      for (int row = 0; row < 7; ++row) {
+        if ((glyph.cols[static_cast<std::size_t>(col)] >> row & 1) == 0) {
+          continue;
+        }
+        for (int sy = 0; sy < scale; ++sy) {
+          for (int sx = 0; sx < scale; ++sx) {
+            image.set_clipped(cursor + col * scale + sx,
+                              y + row * scale + sy, color);
+          }
+        }
+      }
+    }
+    cursor += 6 * scale;
+  }
+}
+
+std::size_t text_width(std::string_view text, int scale) {
+  return text.size() * 6 * static_cast<std::size_t>(scale);
+}
+
+void draw_colorbar(Image& image, const ColorMap& cmap, double lo, double hi,
+                   Rgb label_color) {
+  const std::size_t bar_width = std::max<std::size_t>(6, image.width() / 40);
+  const std::size_t margin = 4;
+  const std::size_t x0 = image.width() - margin - bar_width;
+  const std::size_t y0 = margin + 10;
+  const std::size_t y1 = image.height() - margin - 10;
+  GREENVIS_REQUIRE(y1 > y0 + 1);
+
+  for (std::size_t y = y0; y < y1; ++y) {
+    const double t = 1.0 - static_cast<double>(y - y0) /
+                               static_cast<double>(y1 - y0 - 1);
+    const Rgb c = cmap.map(t);
+    for (std::size_t x = x0; x < x0 + bar_width; ++x) {
+      image.at(x, y) = c;
+    }
+  }
+
+  char label[32];
+  std::snprintf(label, sizeof(label), "%.4g", hi);
+  draw_text(image,
+            label,
+            static_cast<std::int64_t>(image.width()) -
+                static_cast<std::int64_t>(text_width(label)) -
+                static_cast<std::int64_t>(margin),
+            static_cast<std::int64_t>(y0) - 9, label_color);
+  std::snprintf(label, sizeof(label), "%.4g", lo);
+  draw_text(image,
+            label,
+            static_cast<std::int64_t>(image.width()) -
+                static_cast<std::int64_t>(text_width(label)) -
+                static_cast<std::int64_t>(margin),
+            static_cast<std::int64_t>(y1) + 2, label_color);
+}
+
+}  // namespace greenvis::vis

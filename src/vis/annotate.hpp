@@ -1,0 +1,27 @@
+// Image annotation: a built-in 5x7 bitmap font and colorbar legends, so the
+// frames the pipelines emit are self-describing (step number, field range,
+// scale) without any external tooling.
+#pragma once
+
+#include <string_view>
+
+#include "src/vis/color.hpp"
+#include "src/vis/image.hpp"
+
+namespace greenvis::vis {
+
+/// Draw `text` with the built-in 5x7 font at (x, y) = top-left, scaled by
+/// `scale`. Supported glyphs: A-Z (lowercase folds to uppercase), digits,
+/// space and ".-:%+=()/". Unknown characters render as a hollow box.
+void draw_text(Image& image, std::string_view text, std::int64_t x,
+               std::int64_t y, Rgb color, int scale = 1);
+
+/// Pixel width of `text` at `scale` (6 columns per glyph incl. spacing).
+[[nodiscard]] std::size_t text_width(std::string_view text, int scale = 1);
+
+/// Draw a vertical colorbar with min/max labels along the image's right
+/// edge, mapping `cmap` over [lo, hi].
+void draw_colorbar(Image& image, const ColorMap& cmap, double lo, double hi,
+                   Rgb label_color = Rgb{255, 255, 255});
+
+}  // namespace greenvis::vis

@@ -1,0 +1,46 @@
+// Colors and transfer functions for pseudocolor rendering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace greenvis::vis {
+
+struct Rgb {
+  std::uint8_t r{0};
+  std::uint8_t g{0};
+  std::uint8_t b{0};
+
+  friend constexpr bool operator==(Rgb a, Rgb b2) {
+    return a.r == b2.r && a.g == b2.g && a.b == b2.b;
+  }
+};
+
+/// Piecewise-linear colormap over normalized [0, 1].
+class ColorMap {
+ public:
+  struct Stop {
+    double position;  // in [0, 1], strictly increasing
+    double r, g, b;   // in [0, 1]
+  };
+
+  explicit ColorMap(std::vector<Stop> stops);
+
+  /// Map a normalized value (clamped to [0, 1]).
+  [[nodiscard]] Rgb map(double t) const;
+
+  /// Map a raw value given a data range (degenerate range maps to 0).
+  [[nodiscard]] Rgb map_range(double v, double lo, double hi) const;
+
+  /// The classic blue-white-red diverging map (ParaView's default look for
+  /// temperature fields).
+  [[nodiscard]] static ColorMap cool_warm();
+  /// Black-red-yellow-white "hot" map.
+  [[nodiscard]] static ColorMap hot();
+  [[nodiscard]] static ColorMap grayscale();
+
+ private:
+  std::vector<Stop> stops_;
+};
+
+}  // namespace greenvis::vis

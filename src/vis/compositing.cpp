@@ -1,0 +1,60 @@
+#include "src/vis/compositing.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::vis {
+
+Image assemble_tiles(const std::vector<Image>& tiles, std::size_t tiles_x,
+                     std::size_t tiles_y) {
+  GREENVIS_REQUIRE(tiles_x >= 1 && tiles_y >= 1);
+  GREENVIS_REQUIRE(tiles.size() == tiles_x * tiles_y);
+  const std::size_t tw = tiles.front().width();
+  const std::size_t th = tiles.front().height();
+  for (const Image& t : tiles) {
+    GREENVIS_REQUIRE_MSG(t.width() == tw && t.height() == th,
+                         "all tiles must share dimensions");
+  }
+  Image out(tw * tiles_x, th * tiles_y);
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      const Image& tile = tiles[ty * tiles_x + tx];
+      for (std::size_t y = 0; y < th; ++y) {
+        for (std::size_t x = 0; x < tw; ++x) {
+          out.at(tx * tw + x, ty * th + y) = tile.at(x, y);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t binary_swap_rounds(std::size_t nodes) {
+  GREENVIS_REQUIRE(nodes >= 1);
+  GREENVIS_REQUIRE_MSG((nodes & (nodes - 1)) == 0,
+                       "binary swap needs a power-of-two node count");
+  std::size_t rounds = 0;
+  while ((1ULL << rounds) < nodes) {
+    ++rounds;
+  }
+  return rounds;
+}
+
+double binary_swap_bytes_per_node(double image_bytes, std::size_t nodes) {
+  const std::size_t rounds = binary_swap_rounds(nodes);
+  // Round r exchanges image_bytes / 2^(r+1): 1/2 + 1/4 + ... = 1 - 1/N.
+  double sent = 0.0;
+  double share = image_bytes;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    share /= 2.0;
+    sent += share;
+  }
+  return sent;
+}
+
+double gather_bytes(double image_bytes, std::size_t nodes) {
+  GREENVIS_REQUIRE(nodes >= 1);
+  const double partition = image_bytes / static_cast<double>(nodes);
+  return partition * static_cast<double>(nodes - 1);
+}
+
+}  // namespace greenvis::vis

@@ -1,0 +1,35 @@
+// Parallel-rendering compositing.
+//
+// Multi-node visualization renders one tile per compute node and assembles
+// them (sort-first decomposition of a 2-D domain). The byte-volume formulas
+// for binary-swap compositing (Yu et al. [8] in the paper's related work)
+// feed the network model's communication costs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/vis/image.hpp"
+
+namespace greenvis::vis {
+
+/// Assemble a tiles_x-by-tiles_y mosaic (row-major tile order) into one
+/// image. All tiles must share dimensions.
+[[nodiscard]] Image assemble_tiles(const std::vector<Image>& tiles,
+                                   std::size_t tiles_x, std::size_t tiles_y);
+
+/// Bytes each node sends over a full binary-swap composite of an
+/// `image_bytes` frame across `nodes` ranks (power of two): each of the
+/// log2(N) rounds exchanges half of the node's current partition, then the
+/// final gather collects the 1/N partitions.
+[[nodiscard]] double binary_swap_bytes_per_node(double image_bytes,
+                                                std::size_t nodes);
+
+/// Number of communication rounds in binary swap (log2, nodes must be a
+/// power of two).
+[[nodiscard]] std::size_t binary_swap_rounds(std::size_t nodes);
+
+/// Bytes the root receives in a direct-send gather of the final partitions.
+[[nodiscard]] double gather_bytes(double image_bytes, std::size_t nodes);
+
+}  // namespace greenvis::vis

@@ -1,0 +1,25 @@
+// Marching-squares isocontour extraction.
+#pragma once
+
+#include <vector>
+
+#include "src/util/field.hpp"
+
+namespace greenvis::vis {
+
+/// A contour line segment in field coordinates (cell units).
+struct Segment {
+  double x0, y0, x1, y1;
+};
+
+/// Extract the iso-line `value` from `field`. Each grid cell contributes 0,
+/// 1, or 2 segments; saddle cells are disambiguated with the cell-center
+/// average (the standard marching-squares rule).
+[[nodiscard]] std::vector<Segment> marching_squares(const util::Field2D& field,
+                                                    double value);
+
+/// Evenly spaced iso values across [min, max] (excluding the extremes).
+[[nodiscard]] std::vector<double> iso_levels(const util::Field2D& field,
+                                             std::size_t count);
+
+}  // namespace greenvis::vis

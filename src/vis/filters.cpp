@@ -1,0 +1,79 @@
+#include "src/vis/filters.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/vis/rasterizer.hpp"
+
+namespace greenvis::vis {
+
+util::Field2D downsample(const util::Field2D& field, std::size_t k) {
+  GREENVIS_REQUIRE(k >= 1);
+  const std::size_t nx = (field.nx() + k - 1) / k;
+  const std::size_t ny = (field.ny() + k - 1) / k;
+  util::Field2D out(nx, ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      out.at(i, j) = field.at(i * k, j * k);
+    }
+  }
+  return out;
+}
+
+util::Field2D resample(const util::Field2D& field, std::size_t nx,
+                       std::size_t ny) {
+  GREENVIS_REQUIRE(nx >= 2 && ny >= 2);
+  util::Field2D out(nx, ny);
+  const double sx =
+      static_cast<double>(field.nx() - 1) / static_cast<double>(nx - 1);
+  const double sy =
+      static_cast<double>(field.ny() - 1) / static_cast<double>(ny - 1);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      out.at(i, j) = bilinear_sample(field, static_cast<double>(i) * sx,
+                                     static_cast<double>(j) * sy);
+    }
+  }
+  return out;
+}
+
+util::Field2D threshold_mask(const util::Field2D& field, double value) {
+  util::Field2D out(field.nx(), field.ny());
+  for (std::size_t j = 0; j < field.ny(); ++j) {
+    for (std::size_t i = 0; i < field.nx(); ++i) {
+      out.at(i, j) = field.at(i, j) >= value ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+double fraction_above(const util::Field2D& field, double value) {
+  std::size_t n = 0;
+  for (double v : field.values()) {
+    if (v >= value) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(field.size());
+}
+
+util::Field2D slice_row(const util::Field2D& field, std::size_t j) {
+  GREENVIS_REQUIRE(j < field.ny());
+  util::Field2D out(field.nx(), 1);
+  for (std::size_t i = 0; i < field.nx(); ++i) {
+    out.at(i, 0) = field.at(i, j);
+  }
+  return out;
+}
+
+double rms_difference(const util::Field2D& a, const util::Field2D& b) {
+  GREENVIS_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny());
+  double sum = 0.0;
+  for (std::size_t idx = 0; idx < a.size(); ++idx) {
+    const double d = a.values()[idx] - b.values()[idx];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace greenvis::vis

@@ -1,0 +1,42 @@
+// Data filters: sampling/decimation and selection.
+//
+// The paper's related-work section points to data sampling [21] and data
+// triage [23] as techniques that shrink in-situ output further. These
+// filters implement the core operations so the examples and ablations can
+// explore that corner of the design space.
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/field.hpp"
+
+namespace greenvis::vis {
+
+/// Every k-th sample in each dimension (k >= 1). Output dims are
+/// ceil(n / k).
+[[nodiscard]] util::Field2D downsample(const util::Field2D& field,
+                                       std::size_t k);
+
+/// Bilinear upsample back to the given dimensions (reconstruction for
+/// sampled data).
+[[nodiscard]] util::Field2D resample(const util::Field2D& field,
+                                     std::size_t nx, std::size_t ny);
+
+/// Binary mask (1.0 / 0.0) of cells at or above a threshold.
+[[nodiscard]] util::Field2D threshold_mask(const util::Field2D& field,
+                                           double value);
+
+/// Fraction of cells at or above a threshold — a cheap in-situ "triage"
+/// statistic deciding whether a step is worth keeping.
+[[nodiscard]] double fraction_above(const util::Field2D& field, double value);
+
+/// Extract row `j` as a 1-D profile (nx-by-1 field).
+[[nodiscard]] util::Field2D slice_row(const util::Field2D& field,
+                                      std::size_t j);
+
+/// Root-mean-square difference between two equally sized fields —
+/// reconstruction error metric for the sampling ablation.
+[[nodiscard]] double rms_difference(const util::Field2D& a,
+                                    const util::Field2D& b);
+
+}  // namespace greenvis::vis

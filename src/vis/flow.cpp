@@ -1,0 +1,98 @@
+#include "src/vis/flow.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/vis/rasterizer.hpp"
+
+namespace greenvis::vis {
+
+Gradient2D gradient(const util::Field2D& field) {
+  const std::size_t nx = field.nx();
+  const std::size_t ny = field.ny();
+  GREENVIS_REQUIRE(nx >= 2 && ny >= 2);
+  Gradient2D g{util::Field2D(nx, ny), util::Field2D(nx, ny)};
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      if (i == 0) {
+        g.gx.at(i, j) = field.at(1, j) - field.at(0, j);
+      } else if (i == nx - 1) {
+        g.gx.at(i, j) = field.at(nx - 1, j) - field.at(nx - 2, j);
+      } else {
+        g.gx.at(i, j) = 0.5 * (field.at(i + 1, j) - field.at(i - 1, j));
+      }
+      if (j == 0) {
+        g.gy.at(i, j) = field.at(i, 1) - field.at(i, 0);
+      } else if (j == ny - 1) {
+        g.gy.at(i, j) = field.at(i, ny - 1) - field.at(i, ny - 2);
+      } else {
+        g.gy.at(i, j) = 0.5 * (field.at(i, j + 1) - field.at(i, j - 1));
+      }
+    }
+  }
+  return g;
+}
+
+Vec2 sample_gradient(const Gradient2D& grad, double x, double y) {
+  return Vec2{bilinear_sample(grad.gx, x, y), bilinear_sample(grad.gy, x, y)};
+}
+
+std::vector<Vec2> trace_streamline(const Gradient2D& grad, double x0,
+                                   double y0,
+                                   const StreamlineConfig& config) {
+  GREENVIS_REQUIRE(config.step > 0.0);
+  const double max_x = static_cast<double>(grad.gx.nx() - 1);
+  const double max_y = static_cast<double>(grad.gx.ny() - 1);
+  const double sign = config.downhill ? -1.0 : 1.0;
+
+  std::vector<Vec2> points;
+  points.push_back(Vec2{x0, y0});
+  double x = x0, y = y0;
+  for (std::size_t s = 0; s < config.max_steps; ++s) {
+    const Vec2 v1 = sample_gradient(grad, x, y);
+    const double m1 = std::hypot(v1.x, v1.y);
+    if (m1 < config.min_magnitude) {
+      break;
+    }
+    // Midpoint method: evaluate at the half step.
+    const double hx = x + sign * 0.5 * config.step * v1.x / m1;
+    const double hy = y + sign * 0.5 * config.step * v1.y / m1;
+    const Vec2 v2 = sample_gradient(grad, hx, hy);
+    const double m2 = std::hypot(v2.x, v2.y);
+    if (m2 < config.min_magnitude) {
+      break;
+    }
+    x += sign * config.step * v2.x / m2;
+    y += sign * config.step * v2.y / m2;
+    if (x < 0.0 || y < 0.0 || x > max_x || y > max_y) {
+      break;
+    }
+    points.push_back(Vec2{x, y});
+  }
+  return points;
+}
+
+void draw_streamlines(Image& image, const util::Field2D& field,
+                      std::size_t seeds_per_axis, Rgb color,
+                      const StreamlineConfig& config) {
+  GREENVIS_REQUIRE(seeds_per_axis >= 1);
+  const Gradient2D grad = gradient(field);
+  const double sx = static_cast<double>(field.nx() - 1) /
+                    static_cast<double>(seeds_per_axis + 1);
+  const double sy = static_cast<double>(field.ny() - 1) /
+                    static_cast<double>(seeds_per_axis + 1);
+  std::vector<Segment> segments;
+  for (std::size_t a = 1; a <= seeds_per_axis; ++a) {
+    for (std::size_t b = 1; b <= seeds_per_axis; ++b) {
+      const auto line = trace_streamline(grad, static_cast<double>(a) * sx,
+                                         static_cast<double>(b) * sy, config);
+      for (std::size_t p = 1; p < line.size(); ++p) {
+        segments.push_back(Segment{line[p - 1].x, line[p - 1].y, line[p].x,
+                                   line[p].y});
+      }
+    }
+  }
+  draw_segments(image, segments, field.nx(), field.ny(), color);
+}
+
+}  // namespace greenvis::vis

@@ -1,0 +1,56 @@
+// Vector-field visualization: gradients and streamlines.
+//
+// For a temperature field the negative gradient is the heat-flux direction;
+// tracing streamlines from seed points shows where the energy flows —
+// a second visualization modality for the examples (beyond pseudocolor and
+// isocontours), integrated with midpoint (RK2) stepping.
+#pragma once
+
+#include <vector>
+
+#include "src/util/field.hpp"
+#include "src/vis/contour.hpp"
+#include "src/vis/image.hpp"
+
+namespace greenvis::vis {
+
+/// Central-difference gradient components of `field` (one-sided at edges).
+struct Gradient2D {
+  util::Field2D gx;
+  util::Field2D gy;
+};
+
+[[nodiscard]] Gradient2D gradient(const util::Field2D& field);
+
+/// Bilinearly interpolated gradient vector at fractional cell coordinates.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+};
+
+[[nodiscard]] Vec2 sample_gradient(const Gradient2D& grad, double x, double y);
+
+struct StreamlineConfig {
+  /// Integration step in cell units.
+  double step{0.5};
+  std::size_t max_steps{400};
+  /// Stop when the local vector magnitude falls below this.
+  double min_magnitude{1e-9};
+  /// Trace along -gradient (heat flux) when true, +gradient otherwise.
+  bool downhill{true};
+};
+
+/// Trace one streamline from (x0, y0) with midpoint (RK2) integration;
+/// stops at domain edges, stagnation points, or max_steps. Returns the
+/// polyline vertices (at least the seed).
+[[nodiscard]] std::vector<Vec2> trace_streamline(
+    const Gradient2D& grad, double x0, double y0,
+    const StreamlineConfig& config = {});
+
+/// Trace from a uniform grid of seeds and draw onto an image rendered from
+/// an nx-by-ny field.
+void draw_streamlines(Image& image, const util::Field2D& field,
+                      std::size_t seeds_per_axis, Rgb color,
+                      const StreamlineConfig& config = {});
+
+}  // namespace greenvis::vis

@@ -1,0 +1,35 @@
+#include "src/vis/pipeline.hpp"
+
+namespace greenvis::vis {
+
+Image VisPipeline::render(const util::Field2D& field) const {
+  double lo = config_.range_lo;
+  double hi = config_.range_hi;
+  if (lo >= hi) {
+    lo = field.min_value();
+    hi = field.max_value();
+  }
+  Image image =
+      render_pseudocolor(field, ColorMap::cool_warm(), config_.width,
+                         config_.height, lo, hi, pool_);
+  for (double level : iso_levels(field, config_.contour_levels)) {
+    const auto segments = marching_squares(field, level);
+    draw_segments(image, segments, field.nx(), field.ny(),
+                  config_.contour_color);
+  }
+  return image;
+}
+
+machine::ActivityRecord VisPipeline::render_activity() const {
+  machine::ActivityRecord a;
+  const double pixels =
+      static_cast<double>(config_.width) * static_cast<double>(config_.height);
+  a.flops = pixels * config_.modeled_flops_per_pixel;
+  a.dram_bytes = util::Bytes{static_cast<std::uint64_t>(
+      pixels * 3.0 * config_.modeled_dram_amplification)};
+  a.active_cores = config_.modeled_active_cores;
+  a.core_utilization = config_.modeled_core_utilization;
+  return a;
+}
+
+}  // namespace greenvis::vis

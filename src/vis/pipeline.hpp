@@ -1,0 +1,60 @@
+// The visualization pipeline stage: field -> pseudocolor + contour image.
+//
+// Both the in-situ and the post-processing pipelines run exactly this code
+// on each visualized timestep, so the paper's invariant — identical science
+// output from both pipelines, different cost — holds by construction and is
+// asserted in the integration tests via image digests.
+#pragma once
+
+#include "src/machine/activity.hpp"
+#include "src/util/field.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/vis/contour.hpp"
+#include "src/vis/image.hpp"
+#include "src/vis/rasterizer.hpp"
+
+namespace greenvis::vis {
+
+struct VisConfig {
+  /// Host render resolution.
+  std::size_t width{512};
+  std::size_t height{512};
+  std::size_t contour_levels{5};
+  /// Fixed transfer-function range; when lo >= hi the field min/max is used
+  /// per frame (auto-scaling).
+  double range_lo{0.0};
+  double range_hi{0.0};
+  Rgb contour_color{Rgb{20, 20, 20}};
+
+  /// -- modeled testbed cost (see DESIGN.md calibration) --
+  /// The testbed renders 2048^2 with 4x supersampling at ~56 flops/sample;
+  /// expressed per host-resolution pixel: (2048/512)^2 * 4 * 56 = 3600.
+  /// Calibrated so the vis stage holds Fig. 4's 10% share of case study 1.
+  double modeled_flops_per_pixel{3600.0};
+  /// The vis stage keeps all cores lightly busy (renderer + compositor).
+  std::size_t modeled_active_cores{16};
+  double modeled_core_utilization{0.35};
+  /// DRAM traffic per rendered frame (framebuffer + field streaming),
+  /// relative to the framebuffer size.
+  double modeled_dram_amplification{6.0};
+};
+
+class VisPipeline {
+ public:
+  VisPipeline(const VisConfig& config, util::ThreadPool* pool)
+      : config_(config), pool_(pool) {}
+
+  /// Render one frame: pseudocolor + contour overlay.
+  [[nodiscard]] Image render(const util::Field2D& field) const;
+
+  /// Machine-visible work of one render.
+  [[nodiscard]] machine::ActivityRecord render_activity() const;
+
+  [[nodiscard]] const VisConfig& config() const { return config_; }
+
+ private:
+  VisConfig config_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace greenvis::vis

@@ -1,0 +1,73 @@
+#include "src/vis/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::vis {
+
+double bilinear_sample(const util::Field2D& field, double x, double y) {
+  const double max_x = static_cast<double>(field.nx() - 1);
+  const double max_y = static_cast<double>(field.ny() - 1);
+  x = std::clamp(x, 0.0, max_x);
+  y = std::clamp(y, 0.0, max_y);
+  const auto i0 = static_cast<std::size_t>(x);
+  const auto j0 = static_cast<std::size_t>(y);
+  const std::size_t i1 = std::min(i0 + 1, field.nx() - 1);
+  const std::size_t j1 = std::min(j0 + 1, field.ny() - 1);
+  const double fx = x - static_cast<double>(i0);
+  const double fy = y - static_cast<double>(j0);
+  const double a = field.at(i0, j0) * (1.0 - fx) + field.at(i1, j0) * fx;
+  const double b = field.at(i0, j1) * (1.0 - fx) + field.at(i1, j1) * fx;
+  return a * (1.0 - fy) + b * fy;
+}
+
+Image render_pseudocolor(const util::Field2D& field, const ColorMap& cmap,
+                         std::size_t width, std::size_t height, double lo,
+                         double hi, util::ThreadPool* pool) {
+  GREENVIS_REQUIRE(width > 0 && height > 0);
+  Image image(width, height);
+  const double sx = static_cast<double>(field.nx() - 1) /
+                    static_cast<double>(width - 1 == 0 ? 1 : width - 1);
+  const double sy = static_cast<double>(field.ny() - 1) /
+                    static_cast<double>(height - 1 == 0 ? 1 : height - 1);
+
+  auto rows = [&](std::size_t y_begin, std::size_t y_end) {
+    for (std::size_t y = y_begin; y < y_end; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double v = bilinear_sample(field, static_cast<double>(x) * sx,
+                                         static_cast<double>(y) * sy);
+        image.at(x, y) = cmap.map_range(v, lo, hi);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, height, rows);
+  } else {
+    rows(0, height);
+  }
+  return image;
+}
+
+void draw_segments(Image& image, const std::vector<Segment>& segments,
+                   std::size_t field_nx, std::size_t field_ny, Rgb color) {
+  GREENVIS_REQUIRE(field_nx >= 2 && field_ny >= 2);
+  const double sx = static_cast<double>(image.width() - 1) /
+                    static_cast<double>(field_nx - 1);
+  const double sy = static_cast<double>(image.height() - 1) /
+                    static_cast<double>(field_ny - 1);
+  for (const Segment& s : segments) {
+    const double x0 = s.x0 * sx, y0 = s.y0 * sy;
+    const double x1 = s.x1 * sx, y1 = s.y1 * sy;
+    const double steps =
+        std::max(1.0, std::ceil(std::max(std::abs(x1 - x0), std::abs(y1 - y0))));
+    for (double k = 0.0; k <= steps; k += 1.0) {
+      const double t = k / steps;
+      image.set_clipped(std::llround(x0 + (x1 - x0) * t),
+                        std::llround(y0 + (y1 - y0) * t), color);
+    }
+  }
+}
+
+}  // namespace greenvis::vis

@@ -1,0 +1,31 @@
+// Software rasterization: pseudocolor fields and contour overlays.
+#pragma once
+
+#include <vector>
+
+#include "src/util/field.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/vis/contour.hpp"
+#include "src/vis/image.hpp"
+
+namespace greenvis::vis {
+
+/// Bilinear sample of `field` at fractional cell coordinates (clamped).
+[[nodiscard]] double bilinear_sample(const util::Field2D& field, double x,
+                                     double y);
+
+/// Render `field` as a pseudocolor image of the given size using bilinear
+/// resampling. `lo`/`hi` fix the transfer-function range (pass min/max for
+/// auto). Row-parallel over `pool` when provided.
+[[nodiscard]] Image render_pseudocolor(const util::Field2D& field,
+                                       const ColorMap& cmap, std::size_t width,
+                                       std::size_t height, double lo,
+                                       double hi,
+                                       util::ThreadPool* pool = nullptr);
+
+/// Draw contour segments (field coordinates) onto an image rendered from an
+/// nx-by-ny field — coordinates scale accordingly. DDA line drawing.
+void draw_segments(Image& image, const std::vector<Segment>& segments,
+                   std::size_t field_nx, std::size_t field_ny, Rgb color);
+
+}  // namespace greenvis::vis

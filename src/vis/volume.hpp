@@ -1,0 +1,66 @@
+// Direct volume rendering: orthographic ray marching with front-to-back
+// alpha compositing over a trilinearly sampled scalar field — the rendering
+// mode of the paper's reference workloads (massive-dataset volume rendering
+// [7][8] and the Blue Gene/P studies [27][29] it cites for I/O behaviour).
+#pragma once
+
+#include "src/machine/activity.hpp"
+#include "src/util/field3d.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/vis/color.hpp"
+#include "src/vis/image.hpp"
+
+namespace greenvis::vis {
+
+/// Scalar -> color + opacity-per-unit-length.
+struct TransferFunction {
+  ColorMap color{ColorMap::hot()};
+  /// Scalar domain mapped onto the color map and opacity ramp.
+  double lo{0.0};
+  double hi{1.0};
+  /// Opacity per unit path length at the top of the scalar range.
+  double opacity_scale{0.08};
+  /// Ramp shape: alpha ~ t^gamma (gamma > 1 de-emphasizes low values).
+  double gamma{1.5};
+
+  /// Normalized intensity of scalar `v` in [0, 1].
+  [[nodiscard]] double intensity(double v) const;
+  /// Opacity accumulated over a path of length `step` through scalar `v`.
+  [[nodiscard]] double opacity(double v, double step) const;
+};
+
+/// Orthographic camera orbiting the volume center.
+struct Camera {
+  double azimuth_deg{30.0};
+  double elevation_deg{25.0};
+  double zoom{1.0};
+};
+
+struct VolumeConfig {
+  std::size_t width{256};
+  std::size_t height{256};
+  /// Ray-march step in voxel units.
+  double step{0.5};
+  TransferFunction tf{};
+  Camera camera{};
+  Rgb background{Rgb{12, 12, 16}};
+  /// Stop compositing when accumulated opacity reaches this.
+  double early_termination{0.98};
+};
+
+/// Trilinear sample at fractional voxel coordinates (clamped to the
+/// volume).
+[[nodiscard]] double trilinear_sample(const util::Field3D& field, double x,
+                                      double y, double z);
+
+/// Render the volume; row-parallel over `pool` when provided.
+[[nodiscard]] Image render_volume(const util::Field3D& field,
+                                  const VolumeConfig& config,
+                                  util::ThreadPool* pool = nullptr);
+
+/// Machine-visible cost of one volume render (for the cost model): rays x
+/// average path length / step samples, ~40 flops per sample on the testbed.
+[[nodiscard]] machine::ActivityRecord volume_render_activity(
+    const util::Field3D& field, const VolumeConfig& config);
+
+}  // namespace greenvis::vis

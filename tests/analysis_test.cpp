@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/advisor.hpp"
+#include "src/analysis/metrics.hpp"
+#include "src/analysis/pareto.hpp"
+#include "src/analysis/power_fit.hpp"
+#include "src/analysis/report.hpp"
+#include "src/analysis/whatif.hpp"
+#include "src/fio/runner.hpp"
+#include "src/power/profiler.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/util/linalg.hpp"
+#include "src/util/rng.hpp"
+
+namespace greenvis::analysis {
+namespace {
+
+core::PipelineMetrics fake_metrics(const std::string& name, double seconds,
+                                   double watts) {
+  core::PipelineMetrics m;
+  m.pipeline_name = name;
+  m.case_name = "Case Study 1";
+  m.duration = Seconds{seconds};
+  m.average_power = Watts{watts};
+  m.peak_power = Watts{watts + 5.0};
+  m.energy = Watts{watts} * Seconds{seconds};
+  return m;
+}
+
+TEST(Comparison, DerivedRatios) {
+  const auto post = fake_metrics("Traditional", 200.0, 130.0);
+  const auto insitu = fake_metrics("In-situ", 100.0, 140.0);
+  const PipelineComparison c = compare(post, insitu);
+  EXPECT_NEAR(c.time_reduction(), 0.5, 1e-12);
+  EXPECT_NEAR(c.energy_savings(), 1.0 - 14000.0 / 26000.0, 1e-12);
+  EXPECT_NEAR(c.avg_power_increase(), 140.0 / 130.0 - 1.0, 1e-12);
+  EXPECT_NEAR(c.efficiency_improvement(), 26000.0 / 14000.0 - 1.0, 1e-12);
+}
+
+TEST(Comparison, RejectsMismatchedCases) {
+  auto post = fake_metrics("Traditional", 200.0, 130.0);
+  auto insitu = fake_metrics("In-situ", 100.0, 140.0);
+  insitu.case_name = "Case Study 2";
+  EXPECT_THROW((void)compare(post, insitu), util::ContractViolation);
+}
+
+TEST(SavingsBreakdown, PaperMethodDecomposition) {
+  const auto post = fake_metrics("Traditional", 215.0, 134.0);
+  const auto insitu = fake_metrics("In-situ", 100.0, 145.0);
+  // Table II: ~10 W dynamic in the I/O stages.
+  const SavingsBreakdown b = savings_breakdown(post, insitu, Watts{10.15});
+  EXPECT_NEAR(b.total_savings.value(),
+              215.0 * 134.0 - 100.0 * 145.0, 1e-9);
+  EXPECT_NEAR(b.dynamic_savings.value(), 115.0 * 10.15, 1e-9);
+  EXPECT_NEAR(b.static_savings.value(),
+              b.total_savings.value() - b.dynamic_savings.value(), 1e-9);
+  EXPECT_NEAR(b.dynamic_fraction() + b.static_fraction(), 1.0, 1e-12);
+  // The paper's headline: static dominates.
+  EXPECT_GT(b.static_fraction(), 0.85);
+}
+
+TEST(PhaseStats, AttributesSamplesToPhases) {
+  power::PowerTrace trace{Seconds{1.0}};
+  for (int i = 0; i < 10; ++i) {
+    power::PowerSample s;
+    s.time = Seconds{static_cast<double>(i + 1)};
+    s.system = Watts{i < 5 ? 150.0 : 110.0};
+    trace.add(s);
+  }
+  trace::Timeline timeline;
+  timeline.record("Simulation", Seconds{0.0}, Seconds{5.0});
+  timeline.record("Write", Seconds{5.0}, Seconds{10.0});
+  const auto stats = phase_power_stats(trace, timeline);
+  EXPECT_NEAR(stats.at("Simulation").average_power.value(), 150.0, 1e-9);
+  EXPECT_NEAR(stats.at("Write").average_power.value(), 110.0, 1e-9);
+  EXPECT_NEAR(stats.at("Simulation").time.value(), 5.0, 1e-9);
+  EXPECT_NEAR(stats.at("Write").energy.value(), 550.0, 1e-9);
+}
+
+TEST(PhaseStats, UncoveredSamplesAreIdle) {
+  power::PowerTrace trace{Seconds{1.0}};
+  power::PowerSample s;
+  s.time = Seconds{1.0};
+  s.system = Watts{100.0};
+  trace.add(s);
+  const auto stats = phase_power_stats(trace, trace::Timeline{});
+  EXPECT_EQ(stats.count("Idle"), 1u);
+}
+
+TEST(WhatIf, ReproducesPaperArithmetic) {
+  // Table III energies: 4.2, 238.6, 3.1, 3.6 kJ.
+  fio::FioResult seq_read, rand_read, seq_write, rand_write;
+  seq_read.full_system_energy = util::kilojoules(4.2);
+  rand_read.full_system_energy = util::kilojoules(238.6);
+  seq_write.full_system_energy = util::kilojoules(3.1);
+  rand_write.full_system_energy = util::kilojoules(3.6);
+  const ReorganizationWhatIf w =
+      reorganization_whatif(seq_read, rand_read, seq_write, rand_write);
+  EXPECT_NEAR(w.random_io_energy.value(), 242200.0, 1.0);
+  EXPECT_NEAR(w.reorganized_energy.value(), 7300.0, 1.0);
+  EXPECT_NEAR(w.insitu_savings().value(), 242200.0, 1.0);
+  EXPECT_NEAR(w.reorganization_residual().value(), 7300.0, 1.0);
+}
+
+// ---------- advisor ----------
+
+Advisor make_advisor() {
+  return Advisor(machine::sandy_bridge_testbed(), power::hdd_power_params(),
+                 util::Watts{103.0});
+}
+
+AccessPattern random_heavy() {
+  AccessPattern p;
+  p.accesses = 1u << 18;
+  p.bytes_per_access = util::kibibytes(16);
+  p.random_fraction = 1.0;
+  p.read_fraction = 0.9;
+  return p;
+}
+
+TEST(Advisor, RandomIoPredictedFarSlowerThanSequential) {
+  const Advisor a = make_advisor();
+  AccessPattern rnd = random_heavy();
+  AccessPattern seq = rnd;
+  seq.random_fraction = 0.0;
+  EXPECT_GT(a.predict_io_time(rnd).value(),
+            20.0 * a.predict_io_time(seq).value());
+}
+
+TEST(Advisor, RecommendsInSituWhenExplorationNotNeeded) {
+  const Advisor a = make_advisor();
+  AccessPattern p = random_heavy();
+  p.exploratory_analysis_required = false;
+  const Recommendation rec = a.recommend(p);
+  EXPECT_EQ(rec.chosen.strategy, Strategy::kInSitu);
+}
+
+TEST(Advisor, RecommendsReorganizationWhenExplorationRequired) {
+  const Advisor a = make_advisor();
+  AccessPattern p = random_heavy();
+  p.exploratory_analysis_required = true;
+  const Recommendation rec = a.recommend(p);
+  EXPECT_EQ(rec.chosen.strategy, Strategy::kDataReorganization);
+  EXPECT_TRUE(rec.chosen.preserves_exploration);
+}
+
+TEST(Advisor, SequentialWorkloadGainsLittleFromReorganization) {
+  const Advisor a = make_advisor();
+  AccessPattern p = random_heavy();
+  p.random_fraction = 0.0;
+  const Recommendation rec = a.recommend(p);
+  // Already sequential: reorganization cannot beat DVFS's static trim.
+  EXPECT_EQ(rec.chosen.strategy, Strategy::kFrequencyScaling);
+}
+
+TEST(Advisor, EstimatesCoverAllStrategies) {
+  const Advisor a = make_advisor();
+  const Recommendation rec = a.recommend(random_heavy());
+  EXPECT_EQ(rec.all.size(), 4u);
+  for (const auto& e : rec.all) {
+    EXPECT_FALSE(std::string(strategy_name(e.strategy)).empty());
+  }
+}
+
+// ---------- pareto / energy-delay ----------
+
+TEST(Pareto, EnergyDelayProducts) {
+  const auto m = fake_metrics("x", 100.0, 120.0);  // 12 kJ, 100 s
+  EXPECT_NEAR(energy_delay_product(m), 12000.0 * 100.0, 1e-6);
+  EXPECT_NEAR(energy_delay_squared_product(m), 12000.0 * 100.0 * 100.0,
+              1e-3);
+}
+
+TEST(Pareto, DominanceDefinition) {
+  const ParetoPoint a{"a", 1.0, 1.0};
+  const ParetoPoint b{"b", 2.0, 2.0};
+  const ParetoPoint c{"c", 1.0, 2.0};
+  const ParetoPoint d{"d", 1.0, 1.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_TRUE(dominates(a, c));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, d));  // equal points do not dominate
+}
+
+TEST(Pareto, FrontFiltersDominatedPoints) {
+  std::vector<ParetoPoint> points{
+      {"cheap-bad", 1.0, 10.0}, {"mid", 5.0, 5.0},     {"pricey-good", 10.0, 1.0},
+      {"dominated", 6.0, 6.0},  {"awful", 12.0, 12.0},
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].label, "cheap-bad");
+  EXPECT_EQ(front[1].label, "mid");
+  EXPECT_EQ(front[2].label, "pricey-good");
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront) {
+  const auto front = pareto_front({{"only", 3.0, 4.0}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].label, "only");
+}
+
+// ---------- report ----------
+
+TEST(Report, ContainsAllSectionsAndNumbers) {
+  std::vector<StudyCase> cases;
+  StudyCase c;
+  c.post = fake_metrics("Traditional", 215.0, 134.0);
+  c.insitu = fake_metrics("In-situ", 100.0, 145.0);
+  cases.push_back(c);
+  const std::string md = render_report(cases);
+  EXPECT_NE(md.find("# Greenness audit"), std::string::npos);
+  EXPECT_NE(md.find("## Summary"), std::string::npos);
+  EXPECT_NE(md.find("## Case Study 1"), std::string::npos);
+  EXPECT_NE(md.find("## Recommendation"), std::string::npos);
+  EXPECT_NE(md.find("215.0"), std::string::npos);
+  EXPECT_NE(md.find("avoided idle time"), std::string::npos);
+}
+
+TEST(Report, RecommendationDependsOnSavings) {
+  StudyCase big;
+  big.post = fake_metrics("Traditional", 200.0, 130.0);
+  big.insitu = fake_metrics("In-situ", 80.0, 140.0);  // ~57% savings
+  const std::string aggressive = render_report({big});
+  EXPECT_NE(aggressive.find("pays substantially"), std::string::npos);
+
+  StudyCase small;
+  small.post = fake_metrics("Traditional", 200.0, 130.0);
+  small.insitu = fake_metrics("In-situ", 180.0, 132.0);  // ~8% savings
+  const std::string modest = render_report({small});
+  EXPECT_NE(modest.find("modest"), std::string::npos);
+}
+
+TEST(Report, RejectsEmptyStudy) {
+  EXPECT_THROW((void)render_report({}), util::ContractViolation);
+}
+
+// ---------- linear algebra ----------
+
+TEST(Linalg, SolvesKnownSystem) {
+  util::Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = util::solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, RejectsSingularSystem) {
+  util::Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW((void)util::solve_linear_system(a, {1.0, 2.0}),
+               util::ContractViolation);
+}
+
+TEST(Linalg, LeastSquaresRecoversLinearModel) {
+  // y = 3 + 2 a - b, with exactly determined data.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double a = 0.0; a < 4.0; a += 1.0) {
+    for (double b = 0.0; b < 3.0; b += 1.0) {
+      x.push_back({1.0, a, b});
+      y.push_back(3.0 + 2.0 * a - b);
+    }
+  }
+  const auto beta = util::least_squares(x, y);
+  EXPECT_NEAR(beta[0], 3.0, 1e-6);
+  EXPECT_NEAR(beta[1], 2.0, 1e-6);
+  EXPECT_NEAR(beta[2], -1.0, 1e-6);
+}
+
+// ---------- disk power fitting ----------
+
+/// Synthesize a run with varied disk activity, profile it, and fit.
+struct FitFixture {
+  FitFixture() : hdd(storage::HddParams{}) {
+    using storage::IoKind;
+    using storage::IoRequest;
+    util::Seconds t{0.0};
+    util::Xoshiro256 rng{17};
+    // Mix of sequential streams, random probes, and cached-write flushes so
+    // every phase shows up in training.
+    for (int burst = 0; burst < 30; ++burst) {
+      const bool reading = burst % 2 == 0;
+      std::uint64_t offset = rng.uniform_index(400) * (1ULL << 30);
+      for (int k = 0; k < 40; ++k) {
+        const IoRequest req{reading ? IoKind::kRead : IoKind::kWrite, offset,
+                            1u << 20};
+        t = hdd.service(req, t);
+        offset += 1u << 20;
+      }
+      t = hdd.flush(t);
+      t += util::Seconds{rng.uniform(0.5, 2.0)};  // idle gap
+    }
+    end = t;
+  }
+  storage::HddModel hdd;
+  util::Seconds end{0.0};
+};
+
+TEST(DiskPowerFit, RecoversCalibrationConstants) {
+  FitFixture f;
+  const power::PowerModel model(power::PowerCalibration{},
+                                power::hdd_power_params());
+  power::ProfilerConfig quiet;
+  quiet.disk_noise_sigma = 0.05;
+  power::PowerProfiler profiler(model, quiet);
+  const machine::LoadTimeline no_cpu;
+  const auto trace = profiler.profile(no_cpu, &f.hdd, f.end);
+
+  const DiskPowerFit fit = fit_disk_power(f.hdd.activity(), trace);
+  EXPECT_LT(fit.rms_residual_watts, 0.5);
+  const auto truth = power::hdd_power_params();
+  EXPECT_NEAR(fit.params.idle.value(), truth.idle.value(), 0.5);
+  EXPECT_NEAR(fit.params.read_transfer.value(), truth.read_transfer.value(),
+              1.5);
+  EXPECT_NEAR(fit.params.write_transfer.value(),
+              truth.write_transfer.value(), 1.5);
+}
+
+TEST(DiskPowerFit, PredictsHeldOutWindows) {
+  FitFixture f;
+  const power::PowerModel model(power::PowerCalibration{},
+                                power::hdd_power_params());
+  power::ProfilerConfig quiet;
+  quiet.disk_noise_sigma = 0.05;
+  power::PowerProfiler profiler(model, quiet);
+  const machine::LoadTimeline no_cpu;
+  const auto trace = profiler.profile(no_cpu, &f.hdd, f.end);
+  const DiskPowerFit fit = fit_disk_power(f.hdd.activity(), trace);
+
+  // Predict each window with the fitted model and compare against truth.
+  double worst = 0.0;
+  for (const auto& s : trace.samples()) {
+    const auto duty = f.hdd.activity().duty_in(s.time - trace.period(),
+                                               s.time);
+    const util::Watts pred =
+        predict_disk_power(fit.params, duty, trace.period());
+    worst = std::max(worst, std::abs((pred - s.disk_model).value()));
+  }
+  EXPECT_LT(worst, 2.5);
+}
+
+TEST(DiskPowerFit, FitFeedsTheAdvisor) {
+  // End-to-end future-work loop: observe a run, fit the model, hand the
+  // fitted constants to the advisor.
+  FitFixture f;
+  const power::PowerModel model(power::PowerCalibration{},
+                                power::hdd_power_params());
+  power::PowerProfiler profiler(model, power::ProfilerConfig{});
+  const machine::LoadTimeline no_cpu;
+  const auto trace = profiler.profile(no_cpu, &f.hdd, f.end);
+  const DiskPowerFit fit = fit_disk_power(f.hdd.activity(), trace);
+
+  const Advisor fitted(machine::sandy_bridge_testbed(), fit.params,
+                       util::Watts{103.0});
+  const Recommendation rec = fitted.recommend(random_heavy());
+  EXPECT_EQ(rec.chosen.strategy, Strategy::kDataReorganization);
+}
+
+}  // namespace
+}  // namespace greenvis::analysis

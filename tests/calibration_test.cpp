@@ -1,0 +1,275 @@
+// Full-scale calibration against the paper's reported numbers.
+//
+// These tests run the actual experiments (50 iterations, 4 GB fio jobs) and
+// assert that the *shape* of every headline result holds: Fig. 4's stage
+// fractions, Table II's stage powers, Figs. 7-11's orderings and rough
+// magnitudes, Sec. V-C's static-dominance, and Table III's asymmetries.
+// Tolerances are deliberately wide — the reproduction targets trends, not
+// third digits — but tight enough that a regression in any model breaks
+// them.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/analysis/metrics.hpp"
+#include "src/core/experiment.hpp"
+#include "src/fio/runner.hpp"
+
+namespace greenvis {
+namespace {
+
+core::PipelineOptions opts() {
+  core::PipelineOptions o;
+  o.host_threads = 2;
+  return o;
+}
+
+struct CasePair {
+  core::PipelineMetrics post;
+  core::PipelineMetrics insitu;
+};
+
+const CasePair& run_case(int n) {
+  static std::map<int, CasePair> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const core::Experiment exp;
+    CasePair pair{
+        exp.run(core::PipelineKind::kPostProcessing, core::case_study(n),
+                opts()),
+        exp.run(core::PipelineKind::kInSitu, core::case_study(n), opts())};
+    it = cache.emplace(n, std::move(pair)).first;
+  }
+  return it->second;
+}
+
+// ---------- Fig. 4: time breakdown ----------
+
+TEST(Calibration, Fig4CaseStudy1Fractions) {
+  const auto& m = run_case(1).post;
+  const auto f = m.timeline.fractions();
+  // Paper: 33% / 30% / 27% / 10%.
+  EXPECT_NEAR(f.at(core::stage::kSimulation), 0.33, 0.06);
+  EXPECT_NEAR(f.at(core::stage::kWrite), 0.30, 0.06);
+  EXPECT_NEAR(f.at(core::stage::kRead), 0.27, 0.06);
+  EXPECT_NEAR(f.at(core::stage::kVisualization), 0.10, 0.04);
+}
+
+TEST(Calibration, Fig4CaseStudy2Fractions) {
+  const auto f = run_case(2).post.timeline.fractions();
+  // Paper: 50% / 22% / 21% / 7%.
+  EXPECT_NEAR(f.at(core::stage::kSimulation), 0.50, 0.07);
+  EXPECT_NEAR(f.at(core::stage::kWrite), 0.22, 0.06);
+  EXPECT_NEAR(f.at(core::stage::kRead), 0.21, 0.06);
+  EXPECT_NEAR(f.at(core::stage::kVisualization), 0.07, 0.04);
+}
+
+TEST(Calibration, Fig4CaseStudy3Fractions) {
+  const auto f = run_case(3).post.timeline.fractions();
+  // Paper: 80% / 9% / 8% / 3%.
+  EXPECT_NEAR(f.at(core::stage::kSimulation), 0.80, 0.07);
+  EXPECT_NEAR(f.at(core::stage::kWrite), 0.09, 0.05);
+  EXPECT_NEAR(f.at(core::stage::kRead), 0.08, 0.05);
+  EXPECT_NEAR(f.at(core::stage::kVisualization), 0.03, 0.03);
+}
+
+// ---------- Fig. 5: power phases ----------
+
+TEST(Calibration, Fig5PostProcessingHasTwoPowerPhases) {
+  const auto& m = run_case(1).post;
+  const auto stats = analysis::phase_power_stats(m.trace, m.timeline);
+  const double p_sim = stats.at(core::stage::kSimulation).average_power.value();
+  const double p_wr = stats.at(core::stage::kWrite).average_power.value();
+  const double p_rd = stats.at(core::stage::kRead).average_power.value();
+  const double p_vis =
+      stats.at(core::stage::kVisualization).average_power.value();
+  // Phase 1 (sim+write) runs visibly hotter than phase 2 (read+vis) —
+  // paper: ~143 W vs ~121 W.
+  const double phase1 = (p_sim * 0.33 + p_wr * 0.30) / 0.63;
+  const double phase2 = (p_rd * 0.27 + p_vis * 0.10) / 0.37;
+  EXPECT_GT(phase1, phase2 + 8.0);
+  // Simulation is the hottest stage of all.
+  EXPECT_GT(p_sim, p_wr + 20.0);
+  EXPECT_GT(p_sim, 140.0);
+  EXPECT_LT(p_sim, 165.0);
+}
+
+TEST(Calibration, Fig5InSituHasNoDistinctPhases) {
+  const auto& m = run_case(1).insitu;
+  // Compare power in the first and second halves: no phase change.
+  const auto first =
+      m.trace.slice(util::Seconds{0.0}, m.duration / 2.0);
+  const auto second = m.trace.slice(m.duration / 2.0, m.duration);
+  EXPECT_NEAR(first.average(&power::PowerSample::system).value(),
+              second.average(&power::PowerSample::system).value(), 4.0);
+}
+
+// ---------- Table II: nnread / nnwrite ----------
+
+TEST(Calibration, Table2StagePowers) {
+  const core::Experiment exp;
+  const auto config = core::case_study(1);
+  const auto wr = exp.run_write_stage(config, 30);
+  const auto rd = exp.run_read_stage(config, 30);
+  // Paper: nnwrite 114.8 W total / 10.0 W dynamic; nnread 115.1 / 10.3.
+  EXPECT_NEAR(wr.average_power.value(), 114.8, 6.0);
+  EXPECT_NEAR(rd.average_power.value(), 115.1, 6.0);
+  EXPECT_NEAR(wr.average_dynamic_power.value(), 10.0, 6.0);
+  EXPECT_NEAR(rd.average_dynamic_power.value(), 10.3, 6.0);
+  // The two stages draw nearly the same power (paper: within 0.3 W).
+  EXPECT_NEAR(wr.average_power.value(), rd.average_power.value(), 4.0);
+}
+
+// ---------- Figs. 7-11 ----------
+
+TEST(Calibration, Fig7ExecutionTimeOrderingAndScale) {
+  // Absolute scale: case study 1 post-processing runs a few hundred seconds
+  // on the testbed (Fig. 5a spans ~300 s; Fig. 7's axis tops out at 250 s).
+  EXPECT_NEAR(run_case(1).post.duration.value(), 250.0, 60.0);
+  for (int n = 1; n <= 3; ++n) {
+    EXPECT_LT(run_case(n).insitu.duration.value(),
+              run_case(n).post.duration.value());
+  }
+  // The relative gap shrinks as I/O gets rarer.
+  const double r1 =
+      run_case(1).insitu.duration / run_case(1).post.duration;
+  const double r2 =
+      run_case(2).insitu.duration / run_case(2).post.duration;
+  const double r3 =
+      run_case(3).insitu.duration / run_case(3).post.duration;
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+}
+
+TEST(Calibration, Fig8InSituAveragePowerSlightlyHigher) {
+  for (int n = 1; n <= 3; ++n) {
+    const auto c = analysis::compare(run_case(n).post, run_case(n).insitu);
+    EXPECT_GT(c.avg_power_increase(), 0.0) << "case " << n;
+    EXPECT_LT(c.avg_power_increase(), 0.25) << "case " << n;
+  }
+  // And the increase shrinks with less I/O (paper: 8%, 5%, 3%).
+  const double i1 =
+      analysis::compare(run_case(1).post, run_case(1).insitu)
+          .avg_power_increase();
+  const double i3 =
+      analysis::compare(run_case(3).post, run_case(3).insitu)
+          .avg_power_increase();
+  EXPECT_GT(i1, i3);
+}
+
+TEST(Calibration, Fig9PeakPowerEquivalent) {
+  for (int n = 1; n <= 3; ++n) {
+    const auto c = analysis::compare(run_case(n).post, run_case(n).insitu);
+    EXPECT_NEAR(c.peak_power_insitu.value(), c.peak_power_post.value(),
+                0.05 * c.peak_power_post.value())
+        << "case " << n;
+  }
+}
+
+TEST(Calibration, Fig10EnergySavingsDeclineWithIoLoad) {
+  const double s1 =
+      analysis::compare(run_case(1).post, run_case(1).insitu).energy_savings();
+  const double s2 =
+      analysis::compare(run_case(2).post, run_case(2).insitu).energy_savings();
+  const double s3 =
+      analysis::compare(run_case(3).post, run_case(3).insitu).energy_savings();
+  // Paper: 43% / 30% / 18%.
+  EXPECT_NEAR(s1, 0.43, 0.13);
+  EXPECT_NEAR(s2, 0.30, 0.11);
+  EXPECT_NEAR(s3, 0.18, 0.10);
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s2, s3);
+}
+
+TEST(Calibration, Fig11EfficiencyImprovementRange) {
+  const double e1 = analysis::compare(run_case(1).post, run_case(1).insitu)
+                        .efficiency_improvement();
+  const double e3 = analysis::compare(run_case(3).post, run_case(3).insitu)
+                        .efficiency_improvement();
+  // Paper: 22% to 72% across the three cases.
+  EXPECT_GT(e1, 0.45);
+  EXPECT_LT(e1, 1.3);
+  EXPECT_GT(e3, 0.05);
+  EXPECT_LT(e3, 0.45);
+}
+
+// ---------- Sec. V-C ----------
+
+TEST(Calibration, Sec5cStaticSavingsDominate) {
+  const core::Experiment exp;
+  const auto wr = exp.run_write_stage(core::case_study(1), 20);
+  const auto rd = exp.run_read_stage(core::case_study(1), 20);
+  const util::Watts io_dyn{(wr.average_dynamic_power.value() +
+                            rd.average_dynamic_power.value()) /
+                           2.0};
+  const auto b = analysis::savings_breakdown(run_case(1).post,
+                                             run_case(1).insitu, io_dyn);
+  // Paper: 91% static / 9% dynamic.
+  EXPECT_GT(b.static_fraction(), 0.80);
+  EXPECT_LT(b.dynamic_fraction(), 0.20);
+  EXPECT_GT(b.dynamic_fraction(), 0.02);
+}
+
+// ---------- Table III ----------
+
+class Table3 : public ::testing::Test {
+ protected:
+  static const fio::FioResult& row(fio::RwMode mode) {
+    static std::map<fio::RwMode, fio::FioResult> cache;
+    auto it = cache.find(mode);
+    if (it == cache.end()) {
+      const fio::FioRunner runner;
+      it = cache.emplace(mode, runner.run(fio::table3_job(mode)).result).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(Table3, SequentialReadTime) {
+  // Paper: 35.9 s for 4 GB.
+  EXPECT_NEAR(row(fio::RwMode::kSequentialRead).execution_time.value(), 35.9,
+              6.0);
+}
+
+TEST_F(Table3, RandomReadCatastrophicallySlow) {
+  // Paper: 2230 s.
+  EXPECT_NEAR(row(fio::RwMode::kRandomRead).execution_time.value(), 2230.0,
+              500.0);
+}
+
+TEST_F(Table3, SequentialWriteTime) {
+  // Paper: 27.0 s.
+  EXPECT_NEAR(row(fio::RwMode::kSequentialWrite).execution_time.value(), 27.0,
+              6.0);
+}
+
+TEST_F(Table3, RandomWriteAbsorbed) {
+  // Paper: 31.0 s — the page cache and elevator hide the randomness.
+  EXPECT_NEAR(row(fio::RwMode::kRandomWrite).execution_time.value(), 31.0,
+              8.0);
+}
+
+TEST_F(Table3, PowerColumns) {
+  // Paper: 118 / 107 / 115.4 / 117.9 W full system.
+  EXPECT_NEAR(row(fio::RwMode::kSequentialRead).full_system_power.value(),
+              118.0, 4.0);
+  EXPECT_NEAR(row(fio::RwMode::kRandomRead).full_system_power.value(), 107.0,
+              4.0);
+  EXPECT_NEAR(row(fio::RwMode::kSequentialWrite).full_system_power.value(),
+              115.4, 4.0);
+  // Random read draws the least power of all four tests.
+  EXPECT_LT(row(fio::RwMode::kRandomRead).full_system_power.value(),
+            row(fio::RwMode::kSequentialRead).full_system_power.value());
+}
+
+TEST_F(Table3, RandomReadEnergyDominates) {
+  // Paper: 238.6 kJ vs 4.2 / 3.1 / 3.6 kJ.
+  const double rr =
+      row(fio::RwMode::kRandomRead).full_system_energy.value();
+  EXPECT_GT(rr, 30.0 * row(fio::RwMode::kSequentialRead)
+                           .full_system_energy.value());
+  EXPECT_NEAR(rr, 238600.0, 70000.0);
+}
+
+}  // namespace
+}  // namespace greenvis

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/adaptor.hpp"
+#include "src/core/cinema.hpp"
+#include "src/core/experiment.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/testbed.hpp"
+#include "src/core/workload.hpp"
+
+namespace greenvis::core {
+namespace {
+
+CaseStudyConfig fast_case(int io_period) {
+  CaseStudyConfig c = case_study(1);
+  c.io_period = io_period;
+  c.iterations = 4;
+  c.vis.width = 64;
+  c.vis.height = 64;
+  return c;
+}
+
+PipelineOptions serial_options() {
+  PipelineOptions o;
+  o.host_threads = 2;
+  return o;
+}
+
+TEST(Workload, CaseStudiesMatchPaper) {
+  EXPECT_EQ(case_study(1).io_period, 1);
+  EXPECT_EQ(case_study(2).io_period, 2);
+  EXPECT_EQ(case_study(3).io_period, 8);
+  EXPECT_EQ(case_study(1).iterations, 50);
+  EXPECT_EQ(case_study(2).problem.nx, 128u);
+}
+
+TEST(Workload, IoStepSchedule) {
+  const CaseStudyConfig c3 = case_study(3);
+  EXPECT_TRUE(c3.is_io_step(0));
+  EXPECT_FALSE(c3.is_io_step(1));
+  EXPECT_TRUE(c3.is_io_step(8));
+  EXPECT_EQ(c3.io_steps(), 7);
+  EXPECT_EQ(case_study(1).io_steps(), 50);
+  EXPECT_EQ(case_study(2).io_steps(), 25);
+}
+
+TEST(Testbed, RunComputeAdvancesClockAndRecords) {
+  Testbed bed;
+  machine::ActivityRecord a;
+  // One second of 16-core work at the calibrated sustained rate.
+  a.flops = bed.config().cost.sustained_flops_per_core * 16;
+  a.active_cores = 16;
+  bed.run_compute(a, stage::kSimulation);
+  EXPECT_NEAR(bed.clock().now().value(), 1.0, 1e-9);
+  EXPECT_EQ(bed.loads().segment_count(), 1u);
+  EXPECT_NEAR(bed.phases().total(stage::kSimulation).value(), 1.0, 1e-9);
+}
+
+TEST(Testbed, RunIoRecordsSpanOfBody) {
+  Testbed bed;
+  bed.run_io(stage::kWrite, 3.0, 0.5,
+             [&] { bed.clock().advance(util::Seconds{2.0}); });
+  EXPECT_NEAR(bed.phases().total(stage::kWrite).value(), 2.0, 1e-9);
+  EXPECT_EQ(bed.loads().segment_count(), 1u);
+}
+
+TEST(Pipelines, ProduceIdenticalImages) {
+  const CaseStudyConfig config = fast_case(2);
+  Testbed post_bed, insitu_bed;
+  const PipelineOutput post =
+      run_post_processing(post_bed, config, serial_options());
+  const PipelineOutput insitu =
+      run_in_situ(insitu_bed, config, serial_options());
+  ASSERT_EQ(post.image_digests.size(), insitu.image_digests.size());
+  EXPECT_EQ(post.image_digests, insitu.image_digests);
+  EXPECT_EQ(post.final_field, insitu.final_field);
+}
+
+TEST(Pipelines, InSituNeverTouchesTheDisk) {
+  const CaseStudyConfig config = fast_case(1);
+  Testbed bed;
+  (void)run_in_situ(bed, config, serial_options());
+  EXPECT_EQ(bed.device().counters().reads, 0u);
+  EXPECT_EQ(bed.device().counters().writes, 0u);
+}
+
+TEST(Pipelines, PostProcessingWritesOneFilePerIoStep) {
+  const CaseStudyConfig config = fast_case(2);
+  Testbed bed;
+  (void)run_post_processing(bed, config, serial_options());
+  EXPECT_EQ(bed.fs().list_files().size(),
+            static_cast<std::size_t>(config.io_steps()));
+  EXPECT_GT(bed.device().counters().bytes_written.value(), 0u);
+}
+
+TEST(Pipelines, InSituFasterAndPhaseStructureCorrect) {
+  const CaseStudyConfig config = fast_case(1);
+  Testbed post_bed, insitu_bed;
+  (void)run_post_processing(post_bed, config, serial_options());
+  (void)run_in_situ(insitu_bed, config, serial_options());
+  EXPECT_LT(insitu_bed.clock().now().value(),
+            post_bed.clock().now().value());
+  // Post-processing has all four stages; in-situ only two.
+  EXPECT_GT(post_bed.phases().total(stage::kWrite).value(), 0.0);
+  EXPECT_GT(post_bed.phases().total(stage::kRead).value(), 0.0);
+  EXPECT_DOUBLE_EQ(insitu_bed.phases().total(stage::kWrite).value(), 0.0);
+  EXPECT_DOUBLE_EQ(insitu_bed.phases().total(stage::kRead).value(), 0.0);
+  // Both simulate the same amount.
+  EXPECT_NEAR(insitu_bed.phases().total(stage::kSimulation).value(),
+              post_bed.phases().total(stage::kSimulation).value(), 1e-6);
+}
+
+TEST(Pipelines, VisualizedStepCountsFollowPeriod) {
+  for (int period : {1, 2, 8}) {
+    CaseStudyConfig config = fast_case(period);
+    config.iterations = 9;
+    Testbed bed;
+    const PipelineOutput out = run_in_situ(bed, config, serial_options());
+    EXPECT_EQ(out.visualized_steps, config.io_steps());
+  }
+}
+
+TEST(Experiment, MetricsAreInternallyConsistent) {
+  Experiment exp;
+  const PipelineMetrics m =
+      exp.run(PipelineKind::kInSitu, fast_case(1), serial_options());
+  EXPECT_GT(m.duration.value(), 0.0);
+  EXPECT_NEAR(m.energy.value(),
+              m.average_power.value() * m.trace.duration().value(),
+              m.energy.value() * 0.01);
+  EXPECT_GE(m.peak_power.value(), m.average_power.value());
+  EXPECT_GT(m.efficiency, 0.0);
+}
+
+TEST(Experiment, DeterministicRuns) {
+  Experiment exp;
+  const auto a = exp.run(PipelineKind::kInSitu, fast_case(2), serial_options());
+  const auto b = exp.run(PipelineKind::kInSitu, fast_case(2), serial_options());
+  EXPECT_DOUBLE_EQ(a.duration.value(), b.duration.value());
+  EXPECT_DOUBLE_EQ(a.energy.value(), b.energy.value());
+  EXPECT_EQ(a.output.image_digests, b.output.image_digests);
+}
+
+TEST(Experiment, StageRunsProduceIoBoundPower) {
+  Experiment exp;
+  CaseStudyConfig config = fast_case(1);
+  const StageRun wr = exp.run_write_stage(config, 6);
+  const StageRun rd = exp.run_read_stage(config, 6);
+  EXPECT_GT(wr.duration.value(), 0.0);
+  EXPECT_GT(rd.duration.value(), 0.0);
+  // I/O stages sit a little above the idle floor (Table II: ~115 vs ~105 W),
+  // far below the simulation's ~150 W.
+  EXPECT_GT(wr.average_dynamic_power.value(), 2.0);
+  EXPECT_LT(wr.average_dynamic_power.value(), 20.0);
+  EXPECT_GT(rd.average_dynamic_power.value(), 2.0);
+  EXPECT_LT(rd.average_dynamic_power.value(), 20.0);
+}
+
+TEST(Pipelines, SampledVariantWritesLessAndErrsBounded) {
+  const CaseStudyConfig config = fast_case(1);
+  Testbed exact_bed, sampled_bed;
+  const auto exact =
+      run_sampled_post_processing(exact_bed, config, 1, serial_options());
+  const auto sampled =
+      run_sampled_post_processing(sampled_bed, config, 4, serial_options());
+  EXPECT_DOUBLE_EQ(exact.mean_rms_error, 0.0);
+  EXPECT_GT(sampled.mean_rms_error, 0.0);
+  EXPECT_LT(sampled.bytes_written.value(), exact.bytes_written.value() / 8);
+  EXPECT_LT(sampled_bed.clock().now().value(),
+            exact_bed.clock().now().value());
+}
+
+TEST(Pipelines, CompressedVariantLosslessMatchesExactImages) {
+  const CaseStudyConfig config = fast_case(2);
+  Testbed plain_bed, comp_bed;
+  const auto plain =
+      run_post_processing(plain_bed, config, serial_options());
+  const auto comp = run_compressed_post_processing(
+      comp_bed, config, io::CompressConfig{}, serial_options());
+  EXPECT_DOUBLE_EQ(comp.max_abs_error, 0.0);
+  EXPECT_EQ(comp.base.image_digests, plain.image_digests);
+}
+
+TEST(Pipelines, CompressedVariantLossyBoundedAndSmaller) {
+  const CaseStudyConfig config = fast_case(2);
+  Testbed bed;
+  const io::CompressConfig codec{io::CompressionMode::kLossyAbsBound, 0.01};
+  const auto out =
+      run_compressed_post_processing(bed, config, codec, serial_options());
+  EXPECT_LE(out.max_abs_error, 0.01 * (1.0 + 1e-9));
+  EXPECT_GT(out.mean_compression_ratio, 2.0);
+}
+
+// ---------- in-situ adaptor ----------
+
+TEST(Adaptor, PeriodicTriggerMatchesPipelineSchedule) {
+  Testbed bed;
+  util::ThreadPool pool(2);
+  vis::VisConfig vis_config;
+  vis_config.width = 32;
+  vis_config.height = 32;
+  InSituAdaptor adaptor(bed, vis_config, &pool);
+  adaptor.add_trigger(std::make_unique<PeriodicTrigger>(3));
+  util::Field2D field(16, 16, 1.0);
+  for (int step = 0; step < 10; ++step) {
+    const auto digest = adaptor.process(step, field);
+    EXPECT_EQ(digest.has_value(), step % 3 == 0);
+  }
+  EXPECT_EQ(adaptor.steps_offered(), 10);
+  EXPECT_EQ(adaptor.steps_rendered(), 4);
+}
+
+TEST(Adaptor, ThresholdTriggerGatesOnFeaturePresence) {
+  ThresholdTrigger trigger(50.0, 0.25);
+  util::Field2D cold(8, 8, 0.0);
+  EXPECT_FALSE(trigger.fires(0, cold));
+  util::Field2D hot(8, 8, 0.0);
+  for (std::size_t i = 0; i < 20; ++i) {
+    hot.values()[i] = 90.0;  // 20/64 > 25%
+  }
+  EXPECT_TRUE(trigger.fires(1, hot));
+}
+
+TEST(Adaptor, ChangeTriggerSkipsQuiescence) {
+  ChangeTrigger trigger(1.0);
+  util::Field2D f(8, 8, 0.0);
+  EXPECT_TRUE(trigger.fires(0, f));   // first offer always renders
+  EXPECT_FALSE(trigger.fires(1, f));  // unchanged
+  util::Field2D g(8, 8, 5.0);
+  EXPECT_TRUE(trigger.fires(2, g));   // big drift
+  EXPECT_FALSE(trigger.fires(3, g));  // settled at the new state
+}
+
+TEST(Adaptor, RequiresAtLeastOneTrigger) {
+  Testbed bed;
+  vis::VisConfig vis_config;
+  InSituAdaptor adaptor(bed, vis_config, nullptr);
+  util::Field2D field(8, 8);
+  EXPECT_THROW((void)adaptor.process(0, field), util::ContractViolation);
+}
+
+TEST(Adaptor, ChargesTestbedForRenderedStepsOnly) {
+  Testbed dense_bed, sparse_bed;
+  vis::VisConfig vis_config;
+  vis_config.width = 32;
+  vis_config.height = 32;
+  util::Field2D field(16, 16, 1.0);
+  InSituAdaptor dense(dense_bed, vis_config, nullptr);
+  dense.add_trigger(std::make_unique<PeriodicTrigger>(1));
+  InSituAdaptor sparse(sparse_bed, vis_config, nullptr);
+  sparse.add_trigger(std::make_unique<PeriodicTrigger>(10));
+  for (int step = 0; step < 10; ++step) {
+    (void)dense.process(step, field);
+    (void)sparse.process(step, field);
+  }
+  EXPECT_GT(dense_bed.clock().now().value(),
+            5.0 * sparse_bed.clock().now().value());
+}
+
+// ---------- Cinema image database ----------
+
+util::Field3D cinema_field() {
+  util::Field3D f(16, 16, 16, 0.0);
+  for (std::size_t k = 5; k < 11; ++k) {
+    for (std::size_t j = 5; j < 11; ++j) {
+      for (std::size_t i = 5; i < 11; ++i) {
+        f.at(i, j, k) = 80.0;
+      }
+    }
+  }
+  return f;
+}
+
+CinemaConfig small_cinema() {
+  CinemaConfig config = CinemaConfig::orbit(4);
+  config.volume.width = 32;
+  config.volume.height = 32;
+  config.volume.tf.lo = 0.0;
+  config.volume.tf.hi = 100.0;
+  return config;
+}
+
+TEST(Cinema, OrbitSpansAzimuths) {
+  const CinemaConfig config = CinemaConfig::orbit(8, 30.0);
+  ASSERT_EQ(config.views.size(), 8u);
+  EXPECT_DOUBLE_EQ(config.views[0].azimuth_deg, 0.0);
+  EXPECT_DOUBLE_EQ(config.views[4].azimuth_deg, 180.0);
+  EXPECT_DOUBLE_EQ(config.views[3].elevation_deg, 30.0);
+}
+
+TEST(Cinema, ImagesRoundTripBitExactThroughStorage) {
+  Testbed bed;
+  util::ThreadPool pool(2);
+  const CinemaConfig config = small_cinema();
+  const util::Field3D field = cinema_field();
+
+  CinemaWriter writer(bed, config, &pool);
+  writer.write_step(0, field);
+  writer.write_step(1, field);
+  writer.finalize();
+  EXPECT_EQ(writer.images_written(), 8u);
+
+  // What the browser loads post-hoc is exactly what was rendered in situ.
+  vis::VolumeConfig direct = config.volume;
+  direct.camera = config.views[2];
+  const vis::Image expected = vis::render_volume(field, direct, &pool);
+  CinemaReader reader(bed, config);
+  EXPECT_EQ(reader.image(1, 2).digest(), expected.digest());
+}
+
+TEST(Cinema, DifferentViewsDifferentImages) {
+  Testbed bed;
+  util::ThreadPool pool(2);
+  const CinemaConfig config = small_cinema();
+  CinemaWriter writer(bed, config, &pool);
+  // Asymmetric field so views differ.
+  util::Field3D field = cinema_field();
+  field.at(2, 8, 8) = 100.0;
+  field.at(3, 8, 8) = 100.0;
+  writer.write_step(0, field);
+  CinemaReader reader(bed, config);
+  EXPECT_NE(reader.image(0, 0).digest(), reader.image(0, 1).digest());
+}
+
+TEST(Cinema, CatalogEnablesDiscovery) {
+  Testbed bed;
+  util::ThreadPool pool(2);
+  const CinemaConfig config = small_cinema();
+  CinemaWriter writer(bed, config, &pool);
+  writer.write_step(0, cinema_field());
+  writer.finalize();
+  const auto catalog = io::DatasetCatalog::load(bed.fs(), config.dataset);
+  EXPECT_EQ(catalog.size(), 4u);  // one entry per view
+  EXPECT_EQ(catalog.total_payload_bytes(), writer.total_bytes().value());
+}
+
+TEST(Cinema, ImageDatabaseSmallerThanRawFields) {
+  // The Cinema premise: V small images beat one raw 3-D field.
+  const util::Field3D field(64, 64, 64);
+  const CinemaConfig config = small_cinema();  // 4 views of 32x32
+  const std::size_t images_bytes =
+      config.views.size() * (16 + 32 * 32 * 3);
+  EXPECT_LT(images_bytes * 10, field.serialized_bytes());
+}
+
+TEST(Testbed, PackageCapThrottlesAndCapsPower) {
+  machine::ActivityRecord hot;
+  hot.flops = 1e9;
+  hot.active_cores = 16;
+
+  TestbedConfig capped_config;
+  capped_config.package_cap = util::Watts{50.0};
+  Testbed capped(capped_config);
+  EXPECT_LT(capped.governed_frequency(hot), 2.4);
+
+  Testbed uncapped;
+  EXPECT_DOUBLE_EQ(uncapped.governed_frequency(hot), 2.4);
+
+  // A generous cap admits full speed.
+  TestbedConfig loose_config;
+  loose_config.package_cap = util::Watts{500.0};
+  Testbed loose(loose_config);
+  EXPECT_DOUBLE_EQ(loose.governed_frequency(hot), 2.4);
+
+  // Light work fits under the cap even when heavy work does not.
+  machine::ActivityRecord light;
+  light.flops = 1e6;
+  light.active_cores = 1;
+  EXPECT_DOUBLE_EQ(capped.governed_frequency(light), 2.4);
+}
+
+TEST(Experiment, PackageCapLowersPeakRaisesTime) {
+  CaseStudyConfig config = fast_case(2);
+  TestbedConfig capped;
+  capped.package_cap = util::Watts{55.0};
+  const Experiment exp_capped(capped);
+  const Experiment exp_free;
+  const auto free_run =
+      exp_free.run(PipelineKind::kInSitu, config, serial_options());
+  const auto capped_run =
+      exp_capped.run(PipelineKind::kInSitu, config, serial_options());
+  EXPECT_LT(capped_run.peak_power.value(), free_run.peak_power.value());
+  EXPECT_GT(capped_run.duration.value(), free_run.duration.value());
+}
+
+TEST(Experiment, DvfsReducesComputePowerButSlowsIt) {
+  CaseStudyConfig config = fast_case(8);
+  TestbedConfig nominal;
+  TestbedConfig slow;
+  slow.frequency_ghz = 1.2;
+  const Experiment exp_fast(nominal), exp_slow(slow);
+  const auto fast = exp_fast.run(PipelineKind::kInSitu, config,
+                                 serial_options());
+  const auto slowed = exp_slow.run(PipelineKind::kInSitu, config,
+                                   serial_options());
+  EXPECT_GT(slowed.duration.value(), 1.5 * fast.duration.value());
+  EXPECT_LT(slowed.peak_power.value(), fast.peak_power.value());
+}
+
+}  // namespace
+}  // namespace greenvis::core

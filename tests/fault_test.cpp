@@ -1,0 +1,142 @@
+// Fault-injection tests: degraded disks slow the pipeline honestly, and
+// hard errors surface loudly through every layer.
+#include <gtest/gtest.h>
+
+#include "src/io/dataset.hpp"
+#include "src/storage/fault.hpp"
+#include "src/util/field.hpp"
+#include "src/storage/filesystem.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/trace/clock.hpp"
+
+namespace greenvis::storage {
+namespace {
+
+TEST(FaultyDisk, HealthyConfigIsTransparent) {
+  HddModel inner{HddParams{}};
+  FaultyDisk disk(inner, FaultConfig{});
+  const Seconds t =
+      disk.service(IoRequest{IoKind::kRead, 4096, 4096}, Seconds{0.0});
+  EXPECT_GT(t.value(), 0.0);
+  EXPECT_EQ(disk.retries_injected(), 0u);
+  EXPECT_EQ(disk.hard_errors(), 0u);
+}
+
+TEST(FaultyDisk, RetriesCostFullRotations) {
+  HddModel healthy_inner{HddParams{}};
+  FaultConfig always_retry;
+  always_retry.retry_probability = 1.0;
+  always_retry.retries = 2;
+  HddModel faulty_inner{HddParams{}};
+  FaultyDisk faulty(faulty_inner, always_retry);
+
+  const IoRequest req{IoKind::kRead, util::gibibytes(10).value(), 4096};
+  const double healthy = healthy_inner.service(req, Seconds{0.0}).value();
+  const double degraded = faulty.service(req, Seconds{0.0}).value();
+  // Two retries ~ two extra rotations (8.33 ms each) on this drive.
+  EXPECT_GT(degraded, healthy + 0.012);
+  EXPECT_EQ(faulty.retries_injected(), 2u);
+}
+
+TEST(FaultyDisk, BadRangeThrowsOnReadAfterConsumingTime) {
+  HddModel inner{HddParams{}};
+  FaultConfig config;
+  config.bad_ranges = {{util::gibibytes(1).value(), 8192}};
+  config.retries = 3;
+  FaultyDisk disk(inner, config);
+
+  EXPECT_THROW(
+      (void)disk.service(
+          IoRequest{IoKind::kRead, util::gibibytes(1).value() + 100, 512},
+          Seconds{0.0}),
+      DeviceError);
+  EXPECT_EQ(disk.hard_errors(), 1u);
+  // The failed attempts still spun the platter.
+  EXPECT_GT(inner.activity().totals().total().value(), 0.0);
+}
+
+TEST(FaultyDisk, WritesToBadRangeSucceed) {
+  HddModel inner{HddParams{}};
+  FaultConfig config;
+  config.bad_ranges = {{0, 1u << 20}};
+  FaultyDisk disk(inner, config);
+  EXPECT_NO_THROW(
+      (void)disk.service(IoRequest{IoKind::kWrite, 4096, 4096}, Seconds{0.0}));
+}
+
+TEST(FaultyDisk, ReadsOutsideBadRangesFine) {
+  HddModel inner{HddParams{}};
+  FaultConfig config;
+  config.bad_ranges = {{0, 4096}};
+  FaultyDisk disk(inner, config);
+  EXPECT_NO_THROW((void)disk.service(
+      IoRequest{IoKind::kRead, util::mebibytes(1).value(), 4096},
+      Seconds{0.0}));
+}
+
+TEST(FaultyDisk, DeterministicInjection) {
+  FaultConfig config;
+  config.retry_probability = 0.3;
+  HddModel inner_a{HddParams{}}, inner_b{HddParams{}};
+  FaultyDisk a(inner_a, config), b(inner_b, config);
+  Seconds ta{0.0}, tb{0.0};
+  for (int k = 0; k < 50; ++k) {
+    const IoRequest req{IoKind::kRead,
+                        static_cast<std::uint64_t>(k) * (1u << 20), 4096};
+    ta = a.service(req, ta);
+    tb = b.service(req, tb);
+  }
+  EXPECT_DOUBLE_EQ(ta.value(), tb.value());
+  EXPECT_EQ(a.retries_injected(), b.retries_injected());
+  EXPECT_GT(a.retries_injected(), 0u);
+}
+
+TEST(FaultyDisk, DegradedDiskSlowsColdReadsThroughFilesystem) {
+  auto cold_read_time = [](double retry_probability) {
+    trace::VirtualClock clock;
+    HddModel inner{HddParams{}};
+    FaultConfig config;
+    config.retry_probability = retry_probability;
+    config.retries = 2;
+    FaultyDisk disk(inner, config);
+    FsParams params;
+    params.allocation = AllocationPolicy::kAged;
+    Filesystem fs(disk, clock, params);
+    const auto fd = fs.create("x.bin");
+    std::vector<std::uint8_t> data(131072, 0x3C);
+    fs.write(fd, data, WriteMode::kBuffered);
+    fs.fsync(fd);
+    fs.drop_caches();
+    const double t0 = clock.now().value();
+    for (std::uint64_t off = 0; off < data.size(); off += 4096) {
+      fs.pread_timed(fd, off, 4096, ReadMode::kDirect);
+    }
+    fs.close(fd);
+    return clock.now().value() - t0;
+  };
+  EXPECT_GT(cold_read_time(0.5), 1.15 * cold_read_time(0.0));
+}
+
+TEST(FaultyDisk, HardErrorSurfacesThroughDatasetLayer) {
+  trace::VirtualClock clock;
+  HddModel inner{HddParams{}};
+  FaultyDisk disk(inner, FaultConfig{});
+  Filesystem fs(disk, clock, FsParams{});
+
+  io::DatasetConfig dataset;
+  io::TimestepWriter writer(fs, dataset);
+  util::Field2D field(32, 32, 7.0);
+  writer.write_step(0, field.serialize());
+  fs.drop_caches();
+
+  // The media degrades under the written frame; the cold read must fail
+  // loudly all the way up through the dataset layer — never return garbage.
+  const auto extents = fs.extents(io::step_file_name(dataset, 0));
+  ASSERT_FALSE(extents.empty());
+  disk.mark_bad(extents.front().device_offset, 4096);
+  io::TimestepReader reader(fs, dataset);
+  EXPECT_THROW((void)reader.read_step(0), DeviceError);
+}
+
+}  // namespace
+}  // namespace greenvis::storage

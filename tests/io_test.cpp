@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/io/catalog.hpp"
+#include "src/io/compress.hpp"
+#include "src/io/dataset.hpp"
+#include "src/util/checksum.hpp"
+#include "src/util/rng.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/trace/clock.hpp"
+#include "src/util/error.hpp"
+#include "src/util/field.hpp"
+
+namespace greenvis::io {
+namespace {
+
+struct IoFixture {
+  IoFixture() : hdd(storage::HddParams{}), fs(hdd, clock, params()) {}
+  static storage::FsParams params() {
+    storage::FsParams p;
+    p.allocation = storage::AllocationPolicy::kAged;
+    return p;
+  }
+  trace::VirtualClock clock;
+  storage::HddModel hdd;
+  storage::Filesystem fs;
+};
+
+std::vector<std::uint8_t> demo_payload() {
+  util::Field2D f(32, 32);
+  for (std::size_t j = 0; j < 32; ++j) {
+    for (std::size_t i = 0; i < 32; ++i) {
+      f.at(i, j) = static_cast<double>(i * j) * 0.25;
+    }
+  }
+  return f.serialize();
+}
+
+TEST(Dataset, WriteThenReadRoundTrips) {
+  IoFixture f;
+  const DatasetConfig config;
+  const auto payload = demo_payload();
+  TimestepWriter writer(f.fs, config);
+  writer.write_step(0, payload);
+  writer.write_step(5, payload);
+  EXPECT_EQ(writer.steps_written(), 2u);
+
+  f.fs.drop_caches();
+  TimestepReader reader(f.fs, config);
+  EXPECT_TRUE(reader.has_step(0));
+  EXPECT_TRUE(reader.has_step(5));
+  EXPECT_FALSE(reader.has_step(1));
+  EXPECT_EQ(reader.read_step(0), payload);
+  EXPECT_EQ(reader.read_step(5), payload);
+  EXPECT_EQ(reader.steps_read(), 2u);
+}
+
+TEST(Dataset, FieldSurvivesFullRoundTrip) {
+  IoFixture f;
+  const DatasetConfig config;
+  util::Field2D field(128, 128);
+  for (std::size_t j = 0; j < 128; ++j) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      field.at(i, j) = std::sin(0.05 * static_cast<double>(i * j));
+    }
+  }
+  TimestepWriter writer(f.fs, config);
+  writer.write_step(7, field.serialize());
+  f.fs.drop_caches();
+  TimestepReader reader(f.fs, config);
+  const util::Field2D back = util::Field2D::deserialize(reader.read_step(7));
+  EXPECT_EQ(field, back);
+}
+
+TEST(Dataset, DetectsCorruptedStep) {
+  IoFixture f;
+  DatasetConfig config;
+  // Forge a step file with a valid-looking size but garbage header bytes.
+  const auto fd = f.fs.create(step_file_name(config, 1));
+  const std::vector<std::uint8_t> garbage(4096, 0xAB);
+  f.fs.write(fd, garbage, storage::WriteMode::kBuffered);
+  f.fs.close(fd);
+
+  TimestepReader reader(f.fs, config);
+  EXPECT_TRUE(reader.has_step(1));
+  EXPECT_THROW((void)reader.read_step(1), util::ContractViolation);
+}
+
+TEST(Dataset, MissingStepThrows) {
+  IoFixture f;
+  TimestepReader reader(f.fs, DatasetConfig{});
+  EXPECT_THROW((void)reader.read_step(9), util::ContractViolation);
+}
+
+TEST(Dataset, RejectsDuplicateStep) {
+  IoFixture f;
+  TimestepWriter writer(f.fs, DatasetConfig{});
+  writer.write_step(0, demo_payload());
+  EXPECT_THROW(writer.write_step(0, demo_payload()),
+               util::ContractViolation);
+}
+
+TEST(Dataset, SyncWritesAreDurableAndSlow) {
+  IoFixture f;
+  DatasetConfig config;  // default: kSync chunks
+  TimestepWriter writer(f.fs, config);
+  const double t0 = f.clock.now().value();
+  writer.write_step(0, demo_payload());  // 8 KiB payload + header
+  const double elapsed = f.clock.now().value() - t0;
+  // Per-4KiB-chunk sync writes on the HDD: tens of ms each.
+  EXPECT_GT(elapsed, 0.03);
+  // Nothing left dirty.
+  EXPECT_EQ(f.fs.cache().dirty_pages(), 0u);
+}
+
+TEST(Dataset, BufferedModeDefersAndFsyncsOnce) {
+  IoFixture f;
+  DatasetConfig config;
+  config.write_mode = storage::WriteMode::kBuffered;
+  TimestepWriter writer(f.fs, config);
+  const auto commits_before = f.fs.counters().journal_commits;
+  writer.write_step(0, demo_payload());
+  EXPECT_EQ(f.fs.counters().journal_commits, commits_before + 1);
+}
+
+TEST(Dataset, StepFileNamesAreDistinct) {
+  DatasetConfig config;
+  config.basename = "run42";
+  EXPECT_EQ(step_file_name(config, 3), "run42_t3.bin");
+  EXPECT_NE(step_file_name(config, 3), step_file_name(config, 13));
+}
+
+TEST(Dataset, ReaderChargesRecordProcessingGaps) {
+  IoFixture f;
+  DatasetConfig config;
+  TimestepWriter writer(f.fs, config);
+  writer.write_step(0, demo_payload());
+  f.fs.drop_caches();
+
+  // A reader with a large processing gap must take longer overall.
+  DatasetConfig slow = config;
+  slow.record_processing = util::milliseconds(10.0);
+  const double t0 = f.clock.now().value();
+  TimestepReader reader(f.fs, slow);
+  (void)reader.read_step(0);
+  const double with_gap = f.clock.now().value() - t0;
+  const std::uint64_t payload_bytes = demo_payload().size() + 32;
+  const double min_gap_time =
+      0.010 * std::floor(static_cast<double>(payload_bytes) / 1024.0);
+  EXPECT_GT(with_gap, min_gap_time);
+}
+
+// ---------- catalog ----------
+
+TEST(Catalog, RecordsAndSerializesRoundTrip) {
+  DatasetCatalog catalog;
+  catalog.record(0, 1024, 0xDEADBEEFULL);
+  catalog.record(4, 2048, 0x1234ULL);
+  catalog.record(2, 512, 0x42ULL);
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.total_payload_bytes(), 3584u);
+  EXPECT_EQ(catalog.steps(), (std::vector<int>{0, 2, 4}));
+
+  const DatasetCatalog back = DatasetCatalog::parse(catalog.serialize());
+  EXPECT_EQ(back.size(), 3u);
+  ASSERT_TRUE(back.entry(4).has_value());
+  EXPECT_EQ(back.entry(4)->payload_bytes, 2048u);
+  EXPECT_EQ(back.entry(4)->checksum, 0x1234ULL);
+  EXPECT_FALSE(back.entry(1).has_value());
+}
+
+TEST(Catalog, RejectsDuplicatesAndGarbage) {
+  DatasetCatalog catalog;
+  catalog.record(1, 10, 1);
+  EXPECT_THROW(catalog.record(1, 10, 1), util::ContractViolation);
+  EXPECT_THROW((void)DatasetCatalog::parse("not a catalog"),
+               util::ContractViolation);
+  EXPECT_THROW((void)DatasetCatalog::parse("greenvis-catalog 2\n"),
+               util::ContractViolation);
+}
+
+TEST(Catalog, WriterMaintainsItAndItPersists) {
+  IoFixture f;
+  const DatasetConfig config;
+  TimestepWriter writer(f.fs, config);
+  const auto payload = demo_payload();
+  writer.write_step(0, payload);
+  writer.write_step(6, payload);
+  EXPECT_EQ(writer.catalog().size(), 2u);
+  EXPECT_TRUE(writer.catalog().contains(6));
+  writer.catalog().save(f.fs, config);
+  f.fs.drop_caches();
+
+  const DatasetCatalog loaded = DatasetCatalog::load(f.fs, config);
+  EXPECT_EQ(loaded.steps(), (std::vector<int>{0, 6}));
+  // The cataloged checksum matches what the reader verifies.
+  TimestepReader reader(f.fs, config);
+  const auto back = reader.read_step(6);
+  EXPECT_EQ(util::fnv1a64(back), loaded.entry(6)->checksum);
+}
+
+TEST(Catalog, DiscoversStepsWithoutProbing) {
+  IoFixture f;
+  DatasetConfig config;
+  config.basename = "discover";
+  TimestepWriter writer(f.fs, config);
+  for (int step : {0, 3, 9}) {
+    writer.write_step(step, demo_payload());
+  }
+  writer.catalog().save(f.fs, config);
+
+  // A fresh tool with no schedule knowledge reads everything back.
+  const DatasetCatalog catalog = DatasetCatalog::load(f.fs, config);
+  TimestepReader reader(f.fs, config);
+  std::size_t read = 0;
+  for (int step : catalog.steps()) {
+    EXPECT_EQ(reader.read_step(step).size(),
+              catalog.entry(step)->payload_bytes);
+    ++read;
+  }
+  EXPECT_EQ(read, 3u);
+}
+
+// ---------- compression ----------
+
+util::Field2D smooth_field(std::size_t n) {
+  util::Field2D f(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      f.at(i, j) = 40.0 * std::sin(0.11 * static_cast<double>(i)) *
+                       std::cos(0.07 * static_cast<double>(j)) +
+                   15.0;
+    }
+  }
+  return f;
+}
+
+util::Field2D noisy_field(std::size_t n, std::uint64_t seed) {
+  util::Field2D f(n, n);
+  util::Xoshiro256 rng{seed};
+  for (double& v : f.values()) {
+    v = rng.uniform(-100.0, 100.0);
+  }
+  return f;
+}
+
+TEST(Compress, VarintRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t values[] = {0,    1,      127,    128,
+                                  300,  1u << 20, ~0ULL, 0x8000000000000000ULL};
+  for (std::uint64_t v : values) {
+    put_varint(buf, v);
+  }
+  std::size_t pos = 0;
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(get_varint(buf, pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Compress, ZigzagRoundTrip) {
+  const std::int64_t cases[] = {0,       1,
+                                -1,      123456,
+                                -123456, std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : cases) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes map to small codes.
+  EXPECT_LT(zigzag_encode(-3), 8u);
+}
+
+TEST(Compress, LosslessBitExactRoundTrip) {
+  const util::Field2D f = smooth_field(64);
+  const auto blob = compress_field(f, CompressConfig{});
+  EXPECT_EQ(decompress_field(blob), f);
+}
+
+TEST(Compress, LosslessExactEvenOnNoise) {
+  const util::Field2D f = noisy_field(32, 5);
+  const auto blob = compress_field(f, CompressConfig{});
+  EXPECT_EQ(decompress_field(blob), f);
+}
+
+TEST(Compress, LossyRespectsErrorBound) {
+  const util::Field2D f = smooth_field(64);
+  for (double bound : {1e-6, 1e-3, 0.1, 5.0}) {
+    const auto blob = compress_field(
+        f, CompressConfig{CompressionMode::kLossyAbsBound, bound});
+    const util::Field2D g = decompress_field(blob);
+    double worst = 0.0;
+    for (std::size_t k = 0; k < f.size(); ++k) {
+      worst = std::max(worst, std::abs(f.values()[k] - g.values()[k]));
+    }
+    EXPECT_LE(worst, bound * (1.0 + 1e-9)) << "bound=" << bound;
+  }
+}
+
+TEST(Compress, LossyBoundHoldsOnAdversarialNoise) {
+  // Error feedback through the predictor must not compound.
+  const util::Field2D f = noisy_field(48, 99);
+  const double bound = 0.5;
+  const auto blob = compress_field(
+      f, CompressConfig{CompressionMode::kLossyAbsBound, bound});
+  const util::Field2D g = decompress_field(blob);
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    ASSERT_LE(std::abs(f.values()[k] - g.values()[k]),
+              bound * (1.0 + 1e-9));
+  }
+}
+
+TEST(Compress, SmoothFieldsCompressWell) {
+  const util::Field2D f = smooth_field(128);
+  const auto lossy = compress_field(
+      f, CompressConfig{CompressionMode::kLossyAbsBound, 0.01});
+  EXPECT_GT(compression_ratio(f, lossy), 3.0);
+  // Tighter bounds cost more bits.
+  const auto tighter = compress_field(
+      f, CompressConfig{CompressionMode::kLossyAbsBound, 1e-6});
+  EXPECT_LT(lossy.size(), tighter.size());
+}
+
+TEST(Compress, RejectsGarbage) {
+  EXPECT_THROW((void)decompress_field(std::vector<std::uint8_t>{1, 2, 3}),
+               util::ContractViolation);
+  const util::Field2D f = smooth_field(8);
+  auto blob = compress_field(f, CompressConfig{});
+  blob.resize(blob.size() / 2);  // truncate
+  EXPECT_THROW((void)decompress_field(blob), util::ContractViolation);
+  EXPECT_THROW(
+      (void)compress_field(
+          f, CompressConfig{CompressionMode::kLossyAbsBound, 0.0}),
+      util::ContractViolation);
+}
+
+TEST(Compress, CompressedStepsFlowThroughDataset) {
+  IoFixture f;
+  const DatasetConfig config;
+  const util::Field2D field = smooth_field(64);
+  const auto blob = compress_field(
+      field, CompressConfig{CompressionMode::kLossyAbsBound, 0.01});
+  TimestepWriter writer(f.fs, config);
+  writer.write_step(0, blob);
+  f.fs.drop_caches();
+  TimestepReader reader(f.fs, config);
+  const util::Field2D back = decompress_field(reader.read_step(0));
+  EXPECT_EQ(back.nx(), field.nx());
+}
+
+}  // namespace
+}  // namespace greenvis::io

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/machine/cost_model.hpp"
+#include "src/machine/dvfs.hpp"
+#include "src/machine/load.hpp"
+#include "src/machine/spec.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::machine {
+namespace {
+
+TEST(Spec, Table1Values) {
+  const NodeSpec node = sandy_bridge_testbed();
+  EXPECT_EQ(node.cpu.total_cores(), 16u);
+  EXPECT_DOUBLE_EQ(node.cpu.nominal_ghz, 2.4);
+  EXPECT_EQ(node.memory.total_size().value(), util::gibibytes(64).value());
+  EXPECT_DOUBLE_EQ(node.disk.rpm, 7200.0);
+  EXPECT_EQ(node.disk.capacity.value(), util::gibibytes(500).value());
+}
+
+TEST(Spec, RotationPeriodOf7200Rpm) {
+  const NodeSpec node = sandy_bridge_testbed();
+  EXPECT_NEAR(node.disk.rotation_period().value(), 1.0 / 120.0, 1e-12);
+  EXPECT_NEAR(node.disk.average_rotational_latency().value(), 1.0 / 240.0,
+              1e-12);
+}
+
+TEST(CostModel, ComputeBoundDuration) {
+  const NodeSpec node = sandy_bridge_testbed();
+  CostModelParams params;
+  params.sustained_flops_per_core = 1e9;
+  const CostModel model(node, params);
+  ActivityRecord work;
+  work.flops = 16e9;
+  work.active_cores = 16;
+  const auto dur = model.duration(work, 2.4);
+  EXPECT_NEAR(dur.value(), 1.0, 1e-9);
+}
+
+TEST(CostModel, FrequencyScalesComputeTime) {
+  const NodeSpec node = sandy_bridge_testbed();
+  const CostModel model(node, CostModelParams{});
+  ActivityRecord work;
+  work.flops = 1e9;
+  work.active_cores = 4;
+  const double full = model.duration(work, 2.4).value();
+  const double half = model.duration(work, 1.2).value();
+  EXPECT_NEAR(half / full, 2.0, 1e-9);
+}
+
+TEST(CostModel, MemoryBoundDurationUsesBandwidth) {
+  const NodeSpec node = sandy_bridge_testbed();
+  CostModelParams params;
+  params.sustained_flops_per_core = 1e15;  // compute is free
+  params.achievable_bandwidth_fraction = 0.5;
+  const CostModel model(node, params);
+  ActivityRecord work;
+  work.flops = 1.0;
+  work.dram_bytes = util::Bytes{static_cast<std::uint64_t>(
+      node.memory.peak_bandwidth.value() / 2.0)};
+  work.active_cores = 1;
+  EXPECT_NEAR(model.duration(work, 2.4).value(), 1.0, 1e-6);
+}
+
+TEST(CostModel, UtilizationSlowsCompute) {
+  const NodeSpec node = sandy_bridge_testbed();
+  const CostModel model(node, CostModelParams{});
+  ActivityRecord work;
+  work.flops = 1e9;
+  work.active_cores = 2;
+  work.core_utilization = 1.0;
+  const double full = model.duration(work, 2.4).value();
+  work.core_utilization = 0.5;
+  const double half = model.duration(work, 2.4).value();
+  EXPECT_NEAR(half / full, 2.0, 1e-9);
+}
+
+TEST(CostModel, RejectsInvalidActivity) {
+  const NodeSpec node = sandy_bridge_testbed();
+  const CostModel model(node, CostModelParams{});
+  ActivityRecord work;
+  work.active_cores = 17;  // more cores than the node has
+  EXPECT_THROW((void)model.duration(work, 2.4), util::ContractViolation);
+}
+
+TEST(CostModel, LoadReportsAchievedBandwidth) {
+  const NodeSpec node = sandy_bridge_testbed();
+  const CostModel model(node, CostModelParams{});
+  ActivityRecord work;
+  work.dram_bytes = util::mebibytes(100);
+  work.active_cores = 4;
+  const auto load = model.load(work, util::Seconds{2.0}, 2.4);
+  EXPECT_DOUBLE_EQ(load.active_cores, 4.0);
+  EXPECT_NEAR(load.dram_bandwidth.value(),
+              util::mebibytes(100).as_double() / 2.0, 1e-6);
+}
+
+TEST(Dvfs, LadderIsMonotonic) {
+  const auto ladder = e5_2665_pstates();
+  ASSERT_GE(ladder.size(), 10u);
+  EXPECT_NEAR(ladder.front().frequency_ghz, 1.2, 1e-9);
+  EXPECT_NEAR(ladder.back().frequency_ghz, 2.4, 1e-9);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].frequency_ghz, ladder[i - 1].frequency_ghz);
+    EXPECT_GT(ladder[i].dynamic_power_scale,
+              ladder[i - 1].dynamic_power_scale);
+  }
+  EXPECT_NEAR(ladder.back().dynamic_power_scale, 1.0, 1e-9);
+}
+
+TEST(Dvfs, CubicPowerScale) {
+  EXPECT_NEAR(dynamic_power_scale(1.2, 2.4), 0.125, 1e-12);
+  EXPECT_NEAR(dynamic_power_scale(2.4, 2.4), 1.0, 1e-12);
+}
+
+TEST(Dvfs, NearestPstate) {
+  const auto ladder = e5_2665_pstates();
+  EXPECT_NEAR(nearest_pstate(ladder, 1.84).frequency_ghz, 1.8, 1e-9);
+  EXPECT_NEAR(nearest_pstate(ladder, 9.9).frequency_ghz, 2.4, 1e-9);
+}
+
+TEST(LoadTimeline, PointQueries) {
+  LoadTimeline tl;
+  ComponentLoad busy;
+  busy.active_cores = 8.0;
+  tl.add(Seconds{1.0}, Seconds{3.0}, busy);
+  EXPECT_DOUBLE_EQ(tl.at(Seconds{0.5}).active_cores, 0.0);
+  EXPECT_DOUBLE_EQ(tl.at(Seconds{1.0}).active_cores, 8.0);
+  EXPECT_DOUBLE_EQ(tl.at(Seconds{2.999}).active_cores, 8.0);
+  EXPECT_DOUBLE_EQ(tl.at(Seconds{3.0}).active_cores, 0.0);
+}
+
+TEST(LoadTimeline, RejectsOutOfOrderSegments) {
+  LoadTimeline tl;
+  tl.add(Seconds{0.0}, Seconds{2.0}, ComponentLoad{});
+  EXPECT_THROW(tl.add(Seconds{1.0}, Seconds{3.0}, ComponentLoad{}),
+               util::ContractViolation);
+}
+
+TEST(LoadTimeline, WindowAverageWeightsByOverlap) {
+  LoadTimeline tl;
+  ComponentLoad busy;
+  busy.active_cores = 16.0;
+  busy.core_utilization = 1.0;
+  busy.frequency_ghz = 2.4;
+  tl.add(Seconds{0.0}, Seconds{0.5}, busy);  // half the window busy
+  const ComponentLoad avg = tl.average_in(Seconds{0.0}, Seconds{1.0});
+  EXPECT_NEAR(avg.effective_cores(), 8.0, 1e-9);
+  EXPECT_NEAR(avg.frequency_ghz, 2.4, 1e-9);
+}
+
+TEST(LoadTimeline, WindowAverageAcrossGapAndTwoSegments) {
+  LoadTimeline tl;
+  ComponentLoad a;
+  a.active_cores = 4.0;
+  tl.add(Seconds{0.0}, Seconds{1.0}, a);
+  ComponentLoad b;
+  b.active_cores = 8.0;
+  tl.add(Seconds{2.0}, Seconds{3.0}, b);
+  const ComponentLoad avg = tl.average_in(Seconds{0.0}, Seconds{3.0});
+  EXPECT_NEAR(avg.effective_cores(), 4.0, 1e-9);  // (4 + 0 + 8) / 3
+}
+
+TEST(LoadTimeline, EmptyIsIdle) {
+  LoadTimeline tl;
+  EXPECT_DOUBLE_EQ(tl.average_in(Seconds{0.0}, Seconds{5.0}).effective_cores(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(tl.end_time().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace greenvis::machine

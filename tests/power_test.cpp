@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/power/model.hpp"
+#include "src/power/profiler.hpp"
+#include "src/power/rapl.hpp"
+#include "src/power/trace.hpp"
+#include "src/power/wattsup.hpp"
+#include "src/storage/hdd.hpp"
+
+namespace greenvis::power {
+namespace {
+
+PowerModel make_model() {
+  return PowerModel(PowerCalibration{}, hdd_power_params());
+}
+
+// ---------- component model ----------
+
+TEST(PowerModel, IdleFloorMatchesCalibration) {
+  const PowerModel model = make_model();
+  // 32 (pkg) + 6 (dram) + 4 (disk) + 61 (rest) = 103 W.
+  EXPECT_NEAR(model.idle_system_power().value(), 103.0, 1e-9);
+}
+
+TEST(PowerModel, PackageScalesWithCores) {
+  const PowerModel model = make_model();
+  machine::ComponentLoad idle;
+  idle.active_cores = 0.0;
+  machine::ComponentLoad busy;
+  busy.active_cores = 16.0;
+  busy.core_utilization = 1.0;
+  busy.frequency_ghz = 2.4;
+  const double delta =
+      (model.package_power(busy) - model.package_power(idle)).value();
+  EXPECT_NEAR(delta, 16.0 * 2.8, 1e-9);
+}
+
+TEST(PowerModel, DvfsCubicOnDynamicOnly) {
+  const PowerModel model = make_model();
+  machine::ComponentLoad busy;
+  busy.active_cores = 8.0;
+  busy.frequency_ghz = 1.2;
+  const double low = model.package_power(busy).value();
+  busy.frequency_ghz = 2.4;
+  const double high = model.package_power(busy).value();
+  // Dynamic part scales by 8x between 1.2 and 2.4 GHz.
+  EXPECT_NEAR(high - 32.0, (low - 32.0) * 8.0, 1e-9);
+}
+
+TEST(PowerModel, DramScalesWithBandwidth) {
+  const PowerModel model = make_model();
+  machine::ComponentLoad load;
+  load.dram_bandwidth = util::BytesPerSecond{10e9};  // 10 GB/s
+  EXPECT_NEAR(model.dram_power(load).value(), 6.0 + 3.5, 1e-9);
+}
+
+TEST(PowerModel, DiskPowerFollowsDutyCycle) {
+  const PowerModel model = make_model();
+  storage::PhaseDurations duty;
+  duty.busy[static_cast<std::size_t>(storage::DiskPhase::kReadTransfer)] =
+      util::Seconds{1.0};
+  const double full = model.disk_power(duty, util::Seconds{1.0}).value();
+  EXPECT_NEAR(full, 4.0 + 13.5, 1e-9);
+  const double half = model.disk_power(duty, util::Seconds{2.0}).value();
+  EXPECT_NEAR(half, 4.0 + 13.5 / 2.0, 1e-9);
+}
+
+TEST(PowerModel, Pp0BelowPackage) {
+  const PowerModel model = make_model();
+  machine::ComponentLoad busy;
+  busy.active_cores = 16.0;
+  EXPECT_LT(model.pp0_power(busy).value(), model.package_power(busy).value());
+}
+
+// ---------- RAPL ----------
+
+TEST(Rapl, DepositAndReadBack) {
+  RaplInterface rapl;
+  rapl.deposit(RaplDomain::kPackage, util::Joules{1.0});
+  const double joules =
+      rapl.read_raw(RaplDomain::kPackage) * RaplInterface::energy_unit_joules();
+  EXPECT_NEAR(joules, 1.0, RaplInterface::energy_unit_joules());
+}
+
+TEST(Rapl, SubUnitResidueAccumulatesExactly) {
+  RaplInterface rapl;
+  // Deposit 10k drops of ~1/3 unit each.
+  const util::Joules drop{RaplInterface::energy_unit_joules() / 3.0};
+  for (int i = 0; i < 30000; ++i) {
+    rapl.deposit(RaplDomain::kDram, drop);
+  }
+  const double joules =
+      rapl.read_raw(RaplDomain::kDram) * RaplInterface::energy_unit_joules();
+  EXPECT_NEAR(joules, rapl.total_deposited(RaplDomain::kDram).value(),
+              RaplInterface::energy_unit_joules());
+}
+
+TEST(Rapl, ReaderComputesAveragePower) {
+  RaplInterface rapl;
+  RaplReader reader(rapl);
+  reader.sample(RaplDomain::kPackage, util::Seconds{0.0});
+  rapl.deposit(RaplDomain::kPackage, util::Joules{130.0});
+  const util::Watts p = reader.sample(RaplDomain::kPackage, util::Seconds{1.0});
+  EXPECT_NEAR(p.value(), 130.0, 0.01);
+}
+
+TEST(Rapl, CounterWraparoundIsTransparent) {
+  RaplInterface rapl;
+  RaplReader reader(rapl);
+  // Push the counter near the 32-bit wrap (2^32 units ~ 65536 J).
+  const double wrap_joules = 4294967296.0 * RaplInterface::energy_unit_joules();
+  rapl.deposit(RaplDomain::kPackage, util::Joules{wrap_joules - 50.0});
+  reader.sample(RaplDomain::kPackage, util::Seconds{0.0});
+  // Deposit 100 J: the raw counter wraps, the reader must still see 100 W.
+  rapl.deposit(RaplDomain::kPackage, util::Joules{100.0});
+  const util::Watts p = reader.sample(RaplDomain::kPackage, util::Seconds{1.0});
+  EXPECT_NEAR(p.value(), 100.0, 0.01);
+}
+
+TEST(Rapl, LongRandomReadTestWrapsSeveralTimes) {
+  // Table III's random-read test: 2230 s at ~107 W = 238 kJ ~ 3.6 wraps.
+  RaplInterface rapl;
+  RaplReader reader(rapl);
+  reader.sample(RaplDomain::kPackage, util::Seconds{0.0});
+  double total = 0.0;
+  for (int s = 1; s <= 2230; ++s) {
+    rapl.deposit(RaplDomain::kPackage, util::Joules{107.0});
+    total += reader.sample(RaplDomain::kPackage,
+                           util::Seconds{static_cast<double>(s)})
+                 .value();
+  }
+  EXPECT_NEAR(total, 107.0 * 2230.0, 1.0);
+}
+
+// ---------- Wattsup ----------
+
+TEST(Wattsup, QuantizesToTenthsOfAWatt) {
+  WattsupMeter meter{WattsupParams{.quantum_watts = 0.1,
+                                   .noise_sigma_watts = 0.0}};
+  const util::Watts p = meter.sample(util::Watts{123.456});
+  EXPECT_NEAR(p.value(), 123.5, 1e-9);
+}
+
+TEST(Wattsup, NoiseIsUnbiased) {
+  WattsupMeter meter{WattsupParams{}};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += meter.sample(util::Watts{100.0}).value();
+  }
+  EXPECT_NEAR(sum / n, 100.0, 0.05);
+}
+
+TEST(Wattsup, NeverNegative) {
+  WattsupMeter meter{WattsupParams{.noise_sigma_watts = 5.0}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(meter.sample(util::Watts{0.5}).value(), 0.0);
+  }
+}
+
+// ---------- trace ----------
+
+TEST(Trace, EnergyIsPowerTimesTime) {
+  PowerTrace trace{util::Seconds{1.0}};
+  for (int i = 0; i < 10; ++i) {
+    PowerSample s;
+    s.time = util::Seconds{static_cast<double>(i + 1)};
+    s.system = util::Watts{100.0};
+    trace.add(s);
+  }
+  EXPECT_NEAR(trace.energy(&PowerSample::system).value(), 1000.0, 1e-9);
+  EXPECT_NEAR(trace.average(&PowerSample::system).value(), 100.0, 1e-9);
+}
+
+TEST(Trace, SliceSelectsWindow) {
+  PowerTrace trace{util::Seconds{1.0}};
+  for (int i = 0; i < 10; ++i) {
+    PowerSample s;
+    s.time = util::Seconds{static_cast<double>(i + 1)};
+    s.system = util::Watts{static_cast<double>(i)};
+    trace.add(s);
+  }
+  const PowerTrace cut = trace.slice(util::Seconds{3.0}, util::Seconds{6.0});
+  EXPECT_EQ(cut.samples().size(), 3u);
+  EXPECT_NEAR(cut.average(&PowerSample::system).value(), 4.0, 1e-9);
+}
+
+TEST(Trace, RestDerivedMatchesSubtractionMethod) {
+  PowerSample s;
+  s.system = util::Watts{140.0};
+  s.processor = util::Watts{70.0};
+  s.dram = util::Watts{10.0};
+  EXPECT_NEAR(s.rest_derived().value(), 60.0, 1e-12);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  PowerTrace trace{util::Seconds{1.0}};
+  PowerSample s;
+  s.time = util::Seconds{1.0};
+  trace.add(s);
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_NE(os.str().find("time_s,processor_w,pp0_w,dram_w,system_w"),
+            std::string::npos);
+}
+
+// ---------- profiler ----------
+
+TEST(Profiler, IdleSystemProfilesAtFloor) {
+  const PowerModel model = make_model();
+  PowerProfiler profiler(model);
+  machine::LoadTimeline loads;
+  const PowerTrace trace = profiler.profile(loads, nullptr, util::Seconds{60.0});
+  ASSERT_EQ(trace.samples().size(), 60u);
+  // Without a disk the floor is 103 - 4 = 99 W.
+  EXPECT_NEAR(trace.average(&PowerSample::system).value(), 99.0, 1.0);
+}
+
+TEST(Profiler, TraceEnergyTracksModelTruth) {
+  const PowerModel model = make_model();
+  PowerProfiler profiler(model);
+  machine::LoadTimeline loads;
+  machine::ComponentLoad busy;
+  busy.active_cores = 16.0;
+  busy.frequency_ghz = 2.4;
+  loads.add(util::Seconds{0.0}, util::Seconds{120.0}, busy);
+  storage::HddModel hdd{storage::HddParams{}};
+  const PowerTrace trace = profiler.profile(loads, &hdd, util::Seconds{120.0});
+
+  const double truth =
+      (model.package_power(busy) + model.dram_power(busy) +
+       model.disk_idle_power() + model.rest_power())
+          .value() *
+      120.0;
+  EXPECT_NEAR(trace.energy(&PowerSample::system).value(), truth,
+              truth * 0.01);
+}
+
+TEST(Profiler, ProcessorChannelSeesLoadSteps) {
+  const PowerModel model = make_model();
+  PowerProfiler profiler(model);
+  machine::LoadTimeline loads;
+  machine::ComponentLoad busy;
+  busy.active_cores = 16.0;
+  busy.frequency_ghz = 2.4;
+  loads.add(util::Seconds{10.0}, util::Seconds{20.0}, busy);
+  const PowerTrace trace = profiler.profile(loads, nullptr, util::Seconds{30.0});
+  const PowerTrace idle_part = trace.slice(util::Seconds{0.0}, util::Seconds{9.0});
+  const PowerTrace busy_part =
+      trace.slice(util::Seconds{11.0}, util::Seconds{19.0});
+  EXPECT_GT(busy_part.average(&PowerSample::processor).value(),
+            idle_part.average(&PowerSample::processor).value() + 30.0);
+}
+
+TEST(Profiler, Pp0TracksCoreActivityBelowPackage) {
+  const PowerModel model = make_model();
+  PowerProfiler profiler(model);
+  machine::LoadTimeline loads;
+  machine::ComponentLoad busy;
+  busy.active_cores = 16.0;
+  busy.frequency_ghz = 2.4;
+  loads.add(util::Seconds{0.0}, util::Seconds{30.0}, busy);
+  const PowerTrace trace = profiler.profile(loads, nullptr, util::Seconds{30.0});
+  const double pkg = trace.average(&PowerSample::processor).value();
+  const double pp0 = trace.average(&PowerSample::pp0).value();
+  EXPECT_GT(pp0, 0.0);
+  EXPECT_LT(pp0, pkg);
+  // Uncore share is roughly the calibrated constant (18 W).
+  EXPECT_NEAR(pkg - pp0, 18.0, 2.0);
+}
+
+TEST(Trace, UncoreDerivedFromChannels) {
+  PowerSample s;
+  s.processor = util::Watts{70.0};
+  s.pp0 = util::Watts{52.0};
+  EXPECT_NEAR(s.uncore_derived().value(), 18.0, 1e-12);
+}
+
+TEST(Profiler, DeterministicForSeed) {
+  const PowerModel model = make_model();
+  machine::LoadTimeline loads;
+  PowerProfiler a(model), b(model);
+  const PowerTrace ta = a.profile(loads, nullptr, util::Seconds{20.0});
+  const PowerTrace tb = b.profile(loads, nullptr, util::Seconds{20.0});
+  ASSERT_EQ(ta.samples().size(), tb.samples().size());
+  for (std::size_t i = 0; i < ta.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta.samples()[i].system.value(),
+                     tb.samples()[i].system.value());
+  }
+}
+
+TEST(Profiler, EmptyWindowYieldsEmptyTrace) {
+  const PowerModel model = make_model();
+  PowerProfiler profiler(model);
+  machine::LoadTimeline loads;
+  EXPECT_TRUE(profiler.profile(loads, nullptr, util::Seconds{0.0}).empty());
+}
+
+}  // namespace
+}  // namespace greenvis::power

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "src/replay/engine.hpp"
+#include "src/replay/trace_format.hpp"
+
+namespace greenvis::replay {
+namespace {
+
+constexpr const char* kTinyTrace = R"(trace tiny
+repeat 4
+section simulate
+compute solve phase=Simulation flops=1e9 cores=16
+write dump bytes=65536 every=2 mode=sync
+section postprocess
+read dump every=2
+compute render phase=Visualization flops=2e8 cores=16 util=0.35 every=2
+)";
+
+// ---------- parsing ----------
+
+TEST(TraceParse, ParsesAllFields) {
+  const AppTrace t = parse_trace(kTinyTrace);
+  EXPECT_EQ(t.name, "tiny");
+  EXPECT_EQ(t.repeat, 4);
+  ASSERT_EQ(t.simulate.size(), 2u);
+  ASSERT_EQ(t.postprocess.size(), 2u);
+  EXPECT_EQ(t.simulate[0].kind, RecordKind::kCompute);
+  EXPECT_DOUBLE_EQ(t.simulate[0].flops, 1e9);
+  EXPECT_EQ(t.simulate[1].kind, RecordKind::kWrite);
+  EXPECT_EQ(t.simulate[1].bytes, 65536u);
+  EXPECT_EQ(t.simulate[1].every, 2);
+  EXPECT_EQ(t.simulate[1].mode, storage::WriteMode::kSync);
+  EXPECT_EQ(t.postprocess[0].kind, RecordKind::kRead);
+  EXPECT_EQ(t.postprocess[1].phase, "Visualization");
+}
+
+TEST(TraceParse, CommentsAndBlankLinesIgnored) {
+  const AppTrace t = parse_trace(
+      "# header\ntrace x\n\nrepeat 2  # two steps\n"
+      "compute a flops=1 cores=1\n");
+  EXPECT_EQ(t.repeat, 2);
+  EXPECT_EQ(t.simulate.size(), 1u);
+}
+
+TEST(TraceParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_trace("trace x\nrepeat 2\nbogus directive\n");
+    FAIL() << "should have thrown";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(TraceParse, RejectsBadInput) {
+  EXPECT_THROW((void)parse_trace("repeat 2\n"), TraceParseError);  // no name
+  EXPECT_THROW((void)parse_trace("trace x\ncompute a\n"), TraceParseError);
+  EXPECT_THROW((void)parse_trace("trace x\ncompute a flops=abc\n"),
+               TraceParseError);
+  EXPECT_THROW((void)parse_trace("trace x\nwrite w bytes=0\n"),
+               TraceParseError);
+  EXPECT_THROW((void)parse_trace("trace x\nwrite w bytes=1 mode=weird\n"),
+               TraceParseError);
+  EXPECT_THROW((void)parse_trace("trace x\ncompute a flops=1 turbo=1\n"),
+               TraceParseError);
+  EXPECT_THROW(
+      (void)parse_trace("trace x\nsection postprocess\nread nothing\n"),
+      util::ContractViolation);
+}
+
+TEST(TraceParse, RoundTripsThroughFormat) {
+  const AppTrace t = parse_trace(kTinyTrace);
+  const AppTrace t2 = parse_trace(format_trace(t));
+  EXPECT_EQ(format_trace(t), format_trace(t2));
+  EXPECT_EQ(t2.simulate.size(), t.simulate.size());
+  EXPECT_EQ(t2.postprocess.size(), t.postprocess.size());
+}
+
+TEST(TraceParse, BuiltinsParse) {
+  const AppTrace mpas = parse_trace(mpas_like_trace());
+  EXPECT_EQ(mpas.repeat, 20);
+  EXPECT_FALSE(mpas.postprocess.empty());
+  const AppTrace xrage = parse_trace(xrage_like_trace());
+  EXPECT_FALSE(xrage.simulate.empty());
+}
+
+TEST(TraceParse, InSituTransformRemovesIo) {
+  const AppTrace post = parse_trace(kTinyTrace);
+  const AppTrace insitu = to_in_situ(post);
+  EXPECT_TRUE(insitu.postprocess.empty());
+  for (const auto& rec : insitu.simulate) {
+    EXPECT_NE(rec.kind, RecordKind::kWrite);
+  }
+  // The render replacement keeps the write's cadence.
+  bool found_render = false;
+  for (const auto& rec : insitu.simulate) {
+    if (rec.phase == "Visualization") {
+      found_render = true;
+      EXPECT_EQ(rec.every, 2);
+    }
+  }
+  EXPECT_TRUE(found_render);
+}
+
+// ---------- engine ----------
+
+TEST(ReplayEngine, TinyTraceRuns) {
+  const ReplayEngine engine;
+  const ReplayResult r = engine.run(parse_trace(kTinyTrace));
+  EXPECT_GT(r.duration.value(), 0.0);
+  EXPECT_GT(r.energy.value(), 0.0);
+  EXPECT_EQ(r.bytes_written.value(), 2u * 65536u);
+  EXPECT_EQ(r.bytes_read.value(), 2u * 65536u);
+  EXPECT_GT(r.timeline.total("Simulation").value(), 0.0);
+  EXPECT_GT(r.timeline.total("Write").value(), 0.0);
+  EXPECT_GT(r.timeline.total("Read").value(), 0.0);
+}
+
+TEST(ReplayEngine, Deterministic) {
+  const ReplayEngine engine;
+  const auto a = engine.run(parse_trace(kTinyTrace));
+  const auto b = engine.run(parse_trace(kTinyTrace));
+  EXPECT_DOUBLE_EQ(a.duration.value(), b.duration.value());
+  EXPECT_DOUBLE_EQ(a.energy.value(), b.energy.value());
+}
+
+TEST(ReplayEngine, InSituVariantSavesEnergy) {
+  const ReplayEngine engine;
+  const AppTrace post = parse_trace(kTinyTrace);
+  const auto post_result = engine.run(post);
+  const auto insitu_result = engine.run(to_in_situ(post, 2e8));
+  EXPECT_LT(insitu_result.duration.value(), post_result.duration.value());
+  EXPECT_LT(insitu_result.energy.value(), post_result.energy.value());
+}
+
+TEST(ReplayEngine, ReadBeforeWriteRejected) {
+  const ReplayEngine engine;
+  AppTrace bad = parse_trace(kTinyTrace);
+  bad.postprocess[0].every = 1;  // reads steps the write never produced
+  EXPECT_THROW((void)engine.run(bad), util::ContractViolation);
+}
+
+TEST(ReplayEngine, BuiltinAppsShowPaperShape) {
+  const ReplayEngine engine;
+  for (const std::string& text : {mpas_like_trace(), xrage_like_trace()}) {
+    const AppTrace post = parse_trace(text);
+    const auto p = engine.run(post);
+    const auto i = engine.run(to_in_situ(post));
+    EXPECT_GT(p.energy.value(), i.energy.value()) << post.name;
+    EXPECT_GT(i.average_power.value(), p.average_power.value() * 0.98)
+        << post.name;
+  }
+}
+
+}  // namespace
+}  // namespace greenvis::replay

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/clock.hpp"
+#include "src/trace/timeline.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::trace {
+namespace {
+
+TEST(Clock, AdvancesMonotonically) {
+  VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.now().value(), 0.0);
+  c.advance(Seconds{1.5});
+  c.advance_to(Seconds{4.0});
+  EXPECT_DOUBLE_EQ(c.now().value(), 4.0);
+}
+
+TEST(Clock, RefusesToGoBackwards) {
+  VirtualClock c;
+  c.advance(Seconds{2.0});
+  EXPECT_THROW(c.advance(Seconds{-0.1}), util::ContractViolation);
+  EXPECT_THROW(c.advance_to(Seconds{1.0}), util::ContractViolation);
+}
+
+TEST(Clock, ResetReturnsToZero) {
+  VirtualClock c;
+  c.advance(Seconds{3.0});
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now().value(), 0.0);
+}
+
+TEST(Timeline, TotalsPerCategory) {
+  Timeline t;
+  t.record("sim", Seconds{0.0}, Seconds{2.0});
+  t.record("write", Seconds{2.0}, Seconds{3.0});
+  t.record("sim", Seconds{3.0}, Seconds{5.0});
+  EXPECT_DOUBLE_EQ(t.total("sim").value(), 4.0);
+  EXPECT_DOUBLE_EQ(t.total("write").value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.total_recorded().value(), 5.0);
+}
+
+TEST(Timeline, FractionsSumToOne) {
+  Timeline t;
+  t.record("a", Seconds{0.0}, Seconds{3.0});
+  t.record("b", Seconds{3.0}, Seconds{4.0});
+  const auto f = t.fractions();
+  EXPECT_NEAR(f.at("a"), 0.75, 1e-12);
+  EXPECT_NEAR(f.at("b"), 0.25, 1e-12);
+}
+
+TEST(Timeline, CategoryAtHandsOffAtBoundaries) {
+  Timeline t;
+  t.record("a", Seconds{0.0}, Seconds{1.0});
+  t.record("b", Seconds{1.0}, Seconds{2.0});
+  EXPECT_EQ(t.category_at(Seconds{0.5}), "a");
+  EXPECT_EQ(t.category_at(Seconds{1.0}), "b");
+  EXPECT_EQ(t.category_at(Seconds{2.0}), "");
+  EXPECT_EQ(t.category_at(Seconds{-1.0}), "");
+}
+
+TEST(Timeline, SpanCoversAllIntervals) {
+  Timeline t;
+  t.record("x", Seconds{1.0}, Seconds{2.0});
+  t.record("y", Seconds{4.0}, Seconds{9.0});
+  EXPECT_DOUBLE_EQ(t.span_begin().value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.span_end().value(), 9.0);
+}
+
+TEST(Timeline, RejectsNegativeInterval) {
+  Timeline t;
+  EXPECT_THROW(t.record("bad", Seconds{2.0}, Seconds{1.0}),
+               util::ContractViolation);
+}
+
+TEST(Timeline, CsvExport) {
+  Timeline t;
+  t.record("sim", Seconds{0.0}, Seconds{1.5});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("category,begin_s,end_s,duration_s"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("sim"), std::string::npos);
+}
+
+TEST(ScopedPhase, RecordsOnDestruction) {
+  VirtualClock clock;
+  Timeline t;
+  {
+    ScopedPhase p(t, clock, "phase");
+    clock.advance(Seconds{2.5});
+  }
+  ASSERT_EQ(t.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.intervals()[0].duration().value(), 2.5);
+}
+
+TEST(Timeline, EmptyTimelineBehaves) {
+  Timeline t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.total_recorded().value(), 0.0);
+  EXPECT_TRUE(t.fractions().empty());
+  EXPECT_DOUBLE_EQ(t.span_begin().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace greenvis::trace

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/args.hpp"
+#include "src/util/checksum.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/error.hpp"
+#include "src/util/field.hpp"
+#include "src/util/log.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::util {
+namespace {
+
+// ---------- units ----------
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = Watts{100.0} * Seconds{30.0};
+  EXPECT_DOUBLE_EQ(e.value(), 3000.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  const Watts p = Joules{250.0} / Seconds{5.0};
+  EXPECT_DOUBLE_EQ(p.value(), 50.0);
+}
+
+TEST(Units, EnergyOverPowerIsTime) {
+  const Seconds t = Joules{250.0} / Watts{5.0};
+  EXPECT_DOUBLE_EQ(t.value(), 50.0);
+}
+
+TEST(Units, LikeQuantityRatioIsDimensionless) {
+  EXPECT_DOUBLE_EQ(Seconds{10.0} / Seconds{4.0}, 2.5);
+}
+
+TEST(Units, QuantityArithmetic) {
+  Watts w{10.0};
+  w += Watts{5.0};
+  w -= Watts{3.0};
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+  EXPECT_LT(Watts{1.0}, Watts{2.0});
+  EXPECT_DOUBLE_EQ((-Watts{3.0}).value(), -3.0);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(kibibytes(4).value(), 4096u);
+  EXPECT_EQ(mebibytes(1).value(), 1048576u);
+  EXPECT_EQ(gibibytes(1).value(), 1073741824u);
+  EXPECT_DOUBLE_EQ(mebibytes(3).megabytes(), 3.0);
+}
+
+TEST(Units, TransferTime) {
+  const Seconds t = transfer_time(mebibytes(114), mebibytes_per_second(114.0));
+  EXPECT_NEAR(t.value(), 1.0, 1e-12);
+}
+
+// ---------- error/contracts ----------
+
+TEST(Contracts, RequireThrowsWithContext) {
+  try {
+    GREENVIS_REQUIRE_MSG(false, "the detail");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the detail"), std::string::npos);
+  }
+}
+
+TEST(Contracts, RequirePassesSilently) {
+  EXPECT_NO_THROW(GREENVIS_REQUIRE(1 + 1 == 2));
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a{42}, b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a{1}, b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounded) {
+  Xoshiro256 rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Xoshiro256 rng{11};
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(rng.normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+// ---------- stats ----------
+
+TEST(Stats, OnlineMatchesBatch) {
+  OnlineStats s;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+  EXPECT_NEAR(s.variance(), 12.5, 1e-12);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_bound(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_bound(1.0), 100.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+}
+
+// ---------- csv ----------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({"a", "b"});
+  w.field(1.5);
+  w.field(static_cast<long long>(7));
+  w.end_row();
+  EXPECT_EQ(os.str(), "a,b\n1.500000,7\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+// ---------- table ----------
+
+TEST(Table, RendersAligned) {
+  TextTable t({"Metric", "Value"});
+  t.add_row({"time", "35.9"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Metric"), std::string::npos);
+  EXPECT_NE(out.find("35.9"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell_percent(0.43), "43%");
+}
+
+// ---------- thread pool ----------
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++hits[i];
+    }
+  });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ManySmallDispatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 7, [&](std::size_t lo, std::size_t hi) {
+      total += static_cast<int>(hi - lo);
+    });
+  }
+  EXPECT_EQ(total.load(), 350);
+}
+
+// ---------- args ----------
+
+TEST(Args, ParsesOptionsFlagsAndPositionals) {
+  // Note the greedy-value rule: an option consumes the next token unless
+  // that token is itself an option — so trailing flags must come last.
+  const char* argv[] = {"prog", "run",  "file.trace",
+                        "--case", "2", "--verbose"};
+  const ArgParser args(6, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "file.trace");
+  EXPECT_EQ(args.get("case", 0.0), 2.0);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", std::string{"x"}), "");
+}
+
+TEST(Args, OptionGreedilyConsumesNextToken) {
+  const char* argv[] = {"prog", "--verbose", "file.trace"};
+  const ArgParser args(3, argv);
+  EXPECT_EQ(args.get("verbose", std::string{}), "file.trace");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Args, TypedGettersWithDefaults) {
+  const char* argv[] = {"prog", "--rate", "1.5", "--count", "42"};
+  const ArgParser args(5, argv);
+  EXPECT_DOUBLE_EQ(args.get("rate", 0.0), 1.5);
+  EXPECT_EQ(args.get("count", 0LL), 42);
+  EXPECT_DOUBLE_EQ(args.get("missing", 7.0), 7.0);
+  EXPECT_EQ(args.get("missing", std::string{"d"}), "d");
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const char* argv[] = {"prog", "--rate", "fast"};
+  const ArgParser args(3, argv);
+  EXPECT_THROW((void)args.get("rate", 0.0), ContractViolation);
+  EXPECT_THROW((void)args.get("rate", 0LL), ContractViolation);
+}
+
+TEST(Args, StrictModeRejectsUnknownOptions) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  const ArgParser args(3, argv);
+  EXPECT_THROW(args.allow_only({"case", "size"}), ContractViolation);
+  EXPECT_NO_THROW(args.allow_only({"typo"}));
+}
+
+TEST(Args, RequireThrowsWhenMissing) {
+  const char* argv[] = {"prog"};
+  const ArgParser args(1, argv);
+  EXPECT_THROW((void)args.require("needed"), ContractViolation);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  const char* argv[] = {"prog", "--dry-run", "--case", "3"};
+  const ArgParser args(4, argv);
+  EXPECT_TRUE(args.has("dry-run"));
+  EXPECT_EQ(args.get("dry-run", std::string{"?"}), "");
+  EXPECT_EQ(args.get("case", 0LL), 3);
+}
+
+// ---------- checksum ----------
+
+TEST(Checksum, StableAndSensitive) {
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{1, 2, 4};
+  EXPECT_EQ(fnv1a64(a), fnv1a64(a));
+  EXPECT_NE(fnv1a64(a), fnv1a64(b));
+}
+
+// ---------- log ----------
+
+TEST(Log, ThresholdFiltersLevels) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are discarded without side effects; the calls
+  // themselves must be safe at any level.
+  log_debug() << "dropped";
+  log_info() << "dropped " << 42;
+  log_error() << "kept";
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(Log, StreamInterfaceComposes) {
+  set_log_level(LogLevel::kError);  // keep test output quiet
+  log_warn() << "pieces " << 1 << ", " << 2.5 << ", " << Watts{3.0};
+  set_log_level(LogLevel::kInfo);
+}
+
+// ---------- field ----------
+
+TEST(Field, RoundTripsThroughSerialization) {
+  Field2D f(5, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      f.at(i, j) = static_cast<double>(i) * 10.0 + static_cast<double>(j);
+    }
+  }
+  const auto raw = f.serialize();
+  EXPECT_EQ(raw.size(), f.serialized_bytes());
+  const Field2D g = Field2D::deserialize(raw);
+  EXPECT_EQ(f, g);
+}
+
+TEST(Field, MinMaxSum) {
+  Field2D f(2, 2, 1.0);
+  f.at(1, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(f.min_value(), -4.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(f.sum(), -1.0);
+}
+
+TEST(Field, DeserializeRejectsCorruptSize) {
+  Field2D f(4, 4);
+  auto raw = f.serialize();
+  raw.pop_back();
+  EXPECT_THROW(Field2D::deserialize(raw), ContractViolation);
+}
+
+}  // namespace
+}  // namespace greenvis::util

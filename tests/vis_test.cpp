@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/vis/color.hpp"
+#include "src/vis/contour.hpp"
+#include "src/vis/filters.hpp"
+#include "src/vis/annotate.hpp"
+#include "src/vis/flow.hpp"
+#include "src/vis/image.hpp"
+#include "src/vis/pipeline.hpp"
+#include "src/vis/rasterizer.hpp"
+
+namespace greenvis::vis {
+namespace {
+
+util::Field2D ramp_field(std::size_t n) {
+  util::Field2D f(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      f.at(i, j) = static_cast<double>(i);
+    }
+  }
+  return f;
+}
+
+util::Field2D radial_field(std::size_t n) {
+  util::Field2D f(n, n);
+  const double c = static_cast<double>(n - 1) / 2.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(i) - c;
+      const double dy = static_cast<double>(j) - c;
+      f.at(i, j) = std::sqrt(dx * dx + dy * dy);
+    }
+  }
+  return f;
+}
+
+// ---------- colormap ----------
+
+TEST(ColorMap, EndpointsAndMidpoints) {
+  const ColorMap gray = ColorMap::grayscale();
+  EXPECT_EQ(gray.map(0.0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(gray.map(1.0), (Rgb{255, 255, 255}));
+  const Rgb mid = gray.map(0.5);
+  EXPECT_NEAR(mid.r, 128, 1);
+  EXPECT_EQ(mid.r, mid.g);
+  EXPECT_EQ(mid.g, mid.b);
+}
+
+TEST(ColorMap, ClampsOutOfRange) {
+  const ColorMap gray = ColorMap::grayscale();
+  EXPECT_EQ(gray.map(-3.0), gray.map(0.0));
+  EXPECT_EQ(gray.map(7.0), gray.map(1.0));
+}
+
+TEST(ColorMap, MapRangeNormalizes) {
+  const ColorMap gray = ColorMap::grayscale();
+  EXPECT_EQ(gray.map_range(50.0, 0.0, 100.0), gray.map(0.5));
+  // Degenerate range maps to the low end.
+  EXPECT_EQ(gray.map_range(5.0, 3.0, 3.0), gray.map(0.0));
+}
+
+TEST(ColorMap, CoolWarmIsDiverging) {
+  const ColorMap cw = ColorMap::cool_warm();
+  EXPECT_GT(cw.map(0.0).b, cw.map(0.0).r);  // cold end is blue
+  EXPECT_GT(cw.map(1.0).r, cw.map(1.0).b);  // hot end is red
+}
+
+TEST(ColorMap, RejectsBadStops) {
+  EXPECT_THROW(ColorMap({{0.0, 0, 0, 0}}), util::ContractViolation);
+  EXPECT_THROW(ColorMap({{0.2, 0, 0, 0}, {1.0, 1, 1, 1}}),
+               util::ContractViolation);
+}
+
+// ---------- image ----------
+
+TEST(Image, DigestSensitiveToPixels) {
+  Image a(8, 8), b(8, 8);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.at(3, 3) = Rgb{255, 0, 0};
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Image, PpmHeaderAndSize) {
+  Image img(4, 2, Rgb{1, 2, 3});
+  std::ostringstream os;
+  img.write_ppm(os);
+  const std::string ppm = os.str();
+  EXPECT_EQ(ppm.substr(0, 3), "P6\n");
+  EXPECT_NE(ppm.find("4 2"), std::string::npos);
+  EXPECT_EQ(ppm.size(), ppm.find("255\n") + 4 + 4 * 2 * 3);
+}
+
+TEST(Image, SetClippedIgnoresOutOfBounds) {
+  Image img(4, 4);
+  img.set_clipped(-1, 0, Rgb{9, 9, 9});
+  img.set_clipped(0, 100, Rgb{9, 9, 9});
+  img.set_clipped(2, 2, Rgb{9, 9, 9});
+  EXPECT_EQ(img.at(2, 2), (Rgb{9, 9, 9}));
+}
+
+// ---------- bilinear / rasterizer ----------
+
+TEST(Rasterizer, BilinearInterpolatesLinearly) {
+  const util::Field2D f = ramp_field(8);
+  EXPECT_NEAR(bilinear_sample(f, 2.5, 3.0), 2.5, 1e-12);
+  EXPECT_NEAR(bilinear_sample(f, 0.0, 0.0), 0.0, 1e-12);
+  // Clamped outside.
+  EXPECT_NEAR(bilinear_sample(f, 100.0, 3.0), 7.0, 1e-12);
+}
+
+TEST(Rasterizer, PseudocolorMatchesColormap) {
+  const util::Field2D f = ramp_field(16);
+  const Image img = render_pseudocolor(f, ColorMap::grayscale(), 16, 16, 0.0,
+                                       15.0, nullptr);
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.at(15, 0), (Rgb{255, 255, 255}));
+  // Left half darker than right half.
+  EXPECT_LT(img.at(3, 8).r, img.at(12, 8).r);
+}
+
+TEST(Rasterizer, ThreadedRenderIdenticalToSerial) {
+  const util::Field2D f = radial_field(32);
+  util::ThreadPool pool(4);
+  const Image serial = render_pseudocolor(f, ColorMap::hot(), 64, 64, 0.0,
+                                          25.0, nullptr);
+  const Image threaded = render_pseudocolor(f, ColorMap::hot(), 64, 64, 0.0,
+                                            25.0, &pool);
+  EXPECT_EQ(serial.digest(), threaded.digest());
+}
+
+TEST(Rasterizer, DrawSegmentsLeavesMarks) {
+  Image img(32, 32);
+  draw_segments(img, {Segment{0.0, 0.0, 7.0, 7.0}}, 8, 8, Rgb{255, 0, 0});
+  // The diagonal was painted.
+  EXPECT_EQ(img.at(0, 0), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img.at(31, 31), (Rgb{255, 0, 0}));
+}
+
+// ---------- marching squares ----------
+
+TEST(Contour, RadialFieldYieldsClosedRing) {
+  const util::Field2D f = radial_field(33);
+  const auto segments = marching_squares(f, 10.0);
+  EXPECT_GT(segments.size(), 20u);
+  // Every segment endpoint lies near the r = 10 circle.
+  const double c = 16.0;
+  for (const auto& s : segments) {
+    const double r0 = std::hypot(s.x0 - c, s.y0 - c);
+    const double r1 = std::hypot(s.x1 - c, s.y1 - c);
+    EXPECT_NEAR(r0, 10.0, 0.75);
+    EXPECT_NEAR(r1, 10.0, 0.75);
+  }
+}
+
+TEST(Contour, NoSegmentsOutsideRange) {
+  const util::Field2D f = ramp_field(8);
+  EXPECT_TRUE(marching_squares(f, 100.0).empty());
+  EXPECT_TRUE(marching_squares(f, -5.0).empty());
+}
+
+TEST(Contour, VerticalLineOnRamp) {
+  const util::Field2D f = ramp_field(8);
+  const auto segments = marching_squares(f, 3.5);
+  ASSERT_FALSE(segments.empty());
+  for (const auto& s : segments) {
+    EXPECT_NEAR(s.x0, 3.5, 1e-9);
+    EXPECT_NEAR(s.x1, 3.5, 1e-9);
+  }
+  EXPECT_EQ(segments.size(), 7u);  // one per cell row
+}
+
+TEST(Contour, SaddleProducesTwoSegments) {
+  util::Field2D f(2, 2);
+  f.at(0, 0) = 1.0;
+  f.at(1, 1) = 1.0;
+  f.at(1, 0) = 0.0;
+  f.at(0, 1) = 0.0;
+  const auto segments = marching_squares(f, 0.5);
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(Contour, IsoLevelsAreInterior) {
+  const util::Field2D f = ramp_field(8);
+  const auto levels = iso_levels(f, 3);
+  ASSERT_EQ(levels.size(), 3u);
+  for (double v : levels) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 7.0);
+  }
+  EXPECT_LT(levels[0], levels[1]);
+}
+
+// ---------- filters ----------
+
+TEST(Filters, DownsampleKeepsEveryKth) {
+  const util::Field2D f = ramp_field(8);
+  const util::Field2D d = downsample(f, 2);
+  EXPECT_EQ(d.nx(), 4u);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(3, 0), 6.0);
+}
+
+TEST(Filters, ResampleReconstructsLinearFieldExactly) {
+  const util::Field2D f = ramp_field(9);
+  const util::Field2D d = downsample(f, 2);
+  const util::Field2D r = resample(d, 9, 9);
+  EXPECT_LT(rms_difference(f, r), 1e-9);
+}
+
+TEST(Filters, SamplingErrorGrowsWithStride) {
+  const util::Field2D f = radial_field(65);
+  const util::Field2D r2 = resample(downsample(f, 2), 65, 65);
+  const util::Field2D r8 = resample(downsample(f, 8), 65, 65);
+  EXPECT_LT(rms_difference(f, r2), rms_difference(f, r8));
+}
+
+TEST(Filters, ThresholdAndFraction) {
+  const util::Field2D f = ramp_field(10);
+  const util::Field2D mask = threshold_mask(f, 5.0);
+  EXPECT_DOUBLE_EQ(mask.at(4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(mask.at(5, 0), 1.0);
+  EXPECT_NEAR(fraction_above(f, 5.0), 0.5, 1e-12);
+}
+
+TEST(Filters, SliceRowExtractsProfile) {
+  const util::Field2D f = ramp_field(6);
+  const util::Field2D row = slice_row(f, 3);
+  EXPECT_EQ(row.ny(), 1u);
+  EXPECT_DOUBLE_EQ(row.at(4, 0), 4.0);
+}
+
+// ---------- annotation ----------
+
+TEST(Annotate, TextMarksPixelsWithinBounds) {
+  Image img(64, 16);
+  const auto before = img.digest();
+  draw_text(img, "STEP 42", 2, 2, Rgb{255, 255, 255});
+  EXPECT_NE(img.digest(), before);
+  // Nothing outside the text box was touched.
+  EXPECT_EQ(img.at(60, 12), (Rgb{0, 0, 0}));
+}
+
+TEST(Annotate, TextWidthAndScaling) {
+  EXPECT_EQ(text_width("AB"), 12u);
+  EXPECT_EQ(text_width("AB", 3), 36u);
+  Image small(32, 10), big(96, 30);
+  draw_text(small, "A", 0, 0, Rgb{255, 0, 0}, 1);
+  draw_text(big, "A", 0, 0, Rgb{255, 0, 0}, 3);
+  std::size_t lit_small = 0, lit_big = 0;
+  for (const auto& p : small.pixels()) {
+    lit_small += p.r > 0 ? 1 : 0;
+  }
+  for (const auto& p : big.pixels()) {
+    lit_big += p.r > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(lit_big, 9u * lit_small);
+}
+
+TEST(Annotate, LowercaseFoldsToUppercase) {
+  Image a(16, 10), b(16, 10);
+  draw_text(a, "k", 0, 0, Rgb{255, 255, 255});
+  draw_text(b, "K", 0, 0, Rgb{255, 255, 255});
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Annotate, ClipsOffscreenTextSafely) {
+  Image img(16, 16);
+  EXPECT_NO_THROW(draw_text(img, "CLIP", -10, -3, Rgb{9, 9, 9}));
+  EXPECT_NO_THROW(draw_text(img, "CLIP", 14, 14, Rgb{9, 9, 9}));
+}
+
+TEST(Annotate, ColorbarSpansMapRange) {
+  Image img(128, 128, Rgb{0, 0, 0});
+  const auto cmap = ColorMap::grayscale();
+  draw_colorbar(img, cmap, 0.0, 100.0);
+  // The bar occupies the right edge: top of the bar bright, bottom dark.
+  const std::size_t x = 128 - 5;
+  EXPECT_GT(img.at(x, 16).r, 200);
+  EXPECT_LT(img.at(x, 110).r, 60);
+}
+
+// ---------- flow / streamlines ----------
+
+TEST(Flow, GradientOfRampIsConstant) {
+  const util::Field2D f = ramp_field(8);  // f = x
+  const Gradient2D g = gradient(f);
+  for (std::size_t j = 0; j < 8; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(g.gx.at(i, j), 1.0, 1e-12);
+      EXPECT_NEAR(g.gy.at(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Flow, SampleGradientInterpolates) {
+  const util::Field2D f = ramp_field(8);
+  const Gradient2D g = gradient(f);
+  const Vec2 v = sample_gradient(g, 3.5, 2.7);
+  EXPECT_NEAR(v.x, 1.0, 1e-12);
+  EXPECT_NEAR(v.y, 0.0, 1e-12);
+}
+
+TEST(Flow, DownhillStreamlineDescendsRamp) {
+  const util::Field2D f = ramp_field(16);  // increases with x
+  const Gradient2D g = gradient(f);
+  const auto line = trace_streamline(g, 10.0, 8.0);
+  ASSERT_GE(line.size(), 2u);
+  // Heat flows down-gradient: toward smaller x, constant y.
+  EXPECT_LT(line.back().x, 1.0);
+  EXPECT_NEAR(line.back().y, 8.0, 1e-9);
+  // Monotone descent of the scalar along the line.
+  for (std::size_t p = 1; p < line.size(); ++p) {
+    EXPECT_LT(line[p].x, line[p - 1].x);
+  }
+}
+
+TEST(Flow, UphillStreamlineClimbsRadialField) {
+  const util::Field2D f = radial_field(33);  // minimum at the center
+  const Gradient2D g = gradient(f);
+  StreamlineConfig config;
+  config.downhill = false;  // climb toward larger radius
+  const auto line = trace_streamline(g, 18.0, 16.0, config);
+  const double r_start = std::hypot(18.0 - 16.0, 16.0 - 16.0);
+  const double r_end =
+      std::hypot(line.back().x - 16.0, line.back().y - 16.0);
+  EXPECT_GT(r_end, r_start + 5.0);
+}
+
+TEST(Flow, StreamlineStopsAtStagnation) {
+  const util::Field2D flat(8, 8, 3.0);
+  const Gradient2D g = gradient(flat);
+  const auto line = trace_streamline(g, 4.0, 4.0);
+  EXPECT_EQ(line.size(), 1u);  // nothing but the seed
+}
+
+TEST(Flow, DrawStreamlinesMarksImage) {
+  const util::Field2D f = radial_field(33);
+  Image img(64, 64);
+  const Image before = img;
+  draw_streamlines(img, f, 4, Rgb{255, 0, 0});
+  EXPECT_NE(img.digest(), before.digest());
+}
+
+// ---------- pipeline ----------
+
+TEST(VisPipeline, DeterministicDigests) {
+  const util::Field2D f = radial_field(64);
+  VisConfig config;
+  config.width = 128;
+  config.height = 128;
+  util::ThreadPool pool(2);
+  VisPipeline p(config, &pool);
+  EXPECT_EQ(p.render(f).digest(), p.render(f).digest());
+}
+
+TEST(VisPipeline, DifferentFieldsDifferentImages) {
+  VisConfig config;
+  config.width = 64;
+  config.height = 64;
+  VisPipeline p(config, nullptr);
+  EXPECT_NE(p.render(radial_field(32)).digest(),
+            p.render(ramp_field(32)).digest());
+}
+
+TEST(VisPipeline, ActivityMatchesConfiguredCost) {
+  VisConfig config;
+  const VisPipeline p(config, nullptr);
+  const auto a = p.render_activity();
+  EXPECT_NEAR(a.flops, 512.0 * 512.0 * config.modeled_flops_per_pixel, 1.0);
+  EXPECT_EQ(a.active_cores, 16u);
+  EXPECT_NEAR(a.core_utilization, 0.35, 1e-12);
+}
+
+}  // namespace
+}  // namespace greenvis::vis

@@ -1,0 +1,271 @@
+// greenvis — command-line front end to the library.
+//
+//   greenvis compare [--case N] [--cap WATTS] [--io-ghz F]
+//   greenvis fio <seq-read|rand-read|seq-write|rand-write> [--size MIB]
+//               [--device hdd|ssd|nvram]
+//   greenvis advise --accesses N --kib K --random F --reads F
+//                   [--no-exploration]
+//   greenvis replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
+//   greenvis cluster [--nodes N] [--staging S] [--targets T]
+//   greenvis trace-template            # print a starter trace to stdout
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/advisor.hpp"
+#include "src/analysis/metrics.hpp"
+#include "src/core/experiment.hpp"
+#include "src/fio/runner.hpp"
+#include "src/net/multinode.hpp"
+#include "src/replay/engine.hpp"
+#include "src/util/args.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace greenvis;
+
+using Args = util::ArgParser;
+
+double opt_double(const Args& args, const std::string& key, double fallback) {
+  return args.get(key, fallback);
+}
+
+std::string opt_string(const Args& args, const std::string& key,
+                       const std::string& fallback) {
+  return args.get(key, fallback);
+}
+
+int cmd_compare(const Args& args) {
+  const int case_number = static_cast<int>(opt_double(args, "case", 1));
+  core::TestbedConfig config;
+  config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
+  config.io_frequency_ghz = opt_double(args, "io-ghz", 0.0);
+  const core::Experiment experiment(config);
+  const auto workload = core::case_study(case_number);
+  std::cerr << "running " << workload.name << "...\n";
+  const auto post =
+      experiment.run(core::PipelineKind::kPostProcessing, workload);
+  const auto insitu = experiment.run(core::PipelineKind::kInSitu, workload);
+  const auto cmp = analysis::compare(post, insitu);
+
+  util::TextTable t({"Metric", "Post-processing", "In-situ"});
+  t.add_row({"Time (s)", util::cell(cmp.time_post.value()),
+             util::cell(cmp.time_insitu.value())});
+  t.add_row({"Avg power (W)", util::cell(cmp.avg_power_post.value()),
+             util::cell(cmp.avg_power_insitu.value())});
+  t.add_row({"Peak power (W)", util::cell(cmp.peak_power_post.value()),
+             util::cell(cmp.peak_power_insitu.value())});
+  t.add_row({"Energy (kJ)", util::cell(cmp.energy_post.value() / 1000.0),
+             util::cell(cmp.energy_insitu.value() / 1000.0)});
+  std::cout << t.render();
+  std::cout << "\nIn-situ: " << util::cell_percent(cmp.energy_savings())
+            << " less energy, " << util::cell_percent(cmp.time_reduction())
+            << " less time, +"
+            << util::cell_percent(cmp.avg_power_increase())
+            << " average power.\n";
+  return 0;
+}
+
+int cmd_fio(const Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "usage: greenvis fio <seq-read|rand-read|seq-write|"
+                 "rand-write> [--size MIB] [--device hdd|ssd|nvram]\n";
+    return 2;
+  }
+  const std::map<std::string, fio::RwMode> modes{
+      {"seq-read", fio::RwMode::kSequentialRead},
+      {"rand-read", fio::RwMode::kRandomRead},
+      {"seq-write", fio::RwMode::kSequentialWrite},
+      {"rand-write", fio::RwMode::kRandomWrite}};
+  const auto it = modes.find(args.positional()[0]);
+  if (it == modes.end()) {
+    std::cerr << "unknown fio mode '" << args.positional()[0] << "'\n";
+    return 2;
+  }
+  fio::FioRunnerConfig config;
+  const std::string device = opt_string(args, "device", "hdd");
+  config.device = device == "ssd"    ? fio::DeviceKind::kSsd
+                  : device == "nvram" ? fio::DeviceKind::kNvram
+                                      : fio::DeviceKind::kHdd;
+  fio::FioJob job = fio::table3_job(it->second);
+  const double mib = opt_double(args, "size", 0.0);
+  if (mib > 0.0) {
+    job.total_size = util::mebibytes(static_cast<std::uint64_t>(mib));
+  }
+  std::cerr << "running " << job.name << " (" << job.total_size.megabytes()
+            << " MiB) on " << device << "...\n";
+  const auto out = fio::FioRunner(config).run(job);
+  util::TextTable t({"Metric", "Value"});
+  t.add_row({"Execution time (s)", util::cell(out.result.execution_time.value())});
+  t.add_row({"Full-system power (W)",
+             util::cell(out.result.full_system_power.value())});
+  t.add_row({"Disk dynamic power (W)",
+             util::cell(out.result.disk_dynamic_power.value())});
+  t.add_row({"Full-system energy (kJ)",
+             util::cell(out.result.full_system_energy.value() / 1000.0)});
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  analysis::AccessPattern pattern;
+  pattern.accesses =
+      static_cast<std::uint64_t>(opt_double(args, "accesses", 1 << 18));
+  pattern.bytes_per_access = util::kibibytes(
+      static_cast<std::uint64_t>(opt_double(args, "kib", 16)));
+  pattern.random_fraction = opt_double(args, "random", 1.0);
+  pattern.read_fraction = opt_double(args, "reads", 0.9);
+  pattern.exploratory_analysis_required =
+      !args.has("no-exploration");
+
+  const analysis::Advisor advisor(machine::sandy_bridge_testbed(),
+                                  power::hdd_power_params(),
+                                  util::Watts{103.0});
+  const auto rec = advisor.recommend(pattern);
+  util::TextTable t(
+      {"Strategy", "I/O time (s)", "I/O energy (kJ)", "Keeps exploration"});
+  for (const auto& e : rec.all) {
+    t.add_row({analysis::strategy_name(e.strategy),
+               util::cell(e.io_time.value()),
+               util::cell(e.io_energy.value() / 1000.0),
+               e.preserves_exploration ? "yes" : "no"});
+  }
+  std::cout << t.render();
+  std::cout << "\nRecommendation: "
+            << analysis::strategy_name(rec.chosen.strategy) << " — "
+            << rec.chosen.rationale << '\n';
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  std::string text;
+  if (args.has("builtin")) {
+    const std::string which = args.get("builtin", std::string{});
+    if (which == "mpas") {
+      text = replay::mpas_like_trace();
+    } else if (which == "xrage") {
+      text = replay::xrage_like_trace();
+    } else {
+      std::cerr << "unknown builtin '" << which << "' (mpas|xrage)\n";
+      return 2;
+    }
+  } else if (!args.positional().empty()) {
+    std::ifstream file(args.positional()[0]);
+    if (!file.good()) {
+      std::cerr << "cannot open trace file " << args.positional()[0] << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  } else {
+    std::cerr << "usage: greenvis replay (<trace-file>|--builtin mpas|xrage) "
+                 "[--in-situ]\n";
+    return 2;
+  }
+
+  replay::AppTrace trace = replay::parse_trace(text);
+  if (args.has("in-situ")) {
+    trace = replay::to_in_situ(trace);
+  }
+  std::cerr << "replaying " << trace.name << " (" << trace.repeat
+            << " steps)...\n";
+  const auto result = replay::ReplayEngine{}.run(trace);
+  util::TextTable t({"Metric", "Value"});
+  t.add_row({"Application", result.app_name});
+  t.add_row({"Time (s)", util::cell(result.duration.value())});
+  t.add_row({"Avg power (W)", util::cell(result.average_power.value())});
+  t.add_row({"Peak power (W)", util::cell(result.peak_power.value())});
+  t.add_row({"Energy (kJ)", util::cell(result.energy.value() / 1000.0)});
+  t.add_row({"Bytes written (MB)",
+             util::cell(result.bytes_written.megabytes(), 2)});
+  t.set_align(1, util::Align::kRight);
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_cluster(const Args& args) {
+  net::ClusterSpec cluster;
+  cluster.compute_nodes =
+      static_cast<std::size_t>(opt_double(args, "nodes", 32));
+  cluster.staging_nodes =
+      static_cast<std::size_t>(opt_double(args, "staging", 2));
+  cluster.pfs.storage_targets =
+      static_cast<std::size_t>(opt_double(args, "targets", 4));
+  const net::MultiNodeStudy study(cluster, core::case_study(1));
+  const auto post = study.post_processing();
+  const auto insitu = study.in_situ();
+  const auto transit = study.in_transit();
+  util::TextTable t({"Pipeline", "Time (s)", "Energy (MJ)", "vs post"});
+  for (const auto* r : {&post, &transit, &insitu}) {
+    t.add_row({r->pipeline, util::cell(r->duration.value()),
+               util::cell(r->energy.value() / 1e6, 2),
+               r == &post ? std::string("--")
+                          : util::cell_percent(1.0 - r->energy.value() /
+                                                         post.energy.value())});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_trace_template() {
+  std::cout << replay::mpas_like_trace();
+  return 0;
+}
+
+void usage() {
+  std::cerr <<
+      R"(greenvis — greenness analysis of visualization pipelines
+
+commands:
+  compare [--case 1|2|3] [--cap WATTS] [--io-ghz F]   run both pipelines
+  fio <seq-read|rand-read|seq-write|rand-write>
+      [--size MIB] [--device hdd|ssd|nvram]           one fio job
+  advise --accesses N --kib K --random F --reads F
+      [--no-exploration]                              optimization advisor
+  replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
+  cluster [--nodes N] [--staging S] [--targets T]     multi-node study
+  trace-template                                      starter replay trace
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "compare") {
+      return cmd_compare(args);
+    }
+    if (command == "fio") {
+      return cmd_fio(args);
+    }
+    if (command == "advise") {
+      return cmd_advise(args);
+    }
+    if (command == "replay") {
+      return cmd_replay(args);
+    }
+    if (command == "cluster") {
+      return cmd_cluster(args);
+    }
+    if (command == "trace-template") {
+      return cmd_trace_template();
+    }
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
