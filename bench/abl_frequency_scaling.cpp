@@ -11,20 +11,29 @@ int main() {
   std::cout << "=== Ablation: frequency scaling (post-processing, case 1) "
                "===\n\n";
 
-  util::TextTable t({"Frequency (GHz)", "Time (s)", "Avg power (W)",
-                     "Energy (kJ)", "vs nominal"});
-  double nominal_energy = 0.0;
-  for (double freq : {2.4, 2.0, 1.6, 1.2}) {
-    std::cerr << "[bench] " << freq << " GHz...\n";
+  const std::vector<double> freqs{2.4, 2.0, 1.6, 1.2};
+  const core::BatchRunner runner;
+  std::vector<core::BatchJob> jobs;
+  for (double freq : freqs) {
+    core::BatchJob job;
+    job.kind = core::PipelineKind::kPostProcessing;
+    job.config = core::case_study(1);
+    job.options.host_threads = runner.host_threads_per_job();
     core::TestbedConfig bed_config;
     bed_config.frequency_ghz = freq;
-    const core::Experiment experiment(bed_config);
-    const auto m = experiment.run(core::PipelineKind::kPostProcessing,
-                                  core::case_study(1));
-    if (nominal_energy == 0.0) {
-      nominal_energy = m.energy.value();
-    }
-    t.add_row({util::cell(freq, 1), util::cell(m.duration.value()),
+    job.testbed = bed_config;
+    jobs.push_back(std::move(job));
+  }
+  std::cerr << "[bench] running " << jobs.size() << " P-states on "
+            << runner.concurrency() << " host thread(s)...\n";
+  const auto metrics = runner.run(core::Experiment{}, jobs);
+
+  util::TextTable t({"Frequency (GHz)", "Time (s)", "Avg power (W)",
+                     "Energy (kJ)", "vs nominal"});
+  const double nominal_energy = metrics.front().energy.value();
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    const auto& m = metrics[k];
+    t.add_row({util::cell(freqs[k], 1), util::cell(m.duration.value()),
                util::cell(m.average_power.value()),
                util::cell(m.energy.value() / 1000.0),
                util::cell_percent(m.energy.value() / nominal_energy - 1.0)});

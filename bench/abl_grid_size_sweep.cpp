@@ -11,11 +11,10 @@ int main() {
   std::cout << "=== Ablation: grid-size sweep (I/O every step, 25 "
                "iterations) ===\n\n";
 
-  const core::Experiment experiment;
-  util::TextTable t({"Grid", "KB/step", "T post (s)", "T in-situ (s)",
-                     "Energy savings", "I/O share of post"});
-  for (std::size_t n : {64, 128, 256, 512}) {
-    std::cerr << "[bench] " << n << "x" << n << "...\n";
+  const std::vector<std::size_t> grids{64, 128, 256, 512};
+  const core::BatchRunner runner;
+  std::vector<core::BatchJob> jobs;
+  for (std::size_t n : grids) {
     core::CaseStudyConfig config = core::case_study(1);
     config.name = std::to_string(n) + "^2";
     config.iterations = 25;
@@ -35,14 +34,28 @@ int main() {
         heat::HeatSource{90.0 * s, 84.0 * s, 9.0 * s, 60.0},
     };
 
-    const auto post =
-        experiment.run(core::PipelineKind::kPostProcessing, config);
-    const auto insitu = experiment.run(core::PipelineKind::kInSitu, config);
-    const auto cmp = analysis::compare(post, insitu);
+    core::BatchJob job;
+    job.config = config;
+    job.options.host_threads = runner.host_threads_per_job();
+    job.kind = core::PipelineKind::kPostProcessing;
+    jobs.push_back(job);
+    job.kind = core::PipelineKind::kInSitu;
+    jobs.push_back(job);
+  }
+  std::cerr << "[bench] running " << jobs.size() << " pipeline runs on "
+            << runner.concurrency() << " host thread(s)...\n";
+  const auto metrics = runner.run(core::Experiment{}, jobs);
+
+  util::TextTable t({"Grid", "KB/step", "T post (s)", "T in-situ (s)",
+                     "Energy savings", "I/O share of post"});
+  for (std::size_t k = 0; k < grids.size(); ++k) {
+    const std::size_t n = grids[k];
+    const auto& post = metrics[2 * k];
+    const auto cmp = analysis::compare(post, metrics[2 * k + 1]);
     const auto fractions = post.timeline.fractions();
     const double io_share = fractions.at(core::stage::kWrite) +
                             fractions.at(core::stage::kRead);
-    t.add_row({config.name,
+    t.add_row({post.case_name,
                util::cell(static_cast<double>(n * n * 8) / 1024.0, 0),
                util::cell(cmp.time_post.value()),
                util::cell(cmp.time_insitu.value()),

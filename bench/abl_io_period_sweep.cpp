@@ -8,20 +8,31 @@ int main() {
   using namespace greenvis;
   std::cout << "=== Ablation: I/O period sweep ===\n\n";
 
-  const core::Experiment experiment;
-  util::TextTable t({"I/O period", "T post (s)", "T in-situ (s)",
-                     "Energy savings", "Avg power increase",
-                     "Efficiency gain"});
-  for (int period : {1, 2, 4, 8, 16}) {
-    std::cerr << "[bench] period " << period << "...\n";
+  const std::vector<int> periods{1, 2, 4, 8, 16};
+  const core::BatchRunner runner;
+  std::vector<core::BatchJob> jobs;
+  for (int period : periods) {
     core::CaseStudyConfig config = core::case_study(1);
     config.io_period = period;
     config.name = "period " + std::to_string(period);
-    const auto post =
-        experiment.run(core::PipelineKind::kPostProcessing, config);
-    const auto insitu = experiment.run(core::PipelineKind::kInSitu, config);
-    const auto c = analysis::compare(post, insitu);
-    t.add_row({std::to_string(period), util::cell(c.time_post.value()),
+    core::BatchJob job;
+    job.config = config;
+    job.options.host_threads = runner.host_threads_per_job();
+    job.kind = core::PipelineKind::kPostProcessing;
+    jobs.push_back(job);
+    job.kind = core::PipelineKind::kInSitu;
+    jobs.push_back(job);
+  }
+  std::cerr << "[bench] running " << jobs.size() << " pipeline runs on "
+            << runner.concurrency() << " host thread(s)...\n";
+  const auto metrics = runner.run(core::Experiment{}, jobs);
+
+  util::TextTable t({"I/O period", "T post (s)", "T in-situ (s)",
+                     "Energy savings", "Avg power increase",
+                     "Efficiency gain"});
+  for (std::size_t k = 0; k < periods.size(); ++k) {
+    const auto c = analysis::compare(metrics[2 * k], metrics[2 * k + 1]);
+    t.add_row({std::to_string(periods[k]), util::cell(c.time_post.value()),
                util::cell(c.time_insitu.value()),
                util::cell_percent(c.energy_savings()),
                "+" + util::cell_percent(c.avg_power_increase()),

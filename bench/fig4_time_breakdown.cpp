@@ -13,11 +13,19 @@ int main() {
   std::cout << "=== Fig. 4: Execution-time breakdown (post-processing) ===\n\n";
   util::TextTable t({"Stage", "Case Study 1", "Case Study 2", "Case Study 3"});
 
-  std::vector<std::map<std::string, double>> fractions;
+  const core::BatchRunner runner;
+  std::vector<core::BatchJob> jobs;
   for (int n = 1; n <= 3; ++n) {
-    std::cerr << "[bench] running case study " << n << "...\n";
-    const auto metrics = core::Experiment{}.run(
-        core::PipelineKind::kPostProcessing, core::case_study(n));
+    core::BatchJob job;
+    job.kind = core::PipelineKind::kPostProcessing;
+    job.config = core::case_study(n);
+    job.options.host_threads = runner.host_threads_per_job();
+    jobs.push_back(std::move(job));
+  }
+  std::cerr << "[bench] running " << jobs.size() << " case studies on "
+            << runner.concurrency() << " host thread(s)...\n";
+  std::vector<std::map<std::string, double>> fractions;
+  for (const auto& metrics : runner.run(core::Experiment{}, jobs)) {
     fractions.push_back(metrics.timeline.fractions());
   }
 

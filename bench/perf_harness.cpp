@@ -1,0 +1,207 @@
+// Host-performance harness: tracks the wall-clock throughput of the hot
+// kernels and of the concurrent experiment batch from PR to PR.
+//
+// Unlike the figure benches (which report *virtual* testbed seconds), this
+// binary measures *host* seconds with std::chrono and emits BENCH_perf.json
+// so the perf trajectory is diffable across commits. Simulated results are
+// untouched by the parallel runtime — only these numbers move.
+//
+// Usage:  bench_perf_harness [--out BENCH_perf.json] [--quick]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/batch_runner.hpp"
+#include "src/core/workload.hpp"
+#include "src/heat/solver.hpp"
+#include "src/heat/solver3d.hpp"
+#include "src/util/args.hpp"
+#include "src/util/error.hpp"
+#include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/vis/rasterizer.hpp"
+
+namespace {
+
+using namespace greenvis;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Mega cell-updates per second of the 2-D solver at `n` x `n`.
+double heat2d_mcups(std::size_t n, std::size_t sweeps, int steps,
+                    util::ThreadPool* pool) {
+  heat::HeatProblem p;
+  p.nx = n;
+  p.ny = n;
+  p.executed_sweeps = sweeps;
+  heat::HeatSolver solver(p, pool);
+  solver.set_eigenmode(1, 1, 1.0);
+  const auto t0 = Clock::now();
+  for (int s = 0; s < steps; ++s) {
+    (void)solver.step();
+  }
+  const double elapsed = seconds_since(t0);
+  const double updates = static_cast<double>(n * n) *
+                         static_cast<double>(sweeps) *
+                         static_cast<double>(steps);
+  return updates / elapsed / 1e6;
+}
+
+/// Mega cell-updates per second of the 3-D solver at `n`^3.
+double heat3d_mcups(std::size_t n, std::size_t sweeps, int steps,
+                    util::ThreadPool* pool) {
+  heat::HeatProblem3D p;
+  p.nx = n;
+  p.ny = n;
+  p.nz = n;
+  p.executed_sweeps = sweeps;
+  heat::HeatSolver3D solver(p, pool);
+  solver.set_eigenmode(1, 1, 1, 1.0);
+  const auto t0 = Clock::now();
+  for (int s = 0; s < steps; ++s) {
+    (void)solver.step();
+  }
+  const double elapsed = seconds_since(t0);
+  const double updates = static_cast<double>(n * n * n) *
+                         static_cast<double>(sweeps) *
+                         static_cast<double>(steps);
+  return updates / elapsed / 1e6;
+}
+
+/// Megapixels per second of the pseudocolor rasterizer at `n` x `n`.
+double render_mpixels(std::size_t n, int frames, util::ThreadPool* pool) {
+  util::Field2D f(512, 512);
+  for (std::size_t j = 0; j < f.ny(); ++j) {
+    for (std::size_t i = 0; i < f.nx(); ++i) {
+      f.at(i, j) = static_cast<double>(i ^ j);
+    }
+  }
+  const auto cmap = vis::ColorMap::cool_warm();
+  const auto t0 = Clock::now();
+  for (int k = 0; k < frames; ++k) {
+    (void)vis::render_pseudocolor(f, cmap, n, n, 0.0, 511.0, pool);
+  }
+  const double elapsed = seconds_since(t0);
+  return static_cast<double>(n * n) * frames / elapsed / 1e6;
+}
+
+/// Wall seconds for the fig. 10 batch (post-processing + in-situ x three
+/// case studies) at the given batch concurrency.
+double fig10_batch_seconds(std::size_t concurrency) {
+  const core::BatchRunner runner(concurrency);
+  std::vector<core::BatchJob> jobs;
+  for (int n = 1; n <= 3; ++n) {
+    core::BatchJob job;
+    job.config = core::case_study(n);
+    job.options.host_threads = runner.host_threads_per_job();
+    job.kind = core::PipelineKind::kPostProcessing;
+    jobs.push_back(job);
+    job.kind = core::PipelineKind::kInSitu;
+    jobs.push_back(job);
+  }
+  const core::Experiment experiment;
+  const auto t0 = Clock::now();
+  const auto metrics = runner.run(experiment, jobs);
+  const double elapsed = seconds_since(t0);
+  GREENVIS_ENSURE(metrics.size() == jobs.size());
+  return elapsed;
+}
+
+struct KernelRow {
+  std::string name;
+  double serial{0.0};
+  double parallel{0.0};
+  std::string unit;
+};
+
+void write_json(const std::string& path, const std::vector<KernelRow>& rows,
+                double batch_serial_s, double batch_concurrent_s) {
+  std::ofstream os(path);
+  GREENVIS_REQUIRE_MSG(os.good(), "cannot open " + path);
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\n";
+  os << "  \"hardware_concurrency\": "
+     << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  for (const auto& row : rows) {
+    os << "  \"" << row.name << "\": {\"serial_" << row.unit
+       << "\": " << row.serial << ", \"parallel_" << row.unit
+       << "\": " << row.parallel
+       << ", \"speedup\": " << row.parallel / row.serial << "},\n";
+  }
+  os << "  \"fig10_batch\": {\"serial_seconds\": " << batch_serial_s
+     << ", \"concurrent_seconds\": " << batch_concurrent_s
+     << ", \"speedup\": " << batch_serial_s / batch_concurrent_s << "}\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::ArgParser args(argc, argv);
+  args.allow_only({"out", "quick"});
+  const std::string out = args.get("out", std::string{"BENCH_perf.json"});
+  const bool quick = args.has("quick");
+  const int reps = quick ? 1 : 3;
+
+  util::ThreadPool pool;  // hardware concurrency
+  std::cerr << "[perf] " << pool.size() << " host thread(s)\n";
+
+  // Best-of-reps to shed scheduler noise.
+  auto best = [&](auto&& fn) {
+    double v = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      v = std::max(v, fn());
+    }
+    return v;
+  };
+
+  std::vector<KernelRow> rows;
+  std::cerr << "[perf] heat 2-D 512x512...\n";
+  rows.push_back(
+      {"heat2d_512", best([&] { return heat2d_mcups(512, 10, 2, nullptr); }),
+       best([&] { return heat2d_mcups(512, 10, 2, &pool); }), "mcups"});
+  std::cerr << "[perf] heat 3-D 96^3...\n";
+  rows.push_back(
+      {"heat3d_96", best([&] { return heat3d_mcups(96, 4, 2, nullptr); }),
+       best([&] { return heat3d_mcups(96, 4, 2, &pool); }), "mcups"});
+  std::cerr << "[perf] render_pseudocolor 1024x1024...\n";
+  rows.push_back(
+      {"render_1024", best([&] { return render_mpixels(1024, 4, nullptr); }),
+       best([&] { return render_mpixels(1024, 4, &pool); }),
+       "mpixels_per_s"});
+
+  std::cerr << "[perf] fig10 batch, serial...\n";
+  double batch_serial = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    batch_serial = std::min(batch_serial, fig10_batch_seconds(1));
+  }
+  std::cerr << "[perf] fig10 batch, concurrent...\n";
+  double batch_conc = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    batch_conc = std::min(batch_conc, fig10_batch_seconds(0));
+  }
+
+  util::TextTable t({"Kernel", "Serial", "Parallel", "Speedup", "Unit"});
+  for (const auto& row : rows) {
+    t.add_row({row.name, util::cell(row.serial, 1), util::cell(row.parallel, 1),
+               util::cell(row.parallel / row.serial, 2), row.unit});
+  }
+  t.add_row({"fig10_batch", util::cell(batch_serial, 2),
+             util::cell(batch_conc, 2),
+             util::cell(batch_serial / batch_conc, 2), "seconds (lower=better)"});
+  std::cout << t.render();
+
+  write_json(out, rows, batch_serial, batch_conc);
+  std::cout << "\nwrote " << out << '\n';
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

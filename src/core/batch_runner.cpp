@@ -1,0 +1,76 @@
+#include "src/core/batch_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace greenvis::core {
+
+BatchRunner::BatchRunner(std::size_t concurrency) : concurrency_(concurrency) {
+  if (concurrency_ == 0) {
+    concurrency_ =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<PipelineMetrics> BatchRunner::run(
+    const Experiment& experiment, const std::vector<BatchJob>& jobs) const {
+  std::vector<PipelineMetrics> results(jobs.size());
+  if (jobs.empty()) {
+    return results;
+  }
+  auto run_job = [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    if (job.testbed) {
+      results[i] = Experiment(*job.testbed)
+                       .run(job.kind, job.config, job.options);
+    } else {
+      results[i] = experiment.run(job.kind, job.config, job.options);
+    }
+  };
+
+  const std::size_t fan_out = std::min(concurrency_, jobs.size());
+  if (fan_out <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      run_job(i);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) {
+        return;
+      }
+      try {
+        run_job(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(fan_out - 1);
+  for (std::size_t t = 0; t + 1 < fan_out; ++t) {
+    threads.emplace_back(drain);
+  }
+  drain();  // the calling thread works too
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace greenvis::core

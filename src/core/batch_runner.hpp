@@ -1,0 +1,55 @@
+// Concurrent experiment batch execution.
+//
+// Every Experiment::run builds a fresh Testbed (its own virtual clock,
+// storage stack, and power profiler), so independent pipeline runs share no
+// mutable state and are embarrassingly parallel across host threads. The
+// figure benches sweep case studies x pipeline kinds (and the ablations
+// sweep far wider grids); BatchRunner executes such a sweep with one host
+// thread per in-flight job while preserving the exact per-job results:
+// virtual-clock durations, joules, and watts are byte-identical to a serial
+// loop — only host wall-clock improves.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace greenvis::core {
+
+/// One pipeline execution in a batch.
+struct BatchJob {
+  PipelineKind kind{PipelineKind::kPostProcessing};
+  CaseStudyConfig config{};
+  PipelineOptions options{};
+  /// Overrides the batch Experiment's testbed for this job (DVFS / power-cap
+  /// sweeps vary the machine, not the workload).
+  std::optional<TestbedConfig> testbed;
+};
+
+class BatchRunner {
+ public:
+  /// `concurrency == 0` means hardware_concurrency (at least 1).
+  explicit BatchRunner(std::size_t concurrency = 0);
+
+  [[nodiscard]] std::size_t concurrency() const { return concurrency_; }
+
+  /// Run every job (in-flight count capped at `concurrency`) and return the
+  /// metrics in job order. A throwing job does not abandon the others; the
+  /// first exception is rethrown after the batch drains.
+  [[nodiscard]] std::vector<PipelineMetrics> run(
+      const Experiment& experiment, const std::vector<BatchJob>& jobs) const;
+
+  /// Per-job host threads that avoid oversubscribing the machine when the
+  /// batch itself fans out: 1 while the batch saturates the cores, the full
+  /// machine when the batch is serial.
+  [[nodiscard]] std::size_t host_threads_per_job() const {
+    return concurrency_ > 1 ? 1 : 0;
+  }
+
+ private:
+  std::size_t concurrency_;
+};
+
+}  // namespace greenvis::core

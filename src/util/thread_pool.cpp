@@ -1,6 +1,6 @@
 #include "src/util/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 
 #include "src/util/error.hpp"
 
@@ -10,8 +10,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -21,35 +21,60 @@ ThreadPool::~ThreadPool() {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   for (auto& w : workers_) {
     w.join();
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::drain(Dispatch& d) {
+  const std::size_t total = d.end - d.begin;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) {
-        return;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    const std::size_t claimed =
+        d.next.fetch_add(d.chunk, std::memory_order_relaxed);
+    if (claimed >= total) {
+      return;
     }
-    task();
+    const std::size_t lo = d.begin + claimed;
+    const std::size_t hi = d.begin + std::min(total, claimed + d.chunk);
+    try {
+      (*d.body)(lo, hi);
+    } catch (...) {
+      {
+        std::lock_guard lock(d.error_mutex);
+        if (!d.error) {
+          d.error = std::current_exception();
+        }
+      }
+      // Abandon the remaining chunks so every thread exits promptly; the
+      // caller rethrows once the dispatch has quiesced.
+      d.next.store(total, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    GREENVIS_REQUIRE_MSG(!stopping_, "submit after shutdown");
-    tasks_.push(std::move(task));
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) {
+      return;
+    }
+    seen = generation_;
+    Dispatch* d = current_;
+    if (d == nullptr) {
+      continue;  // the dispatch finished before this worker woke
+    }
+    ++attached_;
+    lock.unlock();
+    drain(*d);
+    lock.lock();
+    if (--attached_ == 0) {
+      done_cv_.notify_one();
+    }
   }
-  cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(
@@ -60,36 +85,42 @@ void ThreadPool::parallel_for(
     return;
   }
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, workers_.size());
-  if (chunks <= 1) {
+  if (workers_.empty() || total == 1) {
     body(begin, end);
     return;
   }
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // One dispatch at a time: concurrent external callers serialize here
+  // (uncontended in the one-pipeline-per-pool pattern the codebase uses).
+  std::lock_guard dispatch_guard(dispatch_mutex_);
 
-  const std::size_t base = total / chunks;
-  const std::size_t extra = total % chunks;
-  std::size_t lo = begin;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t len = base + (c < extra ? 1 : 0);
-    const std::size_t hi = lo + len;
-    submit([&, lo, hi] {
-      body(lo, hi);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_one();
-      }
-    });
-    lo = hi;
+  // Over-partition ~4x per executor so a slow chunk (NUMA miss, early-
+  // terminated rays next to dense ones) is balanced by the others.
+  Dispatch d;
+  d.begin = begin;
+  d.end = end;
+  d.chunk = std::max<std::size_t>(1, total / (size() * 4));
+  d.body = &body;
+
+  {
+    std::lock_guard lock(mutex_);
+    current_ = &d;
+    ++generation_;
   }
-  GREENVIS_ENSURE(lo == end);
+  wake_cv_.notify_all();
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock,
-               [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  drain(d);
+
+  // The range is exhausted; wait until no worker still references `d`
+  // (workers that never woke will see current_ == nullptr and skip it).
+  {
+    std::unique_lock lock(mutex_);
+    current_ = nullptr;
+    done_cv_.wait(lock, [&] { return attached_ == 0; });
+  }
+  if (d.error) {
+    std::rethrow_exception(d.error);
+  }
 }
 
 }  // namespace greenvis::util

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/util/field.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace greenvis::vis {
 
@@ -14,9 +15,12 @@ struct Segment {
 
 /// Extract the iso-line `value` from `field`. Each grid cell contributes 0,
 /// 1, or 2 segments; saddle cells are disambiguated with the cell-center
-/// average (the standard marching-squares rule).
-[[nodiscard]] std::vector<Segment> marching_squares(const util::Field2D& field,
-                                                    double value);
+/// average (the standard marching-squares rule). Row-parallel over `pool`
+/// when provided; the segment order (row-major cell scan) and every
+/// coordinate are identical to the serial scan for any pool size.
+[[nodiscard]] std::vector<Segment> marching_squares(
+    const util::Field2D& field, double value,
+    util::ThreadPool* pool = nullptr);
 
 /// Evenly spaced iso values across [min, max] (excluding the extremes).
 [[nodiscard]] std::vector<double> iso_levels(const util::Field2D& field,

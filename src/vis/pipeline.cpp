@@ -13,7 +13,7 @@ Image VisPipeline::render(const util::Field2D& field) const {
       render_pseudocolor(field, ColorMap::cool_warm(), config_.width,
                          config_.height, lo, hi, pool_);
   for (double level : iso_levels(field, config_.contour_levels)) {
-    const auto segments = marching_squares(field, level);
+    const auto segments = marching_squares(field, level, pool_);
     draw_segments(image, segments, field.nx(), field.ny(),
                   config_.contour_color);
   }

@@ -23,21 +23,42 @@ double bilinear_sample(const util::Field2D& field, double x, double y) {
   return a * (1.0 - fy) + b * fy;
 }
 
+namespace {
+
+/// Pixel -> field-coordinate mapping `coord = pixel * scale + offset` that
+/// covers the degenerate extents: a 1-pixel axis samples the field-axis
+/// center (not its left edge), and a 1-cell field axis pins every pixel to
+/// coordinate 0 instead of dividing by zero.
+struct AxisMap {
+  double scale{0.0};
+  double offset{0.0};
+};
+
+AxisMap axis_map(std::size_t field_cells, std::size_t pixels) {
+  const double extent = static_cast<double>(field_cells - 1);
+  if (pixels <= 1) {
+    return {0.0, extent / 2.0};
+  }
+  return {extent / static_cast<double>(pixels - 1), 0.0};
+}
+
+}  // namespace
+
 Image render_pseudocolor(const util::Field2D& field, const ColorMap& cmap,
                          std::size_t width, std::size_t height, double lo,
                          double hi, util::ThreadPool* pool) {
   GREENVIS_REQUIRE(width > 0 && height > 0);
+  GREENVIS_REQUIRE(field.nx() > 0 && field.ny() > 0);
   Image image(width, height);
-  const double sx = static_cast<double>(field.nx() - 1) /
-                    static_cast<double>(width - 1 == 0 ? 1 : width - 1);
-  const double sy = static_cast<double>(field.ny() - 1) /
-                    static_cast<double>(height - 1 == 0 ? 1 : height - 1);
+  const AxisMap mx = axis_map(field.nx(), width);
+  const AxisMap my = axis_map(field.ny(), height);
 
   auto rows = [&](std::size_t y_begin, std::size_t y_end) {
     for (std::size_t y = y_begin; y < y_end; ++y) {
+      const double fy = static_cast<double>(y) * my.scale + my.offset;
       for (std::size_t x = 0; x < width; ++x) {
-        const double v = bilinear_sample(field, static_cast<double>(x) * sx,
-                                         static_cast<double>(y) * sy);
+        const double v = bilinear_sample(
+            field, static_cast<double>(x) * mx.scale + mx.offset, fy);
         image.at(x, y) = cmap.map_range(v, lo, hi);
       }
     }

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/core/adaptor.hpp"
+#include "src/core/batch_runner.hpp"
 #include "src/core/cinema.hpp"
 #include "src/core/experiment.hpp"
 #include "src/core/pipeline.hpp"
@@ -140,6 +141,78 @@ TEST(Experiment, DeterministicRuns) {
   EXPECT_DOUBLE_EQ(a.duration.value(), b.duration.value());
   EXPECT_DOUBLE_EQ(a.energy.value(), b.energy.value());
   EXPECT_EQ(a.output.image_digests, b.output.image_digests);
+}
+
+TEST(Experiment, MetricsIdenticalForAnyPoolSize) {
+  // Host parallelism must never leak into the virtual-clock results: a full
+  // case-study-1 run produces byte-identical metrics whether the solver and
+  // renderer run on 1, 4, or hardware_concurrency threads.
+  const Experiment experiment;
+  const CaseStudyConfig config = case_study(1);
+  for (PipelineKind kind :
+       {PipelineKind::kPostProcessing, PipelineKind::kInSitu}) {
+    PipelineOptions one;
+    one.host_threads = 1;
+    const PipelineMetrics reference = experiment.run(kind, config, one);
+    for (std::size_t threads : {std::size_t{4}, std::size_t{0}}) {
+      PipelineOptions options;
+      options.host_threads = threads;
+      const PipelineMetrics m = experiment.run(kind, config, options);
+      EXPECT_EQ(m.duration.value(), reference.duration.value());
+      EXPECT_EQ(m.energy.value(), reference.energy.value());
+      EXPECT_EQ(m.average_power.value(), reference.average_power.value());
+      EXPECT_EQ(m.peak_power.value(), reference.peak_power.value());
+      EXPECT_EQ(m.output.image_digests, reference.output.image_digests);
+      EXPECT_EQ(m.output.final_field, reference.output.final_field);
+    }
+  }
+}
+
+TEST(BatchRunner, ConcurrentBatchMatchesSerialInJobOrder) {
+  const Experiment experiment;
+  std::vector<BatchJob> jobs;
+  for (int period : {1, 2}) {
+    BatchJob job;
+    job.kind = period == 1 ? PipelineKind::kPostProcessing
+                           : PipelineKind::kInSitu;
+    job.config = fast_case(period);
+    job.options = serial_options();
+    jobs.push_back(job);
+  }
+  const auto serial = BatchRunner(1).run(experiment, jobs);
+  const auto concurrent = BatchRunner(4).run(experiment, jobs);
+  ASSERT_EQ(serial.size(), concurrent.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pipeline_name, concurrent[i].pipeline_name);
+    EXPECT_EQ(serial[i].duration.value(), concurrent[i].duration.value());
+    EXPECT_EQ(serial[i].energy.value(), concurrent[i].energy.value());
+    EXPECT_EQ(serial[i].output.image_digests,
+              concurrent[i].output.image_digests);
+  }
+}
+
+TEST(BatchRunner, TestbedOverrideAppliesPerJob) {
+  const Experiment experiment;  // nominal 2.4 GHz base
+  BatchJob nominal;
+  nominal.config = fast_case(1);
+  nominal.options = serial_options();
+  BatchJob slow = nominal;
+  TestbedConfig bed;
+  bed.frequency_ghz = 1.2;
+  slow.testbed = bed;
+  const auto metrics = BatchRunner(2).run(experiment, {nominal, slow});
+  EXPECT_GT(metrics[1].duration.value(), metrics[0].duration.value());
+}
+
+TEST(BatchRunner, JobExceptionSurfacesAfterDrain) {
+  const Experiment experiment;
+  BatchJob good;
+  good.config = fast_case(1);
+  good.options = serial_options();
+  BatchJob bad = good;
+  bad.config.problem.nx = 1;  // violates the solver's nx >= 3 contract
+  EXPECT_THROW((void)BatchRunner(2).run(experiment, {good, bad}),
+               util::ContractViolation);
 }
 
 TEST(Experiment, StageRunsProduceIoBoundPower) {

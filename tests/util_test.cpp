@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "src/util/args.hpp"
 #include "src/util/checksum.hpp"
@@ -241,6 +242,89 @@ TEST(ThreadPool, ManySmallDispatches) {
     });
   }
   EXPECT_EQ(total.load(), 350);
+}
+
+TEST(ThreadPool, RangeSmallerThanWorkerCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++hits[i];
+    }
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, BackwardsRangeViolatesContract) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 4, [](std::size_t, std::size_t) {}),
+               ContractViolation);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesWithoutDeadlock) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(0, 1000,
+                          [&](std::size_t lo, std::size_t) {
+                            if (lo >= 256) {
+                              throw std::runtime_error("boom");
+                            }
+                          }),
+        std::runtime_error);
+    // The pool must stay fully usable after a failed dispatch.
+    std::atomic<int> covered{0};
+    pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+      covered += static_cast<int>(hi - lo);
+    });
+    EXPECT_EQ(covered.load(), 100);
+  }
+}
+
+TEST(ThreadPool, ReuseAcrossManyDispatches) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        ++hits[i];
+      }
+    });
+  }
+  for (int h : hits) {
+    EXPECT_EQ(h, 200);
+  }
+}
+
+TEST(ThreadPool, ParallelReduceMatchesSerialFold) {
+  ThreadPool pool(4);
+  const std::size_t n = 10001;
+  auto body = [](std::size_t lo, std::size_t hi, double acc) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += static_cast<double>(i) * 1e-3;
+    }
+    return acc;
+  };
+  const double parallel = pool.parallel_reduce(
+      std::size_t{0}, n, 0.0, body, [](double a, double b) { return a + b; });
+  // The chunk plan is pool-size-independent, so any pool reproduces the
+  // same chunked fold bit-for-bit.
+  ThreadPool serial(1);
+  const double chunked_serial = serial.parallel_reduce(
+      std::size_t{0}, n, 0.0, body, [](double a, double b) { return a + b; });
+  EXPECT_EQ(parallel, chunked_serial);
+  EXPECT_NEAR(parallel, body(0, n, 0.0), 1e-6);
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const double r = pool.parallel_reduce(
+      std::size_t{7}, std::size_t{7}, -1.5,
+      [](std::size_t, std::size_t, double acc) { return acc + 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(r, -1.5);
 }
 
 // ---------- args ----------

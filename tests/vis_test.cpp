@@ -133,6 +133,48 @@ TEST(Rasterizer, ThreadedRenderIdenticalToSerial) {
   EXPECT_EQ(serial.digest(), threaded.digest());
 }
 
+TEST(Rasterizer, OnePixelImageSamplesFieldCenter) {
+  // A 1x1 (and 1xN / Nx1) render must sample the field-axis center, not the
+  // left/top edge, and must not divide by zero (regression: the old scaling
+  // mapped degenerate extents through `width - 1`).
+  const util::Field2D f = ramp_field(9);  // f(i, j) = i, center column 4
+  const Image px = render_pseudocolor(f, ColorMap::grayscale(), 1, 1, 0.0,
+                                      8.0, nullptr);
+  EXPECT_EQ(px.at(0, 0), (Rgb{128, 128, 128}));  // value 4 of [0, 8]
+
+  const Image column = render_pseudocolor(f, ColorMap::grayscale(), 1, 5, 0.0,
+                                          8.0, nullptr);
+  for (std::size_t y = 0; y < 5; ++y) {
+    EXPECT_EQ(column.at(0, y), (Rgb{128, 128, 128}));
+  }
+  const Image row = render_pseudocolor(f, ColorMap::grayscale(), 5, 1, 0.0,
+                                       8.0, nullptr);
+  EXPECT_EQ(row.at(0, 0), (Rgb{0, 0, 0}));       // pixel 0 -> field x 0
+  EXPECT_EQ(row.at(4, 0), (Rgb{255, 255, 255}));  // pixel 4 -> field x 8
+}
+
+TEST(Rasterizer, OneCellFieldAxisRendersUniformly) {
+  // nx == 1: every pixel must pin to field coordinate 0 (the old scaling
+  // was only saved from 0/0 by the clamp inside bilinear_sample).
+  util::Field2D f(1, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    f.at(0, j) = static_cast<double>(j);
+  }
+  const Image img = render_pseudocolor(f, ColorMap::grayscale(), 6, 4, 0.0,
+                                       3.0, nullptr);
+  for (std::size_t x = 0; x < 6; ++x) {
+    EXPECT_EQ(img.at(x, 0), img.at(0, 0));
+    EXPECT_EQ(img.at(x, 3), img.at(0, 3));
+  }
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.at(0, 3), (Rgb{255, 255, 255}));
+
+  const Image single = render_pseudocolor(util::Field2D(1, 1, 2.0),
+                                          ColorMap::grayscale(), 3, 3, 0.0,
+                                          4.0, nullptr);
+  EXPECT_EQ(single.at(1, 1), (Rgb{128, 128, 128}));
+}
+
 TEST(Rasterizer, DrawSegmentsLeavesMarks) {
   Image img(32, 32);
   draw_segments(img, {Segment{0.0, 0.0, 7.0, 7.0}}, 8, 8, Rgb{255, 0, 0});
@@ -182,6 +224,20 @@ TEST(Contour, SaddleProducesTwoSegments) {
   f.at(0, 1) = 0.0;
   const auto segments = marching_squares(f, 0.5);
   EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(Contour, ThreadedScanIdenticalToSerial) {
+  const util::Field2D f = radial_field(65);
+  util::ThreadPool pool(4);
+  const auto serial = marching_squares(f, 10.0);
+  const auto threaded = marching_squares(f, 10.0, &pool);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].x0, threaded[k].x0);
+    EXPECT_EQ(serial[k].y0, threaded[k].y0);
+    EXPECT_EQ(serial[k].x1, threaded[k].x1);
+    EXPECT_EQ(serial[k].y1, threaded[k].y1);
+  }
 }
 
 TEST(Contour, IsoLevelsAreInterior) {

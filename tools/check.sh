@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI-style gate: configure + build, run the full test suite, and (when
+# clang-format is available) verify formatting of everything under src/.
+# Usage: tools/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "== format =="
+if command -v clang-format >/dev/null 2>&1; then
+  find src -name '*.hpp' -o -name '*.cpp' | xargs clang-format --dry-run -Werror
+  echo "clang-format clean"
+else
+  echo "clang-format not installed; skipping format check"
+fi
+
+echo "== all checks passed =="
