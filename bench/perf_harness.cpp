@@ -18,6 +18,7 @@
 #include "src/core/workload.hpp"
 #include "src/heat/solver.hpp"
 #include "src/heat/solver3d.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/util/args.hpp"
 #include "src/util/error.hpp"
 #include "src/util/table.hpp"
@@ -120,8 +121,19 @@ struct KernelRow {
   std::string unit;
 };
 
+struct ObsOverhead {
+  double uninstrumented_s{0.0};
+  double instrumented_s{0.0};
+  std::size_t spans_captured{0};
+
+  [[nodiscard]] double overhead_pct() const {
+    return (instrumented_s / uninstrumented_s - 1.0) * 100.0;
+  }
+};
+
 void write_json(const std::string& path, const std::vector<KernelRow>& rows,
-                double batch_serial_s, double batch_concurrent_s) {
+                double batch_serial_s, double batch_concurrent_s,
+                const ObsOverhead& obs_row) {
   std::ofstream os(path);
   GREENVIS_REQUIRE_MSG(os.good(), "cannot open " + path);
   os.setf(std::ios::fixed);
@@ -137,7 +149,12 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
   }
   os << "  \"fig10_batch\": {\"serial_seconds\": " << batch_serial_s
      << ", \"concurrent_seconds\": " << batch_concurrent_s
-     << ", \"speedup\": " << batch_serial_s / batch_concurrent_s << "}\n";
+     << ", \"speedup\": " << batch_serial_s / batch_concurrent_s << "},\n";
+  os << "  \"observability\": {\"uninstrumented_seconds\": "
+     << obs_row.uninstrumented_s
+     << ", \"instrumented_seconds\": " << obs_row.instrumented_s
+     << ", \"overhead_pct\": " << obs_row.overhead_pct()
+     << ", \"spans_captured\": " << obs_row.spans_captured << "}\n";
   os << "}\n";
 }
 
@@ -188,6 +205,22 @@ int main(int argc, char** argv) try {
     batch_conc = std::min(batch_conc, fig10_batch_seconds(0));
   }
 
+  // The same concurrent batch with the full observability stack recording:
+  // spans from every pool worker, pipeline stage, solver step, and I/O call.
+  // The delta against the uninstrumented run is the end-to-end tracing tax.
+  std::cerr << "[perf] fig10 batch, concurrent + observability...\n";
+  ObsOverhead obs_row;
+  obs_row.uninstrumented_s = batch_conc;
+  obs_row.instrumented_s = 1e300;
+  obs::set_enabled(true);
+  for (int r = 0; r < reps; ++r) {
+    obs::Tracer::global().clear();
+    obs_row.instrumented_s =
+        std::min(obs_row.instrumented_s, fig10_batch_seconds(0));
+  }
+  obs_row.spans_captured = obs::Tracer::global().events().size();
+  obs::set_enabled(false);
+
   util::TextTable t({"Kernel", "Serial", "Parallel", "Speedup", "Unit"});
   for (const auto& row : rows) {
     t.add_row({row.name, util::cell(row.serial, 1), util::cell(row.parallel, 1),
@@ -197,8 +230,12 @@ int main(int argc, char** argv) try {
              util::cell(batch_conc, 2),
              util::cell(batch_serial / batch_conc, 2), "seconds (lower=better)"});
   std::cout << t.render();
+  std::cout << "observability: " << util::cell(obs_row.instrumented_s, 2)
+            << " s instrumented vs " << util::cell(obs_row.uninstrumented_s, 2)
+            << " s (" << util::cell(obs_row.overhead_pct(), 2) << "% overhead, "
+            << obs_row.spans_captured << " spans)\n";
 
-  write_json(out, rows, batch_serial, batch_conc);
+  write_json(out, rows, batch_serial, batch_conc, obs_row);
   std::cout << "\nwrote " << out << '\n';
   return 0;
 } catch (const std::exception& e) {

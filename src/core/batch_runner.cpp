@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/tracer.hpp"
+
 namespace greenvis::core {
 
 BatchRunner::BatchRunner(std::size_t concurrency) : concurrency_(concurrency) {
@@ -22,6 +24,12 @@ std::vector<PipelineMetrics> BatchRunner::run(
   }
   auto run_job = [&](std::size_t i) {
     const BatchJob& job = jobs[i];
+    obs::ScopedSpan span("batch:", job.config.name, obs::kCatCore);
+    if (obs::enabled()) {
+      static obs::Counter& batch_jobs =
+          obs::Registry::global().counter("batch.jobs");
+      batch_jobs.add(1);
+    }
     if (job.testbed) {
       results[i] = Experiment(*job.testbed)
                        .run(job.kind, job.config, job.options);

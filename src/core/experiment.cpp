@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/io/dataset.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
 
 namespace greenvis::core {
@@ -14,6 +15,12 @@ const char* pipeline_kind_name(PipelineKind kind) {
 PipelineMetrics Experiment::run(PipelineKind kind,
                                 const CaseStudyConfig& config,
                                 const PipelineOptions& options) const {
+  obs::ScopedSpan span("experiment:", config.name, obs::kCatCore);
+  if (obs::enabled()) {
+    static obs::Counter& runs =
+        obs::Registry::global().counter("core.experiment_runs");
+    runs.add(1);
+  }
   Testbed bed(base_);
   PipelineOutput out = kind == PipelineKind::kPostProcessing
                            ? run_post_processing(bed, config, options)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/io/dataset.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
 #include "src/vis/filters.hpp"
 
@@ -13,6 +14,7 @@ namespace {
 
 /// Simulate one step: real solve + modeled compute burst.
 void simulate_step(Testbed& bed, heat::HeatSolver& solver) {
+  obs::ScopedSpan span("stage.simulate", obs::kCatStage);
   solver.step();
   bed.run_compute(solver.step_activity(), stage::kSimulation);
 }
@@ -21,6 +23,7 @@ void simulate_step(Testbed& bed, heat::HeatSolver& solver) {
 void visualize_step(Testbed& bed, const vis::VisPipeline& pipeline,
                     const util::Field2D& field, PipelineOutput& out,
                     bool keep) {
+  obs::ScopedSpan span("stage.visualize", obs::kCatStage);
   vis::Image image = pipeline.render(field);
   bed.run_compute(pipeline.render_activity(), stage::kVisualization);
   out.image_digests.push_back(image.digest());

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/tracer.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/util/error.hpp"
 
@@ -54,6 +55,9 @@ void Testbed::run_compute(const machine::ActivityRecord& activity,
 void Testbed::run_io(const std::string& phase, double cores,
                      double utilization, const std::function<void()>& body) {
   GREENVIS_REQUIRE(cores >= 0.0 && utilization > 0.0 && utilization <= 1.0);
+  // Host wall-clock span around the real storage-model work; the virtual
+  // interval is recorded separately below.
+  obs::ScopedSpan span("stage.io:", phase, obs::kCatIo);
   const util::Seconds t0 = clock_.now();
   body();
   const util::Seconds t1 = clock_.now();

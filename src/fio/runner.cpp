@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/obs/tracer.hpp"
 #include "src/storage/filesystem.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/storage/solid_state.hpp"
@@ -90,6 +91,14 @@ FioRunOutput FioRunner::run(const FioJob& job) const {
   GREENVIS_REQUIRE(job.total_size.value() > 0);
   GREENVIS_REQUIRE(job.block_size.value() > 0);
   GREENVIS_REQUIRE(job.total_size.value() % job.block_size.value() == 0);
+  obs::ScopedSpan span("fio:", job.name, obs::kCatIo);
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    static obs::Counter& ops = registry.counter("fio.ops");
+    static obs::Counter& bytes = registry.counter("fio.bytes");
+    ops.add(job.total_size.value() / job.block_size.value());
+    bytes.add(job.total_size.value());
+  }
 
   trace::VirtualClock clock;
   auto device = make_device(config_);

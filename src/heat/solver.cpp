@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
 
 namespace greenvis::heat {
@@ -76,6 +77,9 @@ void HeatSolver::apply_sources(Field2D& f) const {
 }
 
 double HeatSolver::step() {
+  static obs::Histogram& step_us = obs::Registry::global().histogram(
+      "heat2d.step_us", obs::duration_us_bounds());
+  obs::ScopedSpan span("heat2d.step", obs::kCatHeat, &step_us);
   const std::size_t nx = problem_.nx;
   const std::size_t ny = problem_.ny;
   const double r = problem_.alpha * problem_.dt / (problem_.dx * problem_.dx);
@@ -240,6 +244,12 @@ double HeatSolver::step() {
   apply_boundary(u_);
   apply_sources(u_);
   ++steps_;
+  if (obs::enabled()) {
+    static obs::Counter& cell_updates =
+        obs::Registry::global().counter("heat2d.cell_updates");
+    cell_updates.add(static_cast<std::uint64_t>(nx * ny) *
+                     problem_.executed_sweeps);
+  }
   return residual;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
 
 namespace greenvis::heat {
@@ -66,6 +67,9 @@ void HeatSolver3D::apply_sources(util::Field3D& f) const {
 }
 
 double HeatSolver3D::step() {
+  static obs::Histogram& step_us = obs::Registry::global().histogram(
+      "heat3d.step_us", obs::duration_us_bounds());
+  obs::ScopedSpan span("heat3d.step", obs::kCatHeat, &step_us);
   const std::size_t nx = problem_.nx, ny = problem_.ny, nz = problem_.nz;
   const double r = problem_.alpha * problem_.dt / (problem_.dx * problem_.dx);
   const double inv_diag = 1.0 / (1.0 + 6.0 * r);
@@ -184,6 +188,12 @@ double HeatSolver3D::step() {
   apply_boundary(u_);
   apply_sources(u_);
   ++steps_;
+  if (obs::enabled()) {
+    static obs::Counter& cell_updates =
+        obs::Registry::global().counter("heat3d.cell_updates");
+    cell_updates.add(static_cast<std::uint64_t>(nx * ny * nz) *
+                     problem_.executed_sweeps);
+  }
   return residual;
 }
 

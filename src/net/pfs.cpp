@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/registry.hpp"
+
 namespace greenvis::net {
 
 PfsModel::PfsModel(const PfsSpec& spec) : spec_(spec) {
@@ -30,6 +32,13 @@ Seconds PfsModel::collective_io_time(std::size_t clients,
                                      double bytes_per_client) const {
   GREENVIS_REQUIRE(bytes_per_client >= 0.0);
   const double total = bytes_per_client * static_cast<double>(clients);
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    static obs::Counter& ops = registry.counter("net.collective_ops");
+    static obs::Counter& bytes = registry.counter("net.collective_bytes");
+    ops.add(1);
+    bytes.add(static_cast<std::uint64_t>(total));
+  }
   const Seconds disk_time{total / aggregate_bandwidth(clients).value()};
   // One file operation per client, served serially per target.
   const Seconds ops_time{spec_.per_file_overhead.value() *

@@ -1,0 +1,43 @@
+// Minimal JSON string escaping shared by the obs exporters.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace greenvis::obs::detail {
+
+/// Write `s` as a double-quoted JSON string literal.
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace greenvis::obs::detail

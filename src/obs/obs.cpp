@@ -1,0 +1,13 @@
+#include "src/obs/obs.hpp"
+
+namespace greenvis::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace greenvis::obs

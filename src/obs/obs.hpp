@@ -1,0 +1,40 @@
+// Observability master switch.
+//
+// The paper's contribution is measurement, and since PR 1 the runtime does
+// real host-side work (thread pool, batched experiments) whose wall-clock
+// behavior the virtual clock cannot see. The obs layer makes that behavior
+// visible: a metrics registry (registry.hpp) and a span tracer (tracer.hpp),
+// both gated on one process-wide flag. Instrumented call sites check
+// `enabled()` — a single relaxed atomic load — so a disabled build path
+// costs nothing measurable and never allocates.
+//
+// Everything in obs observes *host* wall-clock only. Virtual-clock results
+// (durations, joules, watts, image digests) are never touched, so enabling
+// observability cannot perturb any experiment output.
+#pragma once
+
+#include <atomic>
+
+namespace greenvis::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Hot-path gate: one relaxed atomic load.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip collection on/off at runtime (off by default).
+void set_enabled(bool on);
+
+// Span categories (static storage duration; the tracer stores the pointer).
+inline constexpr const char* kCatPool = "pool";
+inline constexpr const char* kCatHeat = "heat";
+inline constexpr const char* kCatVis = "vis";
+inline constexpr const char* kCatStage = "stage";
+inline constexpr const char* kCatCore = "core";
+inline constexpr const char* kCatIo = "io";
+
+}  // namespace greenvis::obs

@@ -1,0 +1,177 @@
+#include "src/obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/obs/json.hpp"
+
+namespace greenvis::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow -> last
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> duration_us_bounds() {
+  return {10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7};
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry;  // leaked: see file comment
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string{name},
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(
+        {name, h->upper_bounds(), h->bucket_counts(), h->count(), h->sum()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  const auto flags = os.flags();
+  os.setf(std::ios::fmtflags{}, std::ios::floatfield);  // shortest doubles
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    detail::write_json_string(os, counters[i].name);
+    os << ": " << counters[i].value;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    detail::write_json_string(os, gauges[i].name);
+    os << ": " << gauges[i].value;
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    os << (i ? ",\n    " : "\n    ");
+    detail::write_json_string(os, h.name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"upper_bounds\": [";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      os << (b ? ", " : "") << h.upper_bounds[b];
+    }
+    os << "], \"bucket_counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b ? ", " : "") << h.counts[b];
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  os.flags(flags);
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "kind,name,key,value\n";
+  for (const auto& c : counters) {
+    os << "counter," << c.name << ",value," << c.value << '\n';
+  }
+  for (const auto& g : gauges) {
+    os << "gauge," << g.name << ",value," << g.value << '\n';
+  }
+  for (const auto& h : histograms) {
+    os << "histogram," << h.name << ",count," << h.count << '\n';
+    os << "histogram," << h.name << ",sum," << h.sum << '\n';
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << "histogram," << h.name << ",le_";
+      if (b < h.upper_bounds.size()) {
+        os << h.upper_bounds[b];
+      } else {
+        os << "inf";
+      }
+      os << ',' << h.counts[b] << '\n';
+    }
+  }
+}
+
+}  // namespace greenvis::obs

@@ -1,0 +1,147 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Registration (name lookup) takes a mutex and is meant to happen once per
+// call site — constructors and function-local statics hold the returned
+// reference. The hot paths (`Counter::add`, `Gauge::set`,
+// `Histogram::record`) are lock-free relaxed atomics, safe to hammer from
+// every pool worker at once; totals are exact because each operation is a
+// single atomic RMW. `snapshot()` captures a consistent-enough view for
+// reporting and serializes to JSON or CSV.
+//
+// Metric objects are never destroyed (the registry is a leaked singleton),
+// so references stay valid for the life of the process — including inside
+// detached-thread teardown paths.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/obs.hpp"
+
+namespace greenvis::obs {
+
+/// Monotonic event count. 64-byte aligned so unrelated counters do not
+/// false-share a cache line.
+class alignas(64) Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value.
+class alignas(64) Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are inclusive bucket ceilings in
+/// ascending order, with an implicit overflow bucket at the end. Bucket
+/// layout is fixed at registration so `record` is a search plus one atomic
+/// increment.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double x);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// One entry per bound plus the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Canonical bucket ceilings for span durations in microseconds
+/// (10 us ... 10 s, decades).
+[[nodiscard]] std::vector<double> duration_us_bounds();
+
+/// Point-in-time copy of every registered metric, ordered by name.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value{0};
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value{0.0};
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count{0};
+    double sum{0.0};
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  void write_json(std::ostream& os) const;
+  /// kind,name,key,value rows (histograms expand to one row per bucket).
+  void write_csv(std::ostream& os) const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked singleton; see file comment).
+  [[nodiscard]] static Registry& global();
+
+  /// Find-or-create. References stay valid forever.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `upper_bounds` only applies on first registration of `name`.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every metric, keeping registrations (test support).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace greenvis::obs

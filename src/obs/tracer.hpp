@@ -1,0 +1,141 @@
+// Span tracer: RAII wall-clock spans into per-thread buffers, exported as
+// Chrome trace-event JSON (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Recording model: each thread appends completed spans to its own buffer —
+// a chain of fixed-size blocks written only by the owning thread, with the
+// number of committed events published through one release store. The hot
+// path is therefore lock-free: two steady_clock reads, one slot write, one
+// atomic store. A mutex is touched only when a buffer grows by a block
+// (every 4096 spans) and when a new thread registers.
+//
+// Export may run while worker threads are parked between dispatches: the
+// exporter acquires the committed count and reads only fully-written slots,
+// so it never observes a half-constructed event.
+//
+// `ScopedSpan` does nothing — no clock read, no allocation — unless
+// `obs::enabled()` was true at construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
+
+namespace greenvis::obs {
+
+/// One completed span. `category` must point to a string with static
+/// storage duration (use the obs::kCat* constants).
+struct SpanEvent {
+  std::string name;
+  const char* category{""};
+  std::uint64_t begin_ns{0};  // since the tracer epoch (process start)
+  std::uint64_t dur_ns{0};
+  std::uint32_t tid{0};  // tracer-assigned small integer, stable per thread
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer (leaked singleton — worker threads may still
+  /// hold buffer references during static teardown).
+  [[nodiscard]] static Tracer& global();
+
+  /// Monotonic nanoseconds since the tracer epoch.
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Append a completed span to the calling thread's buffer.
+  void record(std::string&& name, const char* category, std::uint64_t begin_ns,
+              std::uint64_t end_ns);
+
+  /// Chrome trace-event JSON ("X" complete events, one meta event per
+  /// thread). Events are ordered per thread by begin time.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Copy of every committed event (export/test support), per-thread order.
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+
+  /// Spans discarded because a thread hit its buffer cap.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Discard all recorded spans. Only call while no instrumented work is in
+  /// flight (e.g. between dispatches); buffers are reused, not freed.
+  void clear();
+
+ private:
+  class ThreadBuffer;
+
+  Tracer();
+  ThreadBuffer& local_buffer();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII span: records [construction, destruction) on the current thread.
+/// Inert (and allocation-free) when observability is disabled. When
+/// `duration_us` is given, the span's length is also recorded into that
+/// histogram in microseconds.
+class ScopedSpan {
+ public:
+  /// `name` must have static storage duration.
+  explicit ScopedSpan(const char* name, const char* category,
+                      Histogram* duration_us = nullptr) {
+    if (enabled()) {
+      static_name_ = name;
+      category_ = category;
+      duration_us_ = duration_us;
+      begin_ns_ = Tracer::global().now_ns();
+      active_ = true;
+    }
+  }
+
+  /// Dynamic name `prefix + suffix`, built only when enabled.
+  ScopedSpan(std::string_view prefix, std::string_view suffix,
+             const char* category, Histogram* duration_us = nullptr) {
+    if (enabled()) {
+      dynamic_name_.reserve(prefix.size() + suffix.size());
+      dynamic_name_.append(prefix).append(suffix);
+      category_ = category;
+      duration_us_ = duration_us;
+      begin_ns_ = Tracer::global().now_ns();
+      active_ = true;
+    }
+  }
+
+  ~ScopedSpan() {
+    if (active_) {
+      finish();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void finish();
+
+  std::string dynamic_name_;
+  const char* static_name_{nullptr};
+  const char* category_{""};
+  Histogram* duration_us_{nullptr};
+  std::uint64_t begin_ns_{0};
+  bool active_{false};
+};
+
+}  // namespace greenvis::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/registry.hpp"
 #include "src/util/error.hpp"
 #include "src/util/rng.hpp"
 
@@ -185,6 +186,13 @@ void Filesystem::do_write(Fd fd, std::span<const std::uint8_t> data,
   charge_syscall();
   grow_to(node, offset + length);
   counters_.logical_bytes_written += util::Bytes{length};
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    static obs::Counter& writes = registry.counter("storage.writes");
+    static obs::Counter& written = registry.counter("storage.bytes_written");
+    writes.add(1);
+    written.add(length);
+  }
 
   // Dirty the covered pages, coalescing device-contiguous block runs.
   const std::uint64_t bs = params_.block_size.value();
@@ -249,6 +257,13 @@ std::uint64_t Filesystem::read_internal(FileNode& node,
   }
   charge_syscall();
   counters_.logical_bytes_read += util::Bytes{length};
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    static obs::Counter& reads = registry.counter("storage.reads");
+    static obs::Counter& read_bytes = registry.counter("storage.bytes_read");
+    reads.add(1);
+    read_bytes.add(length);
+  }
 
   const std::uint64_t bs = params_.block_size.value();
   const std::uint64_t first_block = offset / bs;

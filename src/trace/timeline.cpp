@@ -64,14 +64,39 @@ std::map<std::string, double> Timeline::fractions() const {
 }
 
 std::string Timeline::category_at(Seconds t) const {
-  // Later intervals win on ties so that abutting phases hand off cleanly.
-  std::string found;
+  // Intervals are half-open, so at an abutting boundary (end == next begin)
+  // only the later phase contains t and it wins automatically. Among
+  // overlapping intervals the one that began last wins — the innermost,
+  // most recently started phase — independent of recording order. Recording
+  // order breaks exact begin ties only (later recording wins).
+  const Interval* best = nullptr;
   for (const auto& iv : intervals_) {
-    if (t >= iv.begin && t < iv.end) {
-      found = iv.category;
+    if (t >= iv.begin && t < iv.end &&
+        (best == nullptr || iv.begin >= best->begin)) {
+      best = &iv;
     }
   }
-  return found;
+  return best == nullptr ? std::string{} : best->category;
+}
+
+std::vector<Interval> Timeline::gaps() const {
+  std::vector<Interval> out;
+  if (intervals_.empty()) {
+    return out;
+  }
+  std::vector<Interval> sorted = intervals_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  Seconds covered_to = sorted.front().begin;
+  for (const auto& iv : sorted) {
+    if (iv.begin > covered_to) {
+      out.push_back(Interval{"", covered_to, iv.begin});
+    }
+    covered_to = std::max(covered_to, iv.end);
+  }
+  return out;
 }
 
 void Timeline::write_csv(std::ostream& os) const {

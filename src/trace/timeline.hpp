@@ -50,10 +50,17 @@ class Timeline {
   /// quantity.
   [[nodiscard]] std::map<std::string, double> fractions() const;
 
-  /// The category active at time `t`, or empty string if none. When intervals
-  /// abut (end == next begin) the later interval wins, matching how a 1 Hz
-  /// sampler attributes a boundary sample.
+  /// The category active at time `t`, or empty string if none. Intervals are
+  /// half-open [begin, end), so when phases abut (end == next begin) a
+  /// boundary sample belongs to the later phase — matching how a 1 Hz
+  /// sampler attributes it. Among overlapping intervals the latest-started
+  /// one wins (the innermost phase), independent of recording order.
   [[nodiscard]] std::string category_at(Seconds t) const;
+
+  /// Maximal uncovered stretches strictly inside [span_begin, span_end):
+  /// times where no interval is active. Categories are empty strings.
+  /// Useful for spotting unattributed time in a phase breakdown.
+  [[nodiscard]] std::vector<Interval> gaps() const;
 
   /// CSV: category,begin_s,end_s,duration_s
   void write_csv(std::ostream& os) const;

@@ -10,11 +10,17 @@ ArgParser::ArgParser(int argc, const char* const* argv, int first) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       GREENVIS_REQUIRE_MSG(token.size() > 2, "empty option name '--'");
-      const std::string key = token.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        options_[key] = argv[++i];
+      const std::size_t eq = token.find('=', 2);
+      if (eq != std::string::npos) {
+        GREENVIS_REQUIRE_MSG(eq > 2, "empty option name in '" + token + "'");
+        options_[token.substr(2, eq - 2)] = token.substr(eq + 1);
       } else {
-        options_[key] = "";
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";
+        }
       }
     } else {
       positional_.push_back(token);

@@ -1,8 +1,8 @@
 // Command-line argument parsing for the CLI and example binaries.
 //
-// Supports `--key value`, bare `--flag`, and positional arguments. Typed
-// getters with defaults; optional strict mode rejects unknown options so
-// typos fail loudly instead of silently using defaults.
+// Supports `--key value`, `--key=value`, bare `--flag`, and positional
+// arguments. Typed getters with defaults; optional strict mode rejects
+// unknown options so typos fail loudly instead of silently using defaults.
 #pragma once
 
 #include <map>
@@ -14,7 +14,8 @@ namespace greenvis::util {
 
 class ArgParser {
  public:
-  /// Parse argv[first..argc). A token starting with "--" is an option; it
+  /// Parse argv[first..argc). A token starting with "--" is an option: with
+  /// an embedded '=' the value follows in the same token; otherwise it
   /// consumes the next token as its value unless that token is itself an
   /// option (then it is a flag). Everything else is positional.
   ArgParser(int argc, const char* const* argv, int first = 1);

@@ -1,15 +1,23 @@
 #include "src/util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <string>
+
+#include "src/obs/json.hpp"
 
 namespace greenvis::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<bool> g_level_explicit{false};
+std::once_flag g_env_once;
 std::mutex g_mutex;
+std::ostream* g_json_sink = nullptr;  // guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,19 +32,80 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::optional<LogLevel> parse_level(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return std::nullopt;
+  }
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
+
+void apply_env_level() {
+  if (g_level_explicit.load()) {
+    return;  // an explicit set_log_level always wins
+  }
+  if (const auto parsed = parse_level(std::getenv("GREENVIS_LOG_LEVEL"))) {
+    g_level.store(*parsed);
+  }
+}
+
+void ensure_env_applied() {
+  std::call_once(g_env_once, apply_env_level);
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  g_level_explicit.store(true);
+  g_level.store(level);
+}
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() {
+  ensure_env_applied();
+  return g_level.load();
+}
+
+LogLevel refresh_log_level_from_env() {
+  ensure_env_applied();  // keep the once_flag consumed
+  apply_env_level();
+  return g_level.load();
+}
+
+void set_log_json_sink(std::ostream* sink) {
+  std::lock_guard lock(g_mutex);
+  g_json_sink = sink;
+}
 
 void log_line(LogLevel level, std::string_view message) {
+  ensure_env_applied();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
     return;
   }
   std::lock_guard lock(g_mutex);
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(message.size()), message.data());
+  if (g_json_sink != nullptr) {
+    *g_json_sink << "{\"level\":\"" << level_name(level) << "\",\"message\":";
+    obs::detail::write_json_string(*g_json_sink, message);
+    *g_json_sink << "}\n";
+  }
 }
 
 }  // namespace greenvis::util

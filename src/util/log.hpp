@@ -3,9 +3,16 @@
 // Experiments are long batch runs; the logger gives the bench/example binaries
 // a uniform way to narrate progress without pulling in a dependency. Output is
 // line-buffered to stderr so it interleaves sanely with table output on
-// stdout.
+// stdout. `log_line` is thread-safe: concurrent callers never interleave
+// within a line.
+//
+// The threshold can be set from the environment: GREENVIS_LOG_LEVEL accepts
+// a level name (debug|info|warn|error, case-insensitive) or its numeric
+// value (0-3). The variable is read once, on the first log call; an explicit
+// `set_log_level` always wins over the environment.
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <string_view>
 
@@ -13,12 +20,24 @@ namespace greenvis::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are discarded. Default: kInfo.
+/// Global threshold; messages below it are discarded. Default: kInfo, or
+/// GREENVIS_LOG_LEVEL when set. An explicit call overrides the environment.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Re-read GREENVIS_LOG_LEVEL and apply it unless `set_log_level` was called
+/// explicitly. Returns the resulting threshold. Mainly for tests; normal
+/// code never needs it (the environment is applied lazily on first use).
+LogLevel refresh_log_level_from_env();
+
 /// Emit one line: "[LEVEL] message".
 void log_line(LogLevel level, std::string_view message);
+
+/// Mirror every emitted line to `sink` as a JSON object per line:
+///   {"level":"INFO","message":"..."}
+/// Pass nullptr to detach. The sink must outlive its registration; writes
+/// happen under the logger mutex, so the stream needs no locking of its own.
+void set_log_json_sink(std::ostream* sink);
 
 namespace detail {
 class LogStream {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
 
 namespace greenvis::util {
@@ -10,6 +11,15 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  auto& registry = obs::Registry::global();
+  dispatches_ = &registry.counter("pool.dispatches");
+  chunks_claimed_ = &registry.counter("pool.chunks_claimed");
+  reduces_ = &registry.counter("pool.reduces");
+  reduce_chunks_ = &registry.counter("pool.reduce_chunks");
+  worker_busy_ns_ = &registry.counter("pool.worker_busy_ns");
+  worker_idle_ns_ = &registry.counter("pool.worker_idle_ns");
+  dispatch_us_ =
+      &registry.histogram("pool.dispatch_us", obs::duration_us_bounds());
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -29,12 +39,17 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::drain(Dispatch& d) {
   const std::size_t total = d.end - d.begin;
+  std::size_t executed = 0;
   for (;;) {
     const std::size_t claimed =
         d.next.fetch_add(d.chunk, std::memory_order_relaxed);
     if (claimed >= total) {
+      if (d.chunks_claimed != nullptr && executed > 0) {
+        d.chunks_claimed->add(executed);
+      }
       return;
     }
+    ++executed;
     const std::size_t lo = d.begin + claimed;
     const std::size_t hi = d.begin + std::min(total, claimed + d.chunk);
     try {
@@ -49,6 +64,9 @@ void ThreadPool::drain(Dispatch& d) {
       // Abandon the remaining chunks so every thread exits promptly; the
       // caller rethrows once the dispatch has quiesced.
       d.next.store(total, std::memory_order_relaxed);
+      if (d.chunks_claimed != nullptr && executed > 0) {
+        d.chunks_claimed->add(executed);
+      }
       return;
     }
   }
@@ -58,7 +76,15 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   std::unique_lock lock(mutex_);
   for (;;) {
+    // Idle time is only metered while observability is on, so toggling it
+    // mid-run undercounts at most one park interval.
+    const bool meter_idle = obs::enabled();
+    const std::uint64_t idle_t0 =
+        meter_idle ? obs::Tracer::global().now_ns() : 0;
     wake_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (meter_idle) {
+      worker_idle_ns_->add(obs::Tracer::global().now_ns() - idle_t0);
+    }
     if (stopping_) {
       return;
     }
@@ -69,7 +95,16 @@ void ThreadPool::worker_loop() {
     }
     ++attached_;
     lock.unlock();
-    drain(*d);
+    if (obs::enabled()) {
+      const std::uint64_t busy_t0 = obs::Tracer::global().now_ns();
+      drain(*d);
+      const std::uint64_t busy_t1 = obs::Tracer::global().now_ns();
+      worker_busy_ns_->add(busy_t1 - busy_t0);
+      obs::Tracer::global().record("pool.drain", obs::kCatPool, busy_t0,
+                                   busy_t1);
+    } else {
+      drain(*d);
+    }
     lock.lock();
     if (--attached_ == 0) {
       done_cv_.notify_one();
@@ -84,8 +119,17 @@ void ThreadPool::parallel_for(
   if (begin == end) {
     return;
   }
+  const bool observed = obs::enabled();
+  obs::ScopedSpan span("pool.dispatch", obs::kCatPool,
+                       observed ? dispatch_us_ : nullptr);
+  if (observed) {
+    dispatches_->add(1);
+  }
   const std::size_t total = end - begin;
   if (workers_.empty() || total == 1) {
+    if (observed) {
+      chunks_claimed_->add(1);
+    }
     body(begin, end);
     return;
   }
@@ -101,6 +145,7 @@ void ThreadPool::parallel_for(
   d.end = end;
   d.chunk = std::max<std::size_t>(1, total / (size() * 4));
   d.body = &body;
+  d.chunks_claimed = observed ? chunks_claimed_ : nullptr;
 
   {
     std::lock_guard lock(mutex_);

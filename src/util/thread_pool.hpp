@@ -18,6 +18,13 @@
 // chunk plan that depends only on the range size (never on the pool size)
 // and combines partials in chunk order, so even non-associative combines
 // (floating-point sums) are byte-identical for any pool size, including 1.
+//
+// Observability: when `obs::enabled()`, every dispatch records a span on the
+// caller, every worker records a per-thread drain span, and the registry
+// accumulates dispatch/chunk counts plus per-worker busy and idle
+// nanoseconds. All of it observes host wall-clock only — work placement and
+// results are untouched — and when disabled the cost is one relaxed load
+// per dispatch.
 #pragma once
 
 #include <atomic>
@@ -29,6 +36,9 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
 
 namespace greenvis::util {
 
@@ -70,6 +80,10 @@ class ThreadPool {
     const std::size_t total = end - begin;
     const std::size_t chunk = reduce_chunk(total);
     const std::size_t chunks = (total + chunk - 1) / chunk;
+    if (obs::enabled()) {
+      reduces_->add(1);
+      reduce_chunks_->add(chunks);
+    }
     if (chunks == 1) {
       return body(begin, end, init);
     }
@@ -99,6 +113,9 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::exception_ptr error;
     std::mutex error_mutex;
+    /// Non-null when this dispatch is observed: drain() adds the chunks it
+    /// executed (one add per thread per dispatch, off the claim fast path).
+    obs::Counter* chunks_claimed{nullptr};
   };
 
   /// Fixed fan-out of the reduce chunk plan (a function of the range only).
@@ -112,6 +129,16 @@ class ThreadPool {
   static void drain(Dispatch& d);
 
   std::vector<std::thread> workers_;
+
+  // Observability handles (resolved once; hot paths gate on obs::enabled()).
+  obs::Counter* dispatches_{nullptr};
+  obs::Counter* chunks_claimed_{nullptr};
+  obs::Counter* reduces_{nullptr};
+  obs::Counter* reduce_chunks_{nullptr};
+  obs::Counter* worker_busy_ns_{nullptr};
+  obs::Counter* worker_idle_ns_{nullptr};
+  obs::Histogram* dispatch_us_{nullptr};
+
   std::mutex dispatch_mutex_;  // serializes concurrent parallel_for callers
   std::mutex mutex_;
   std::condition_variable wake_cv_;  // workers wait for a new generation

@@ -1,21 +1,35 @@
 #include "src/vis/pipeline.hpp"
 
+#include "src/obs/tracer.hpp"
+
 namespace greenvis::vis {
 
 Image VisPipeline::render(const util::Field2D& field) const {
+  static obs::Histogram& render_us = obs::Registry::global().histogram(
+      "vis.render_us", obs::duration_us_bounds());
+  obs::ScopedSpan span("vis.render", obs::kCatVis, &render_us);
   double lo = config_.range_lo;
   double hi = config_.range_hi;
   if (lo >= hi) {
     lo = field.min_value();
     hi = field.max_value();
   }
-  Image image =
-      render_pseudocolor(field, ColorMap::cool_warm(), config_.width,
-                         config_.height, lo, hi, pool_);
-  for (double level : iso_levels(field, config_.contour_levels)) {
-    const auto segments = marching_squares(field, level, pool_);
-    draw_segments(image, segments, field.nx(), field.ny(),
-                  config_.contour_color);
+  Image image = [&] {
+    obs::ScopedSpan raster_span("vis.raster", obs::kCatVis);
+    return render_pseudocolor(field, ColorMap::cool_warm(), config_.width,
+                              config_.height, lo, hi, pool_);
+  }();
+  {
+    obs::ScopedSpan contour_span("vis.contour", obs::kCatVis);
+    for (double level : iso_levels(field, config_.contour_levels)) {
+      const auto segments = marching_squares(field, level, pool_);
+      draw_segments(image, segments, field.nx(), field.ny(),
+                    config_.contour_color);
+    }
+  }
+  if (obs::enabled()) {
+    static obs::Counter& frames = obs::Registry::global().counter("vis.frames");
+    frames.add(1);
   }
   return image;
 }

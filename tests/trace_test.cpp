@@ -60,6 +60,58 @@ TEST(Timeline, CategoryAtHandsOffAtBoundaries) {
   EXPECT_EQ(t.category_at(Seconds{-1.0}), "");
 }
 
+TEST(Timeline, CategoryAtOverlapsAreOrderIndependent) {
+  // A nested sub-phase must win over its enclosing phase no matter which
+  // was recorded first (ScopedPhase destructors record inner-before-outer;
+  // manual record() calls usually go outer-before-inner).
+  Timeline outer_first;
+  outer_first.record("outer", Seconds{0.0}, Seconds{10.0});
+  outer_first.record("inner", Seconds{2.0}, Seconds{4.0});
+  Timeline inner_first;
+  inner_first.record("inner", Seconds{2.0}, Seconds{4.0});
+  inner_first.record("outer", Seconds{0.0}, Seconds{10.0});
+  for (const Timeline* t : {&outer_first, &inner_first}) {
+    EXPECT_EQ(t->category_at(Seconds{1.0}), "outer");
+    EXPECT_EQ(t->category_at(Seconds{3.0}), "inner");
+    EXPECT_EQ(t->category_at(Seconds{4.0}), "outer");  // inner is half-open
+    EXPECT_EQ(t->category_at(Seconds{9.0}), "outer");
+  }
+}
+
+TEST(Timeline, CategoryAtBoundaryOfOverlappingPhases) {
+  // A phase that starts while another is still running takes over exactly
+  // at its begin, regardless of recording order.
+  Timeline t;
+  t.record("b", Seconds{1.0}, Seconds{3.0});
+  t.record("a", Seconds{0.0}, Seconds{2.0});
+  EXPECT_EQ(t.category_at(Seconds{0.5}), "a");
+  EXPECT_EQ(t.category_at(Seconds{1.0}), "b");
+  EXPECT_EQ(t.category_at(Seconds{1.5}), "b");
+  EXPECT_EQ(t.category_at(Seconds{2.5}), "b");
+}
+
+TEST(Timeline, GapsFindUncoveredStretches) {
+  Timeline t;
+  t.record("a", Seconds{0.0}, Seconds{1.0});
+  t.record("b", Seconds{2.0}, Seconds{3.0});
+  t.record("c", Seconds{2.5}, Seconds{4.0});  // overlap must not split a gap
+  t.record("d", Seconds{6.0}, Seconds{7.0});
+  const auto gaps = t.gaps();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0].begin.value(), 1.0);
+  EXPECT_DOUBLE_EQ(gaps[0].end.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gaps[1].begin.value(), 4.0);
+  EXPECT_DOUBLE_EQ(gaps[1].end.value(), 6.0);
+}
+
+TEST(Timeline, GapsEmptyWhenFullyCoveredOrEmpty) {
+  Timeline t;
+  EXPECT_TRUE(t.gaps().empty());
+  t.record("a", Seconds{0.0}, Seconds{2.0});
+  t.record("b", Seconds{2.0}, Seconds{5.0});  // abutting: no gap at 2.0
+  EXPECT_TRUE(t.gaps().empty());
+}
+
 TEST(Timeline, SpanCoversAllIntervals) {
   Timeline t;
   t.record("x", Seconds{1.0}, Seconds{2.0});

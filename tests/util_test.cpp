@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -387,6 +388,33 @@ TEST(Args, FlagFollowedByOption) {
   EXPECT_EQ(args.get("case", 0LL), 3);
 }
 
+TEST(Args, EqualsSyntaxBindsValueInSameToken) {
+  const char* argv[] = {"prog", "--trace-out=trace.json", "--case=2",
+                        "positional"};
+  const ArgParser args(4, argv);
+  EXPECT_EQ(args.get("trace-out", std::string{}), "trace.json");
+  EXPECT_EQ(args.get("case", 0LL), 2);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Args, EqualsSyntaxAllowsEmptyValueAndLiteralEquals) {
+  // `--key=` is an explicit empty value (unlike a bare flag it never
+  // consumes the next token); later '=' characters stay in the value.
+  const char* argv[] = {"prog", "--out=", "next", "--expr=a=b"};
+  const ArgParser args(4, argv);
+  EXPECT_TRUE(args.has("out"));
+  EXPECT_EQ(args.get("out", std::string{"?"}), "");
+  EXPECT_EQ(args.get("expr", std::string{}), "a=b");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "next");
+}
+
+TEST(Args, EqualsSyntaxRejectsEmptyName) {
+  const char* argv[] = {"prog", "--=value"};
+  EXPECT_THROW(ArgParser(2, argv), ContractViolation);
+}
+
 // ---------- checksum ----------
 
 TEST(Checksum, StableAndSensitive) {
@@ -415,6 +443,72 @@ TEST(Log, StreamInterfaceComposes) {
   set_log_level(LogLevel::kError);  // keep test output quiet
   log_warn() << "pieces " << 1 << ", " << 2.5 << ", " << Watts{3.0};
   set_log_level(LogLevel::kInfo);
+}
+
+TEST(Log, EnvironmentSetsThresholdUntilExplicitOverride) {
+  const LogLevel before = log_level();
+  set_log_level(before);  // mark the level as explicitly chosen
+  // After an explicit set_log_level the environment must NOT override it.
+  ::setenv("GREENVIS_LOG_LEVEL", "debug", 1);
+  EXPECT_EQ(refresh_log_level_from_env(), before);
+  ::unsetenv("GREENVIS_LOG_LEVEL");
+}
+
+TEST(Log, JsonSinkMirrorsAndEscapes) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  std::ostringstream sink;
+  set_log_json_sink(&sink);
+  log_error() << "quote \" and\nnewline";
+  log_info() << "below threshold, not mirrored";
+  set_log_json_sink(nullptr);
+  log_error() << "after detach, not mirrored";
+  set_log_level(before);
+  EXPECT_EQ(sink.str(),
+            "{\"level\":\"ERROR\",\"message\":"
+            "\"quote \\\" and\\nnewline\"}\n");
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveWithinALine) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  std::ostringstream sink;
+  set_log_json_sink(&sink);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(
+        std::size_t{0}, std::size_t{kThreads},
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t t = b; t < e; ++t) {
+            const std::string msg(10 + t,
+                                  static_cast<char>('a' + static_cast<char>(t)));
+            for (int i = 0; i < kLines; ++i) {
+              log_line(LogLevel::kError, msg);
+            }
+          }
+        });
+  }
+  set_log_json_sink(nullptr);
+  set_log_level(before);
+  // Every mirrored line must be one intact JSON object; a data race on the
+  // sink would shear lines or mix message bytes.
+  std::istringstream in(sink.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    ASSERT_EQ(line.rfind("{\"level\":\"ERROR\",\"message\":\"", 0), 0u);
+    ASSERT_EQ(line.back(), '}');
+    const char c = line[28];  // first message byte
+    ASSERT_GE(c, 'a');
+    ASSERT_LE(c, 'a' + kThreads - 1);
+    const std::size_t len = 10 + static_cast<std::size_t>(c - 'a');
+    EXPECT_EQ(line, "{\"level\":\"ERROR\",\"message\":\"" +
+                        std::string(len, c) + "\"}");
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 // ---------- field ----------

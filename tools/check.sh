@@ -1,14 +1,37 @@
 #!/usr/bin/env bash
 # CI-style gate: configure + build, run the full test suite, and (when
 # clang-format is available) verify formatting of everything under src/.
-# Usage: tools/check.sh [build-dir]   (default: build)
+#
+# Usage: tools/check.sh [--asan] [build-dir]
+#   --asan     build with AddressSanitizer + UndefinedBehaviorSanitizer
+#              (RelWithDebInfo, default build dir: build-asan) and run the
+#              full suite under them — including the obs/pool concurrency
+#              tests, which is where a data race would surface as UB.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+ASAN=0
+if [[ "${1:-}" == "--asan" ]]; then
+  ASAN=1
+  shift
+fi
+
+if [[ "$ASAN" == 1 ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  CONFIGURE_ARGS=(
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  )
+else
+  BUILD_DIR="${1:-build}"
+  CONFIGURE_ARGS=()
+fi
 
 echo "== configure =="
-cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake -B "$BUILD_DIR" -S . "${CONFIGURE_ARGS[@]}" >/dev/null
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j

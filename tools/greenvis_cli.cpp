@@ -8,6 +8,12 @@
 //   greenvis replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
 //   greenvis cluster [--nodes N] [--staging S] [--targets T]
 //   greenvis trace-template            # print a starter trace to stdout
+//
+// Any command also accepts the global observability flags
+//   --trace-out=FILE     write a Chrome trace-event JSON of the run
+//   --metrics-out=FILE   write the metrics snapshot (.csv suffix → CSV,
+//                        anything else → JSON)
+// Either flag switches the obs subsystem on for the whole process.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -21,6 +27,8 @@
 #include "src/core/experiment.hpp"
 #include "src/fio/runner.hpp"
 #include "src/net/multinode.hpp"
+#include "src/obs/registry.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/replay/engine.hpp"
 #include "src/util/args.hpp"
 #include "src/util/table.hpp"
@@ -231,7 +239,51 @@ commands:
   replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
   cluster [--nodes N] [--staging S] [--targets T]     multi-node study
   trace-template                                      starter replay trace
+
+global options (any command):
+  --trace-out=FILE     write a Chrome trace-event JSON (chrome://tracing)
+  --metrics-out=FILE   write the metrics snapshot (.csv → CSV, else JSON)
 )";
+}
+
+/// Write the collected spans and metrics after the command body ran.
+/// Returns false (and reports on stderr) when a file cannot be written.
+bool export_observability(const Args& args) {
+  bool ok = true;
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out", std::string{});
+    std::ofstream out(path);
+    if (out.good()) {
+      obs::Tracer::global().write_chrome_trace(out);
+    }
+    if (!out.good()) {
+      std::cerr << "error: cannot write trace file " << path << '\n';
+      ok = false;
+    } else {
+      std::cerr << "wrote trace to " << path << '\n';
+    }
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", std::string{});
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::ofstream out(path);
+    if (out.good()) {
+      const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+      if (csv) {
+        snap.write_csv(out);
+      } else {
+        snap.write_json(out);
+      }
+    }
+    if (!out.good()) {
+      std::cerr << "error: cannot write metrics file " << path << '\n';
+      ok = false;
+    } else {
+      std::cerr << "wrote metrics to " << path << '\n';
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -243,27 +295,32 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
+  const bool observe = args.has("trace-out") || args.has("metrics-out");
+  if (observe) {
+    obs::set_enabled(true);
+  }
   try {
+    int rc = 2;
     if (command == "compare") {
-      return cmd_compare(args);
+      rc = cmd_compare(args);
+    } else if (command == "fio") {
+      rc = cmd_fio(args);
+    } else if (command == "advise") {
+      rc = cmd_advise(args);
+    } else if (command == "replay") {
+      rc = cmd_replay(args);
+    } else if (command == "cluster") {
+      rc = cmd_cluster(args);
+    } else if (command == "trace-template") {
+      rc = cmd_trace_template();
+    } else {
+      usage();
+      return 2;
     }
-    if (command == "fio") {
-      return cmd_fio(args);
+    if (observe && !export_observability(args) && rc == 0) {
+      rc = 1;
     }
-    if (command == "advise") {
-      return cmd_advise(args);
-    }
-    if (command == "replay") {
-      return cmd_replay(args);
-    }
-    if (command == "cluster") {
-      return cmd_cluster(args);
-    }
-    if (command == "trace-template") {
-      return cmd_trace_template();
-    }
-    usage();
-    return 2;
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
