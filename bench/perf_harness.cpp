@@ -7,14 +7,23 @@
 // untouched by the parallel runtime — only these numbers move.
 //
 // Usage:  bench_perf_harness [--out BENCH_perf.json] [--quick]
+//         bench_perf_harness --smoke [--baseline BENCH_perf.json]
+//
+// --smoke runs a ~5 s subset (heat2d_512 serial MCUPS + codec MB/s) and,
+// with --baseline, exits non-zero on a >10% regression against the
+// committed numbers — the `tools/check.sh --bench-smoke` gate.
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/codec/field_codec.hpp"
 #include "src/core/batch_runner.hpp"
+#include "src/core/experiment.hpp"
 #include "src/core/workload.hpp"
 #include "src/heat/solver.hpp"
 #include "src/heat/solver3d.hpp"
@@ -84,12 +93,102 @@ double render_mpixels(std::size_t n, int frames, util::ThreadPool* pool) {
     }
   }
   const auto cmap = vis::ColorMap::cool_warm();
+  vis::Image image;
   const auto t0 = Clock::now();
   for (int k = 0; k < frames; ++k) {
-    (void)vis::render_pseudocolor(f, cmap, n, n, 0.0, 511.0, pool);
+    vis::render_pseudocolor_into(f, cmap, n, n, 0.0, 511.0, pool, image);
   }
   const double elapsed = seconds_since(t0);
   return static_cast<double>(n * n) * frames / elapsed / 1e6;
+}
+
+/// A smooth-but-nontrivial field (what the codec sees in practice).
+util::Field2D smooth_field(std::size_t n) {
+  util::Field2D f(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) / static_cast<double>(n);
+      const double y = static_cast<double>(j) / static_cast<double>(n);
+      f.at(i, j) = 40.0 * std::sin(6.28 * x) * std::cos(3.14 * y) +
+                   20.0 * std::exp(-8.0 * ((x - 0.5) * (x - 0.5) +
+                                           (y - 0.5) * (y - 0.5)));
+    }
+  }
+  return f;
+}
+
+struct CodecBench {
+  double encode_mbps{0.0};
+  double decode_mbps{0.0};
+  double ratio{0.0};
+};
+
+/// Single-threaded delta-codec throughput over a 512 x 512 field, reported
+/// as uncompressed MB/s through each direction.
+CodecBench codec_throughput(int reps) {
+  const util::Field2D f = smooth_field(512);
+  util::ScratchArena arena;
+  codec::CodecConfig cfg;
+  cfg.kind = codec::Kind::kDelta;
+  codec::FieldCodec enc(cfg, &arena);
+  std::vector<std::uint8_t> blob;
+
+  const int iters = 32 * reps;
+  const double raw_mb =
+      static_cast<double>(f.serialized_bytes()) * iters / 1e6;
+
+  auto t0 = Clock::now();
+  for (int k = 0; k < iters; ++k) {
+    arena.reset();
+    enc.encode(f, blob);
+  }
+  CodecBench out;
+  out.encode_mbps = raw_mb / seconds_since(t0);
+  out.ratio = enc.last_stats().ratio();
+
+  util::Field2D back;
+  t0 = Clock::now();
+  for (int k = 0; k < iters; ++k) {
+    arena.reset();
+    enc.decode_into(blob, back);
+  }
+  out.decode_mbps = raw_mb / seconds_since(t0);
+  GREENVIS_ENSURE(back.nx() == f.nx() && back.ny() == f.ny());
+  return out;
+}
+
+/// Achieved compression ratio of the delta codec over the actual snapshot
+/// stream of case study `n` (every io-step field of the real solver run).
+double case_study_ratio(int n) {
+  const core::CaseStudyConfig config = core::case_study(n);
+  heat::HeatSolver solver(config.problem, nullptr);
+  util::ScratchArena arena;
+  codec::CodecConfig cfg;
+  cfg.kind = codec::Kind::kDelta;
+  codec::FieldCodec enc(cfg, &arena);
+  std::vector<std::uint8_t> blob;
+  std::uint64_t raw = 0, encoded = 0;
+  for (int step = 0; step < config.iterations; ++step) {
+    (void)solver.step();
+    if (config.is_io_step(step)) {
+      arena.reset();
+      enc.encode(solver.temperature(), blob);
+      raw += enc.last_stats().raw_bytes;
+      encoded += enc.last_stats().encoded_bytes;
+    }
+  }
+  return encoded == 0 ? 1.0
+                      : static_cast<double>(raw) / static_cast<double>(encoded);
+}
+
+/// Virtual (testbed) post-processing seconds for case study `n` under the
+/// given snapshot codec — the fig10 end-to-end delta the codec buys.
+double fig10_virtual_seconds(int n, codec::Kind kind) {
+  core::CaseStudyConfig workload = core::case_study(n);
+  workload.snapshot_codec.kind = kind;
+  const core::Experiment experiment;
+  return experiment.run(core::PipelineKind::kPostProcessing, workload)
+      .duration.value();
 }
 
 /// Wall seconds for the fig. 10 batch (post-processing + in-situ x three
@@ -131,7 +230,59 @@ struct ObsOverhead {
   }
 };
 
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string{"clang "} + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string{"gcc "} + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type_string() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+/// HEAD commit hash, resolved by hand from .git (no git binary needed);
+/// "unknown" outside a checkout.
+std::string commit_string() {
+  std::ifstream head(".git/HEAD");
+  std::string line;
+  if (!head.good() || !std::getline(head, line)) {
+    return "unknown";
+  }
+  const std::string prefix = "ref: ";
+  if (line.rfind(prefix, 0) == 0) {
+    std::ifstream ref(".git/" + line.substr(prefix.size()));
+    std::string sha;
+    if (ref.good() && std::getline(ref, sha) && !sha.empty()) {
+      return sha;
+    }
+    return "unknown";
+  }
+  return line.empty() ? "unknown" : line;
+}
+
+std::string meta_json() {
+  std::ostringstream os;
+  os << "{\"hardware_concurrency\": "
+     << std::max(1u, std::thread::hardware_concurrency())
+     << ", \"compiler\": \"" << compiler_string() << "\", \"build_type\": \""
+     << build_type_string() << "\", \"commit\": \"" << commit_string()
+     << "\"}";
+  return os.str();
+}
+
 void write_json(const std::string& path, const std::vector<KernelRow>& rows,
+                double pool1_serial, double pool1_degenerate,
+                const CodecBench& cdc, const std::vector<double>& case_ratios,
+                const std::vector<double>& fig10_raw_s,
+                const std::vector<double>& fig10_delta_s,
                 double batch_serial_s, double batch_concurrent_s,
                 const ObsOverhead& obs_row) {
   std::ofstream os(path);
@@ -141,11 +292,31 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
   os << "{\n";
   os << "  \"hardware_concurrency\": "
      << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  os << "  \"meta\": " << meta_json() << ",\n";
   for (const auto& row : rows) {
     os << "  \"" << row.name << "\": {\"serial_" << row.unit
        << "\": " << row.serial << ", \"parallel_" << row.unit
        << "\": " << row.parallel
        << ", \"speedup\": " << row.parallel / row.serial << "},\n";
+  }
+  os << "  \"render_1024_pool1\": {\"serial_mpixels_per_s\": " << pool1_serial
+     << ", \"pool1_mpixels_per_s\": " << pool1_degenerate
+     << ", \"speedup\": " << pool1_degenerate / pool1_serial << "},\n";
+  os << "  \"codec\": {\"encode_mbps\": " << cdc.encode_mbps
+     << ", \"decode_mbps\": " << cdc.decode_mbps
+     << ", \"smooth_ratio\": " << cdc.ratio;
+  for (std::size_t n = 0; n < case_ratios.size(); ++n) {
+    os << ", \"ratio_case" << n + 1 << "\": " << case_ratios[n];
+  }
+  os << "},\n";
+  if (!fig10_raw_s.empty()) {
+    os << "  \"fig10_codec_virtual\": {";
+    for (std::size_t n = 0; n < fig10_raw_s.size(); ++n) {
+      os << (n == 0 ? "" : ", ") << "\"case" << n + 1
+         << "_raw_s\": " << fig10_raw_s[n] << ", \"case" << n + 1
+         << "_delta_s\": " << fig10_delta_s[n];
+    }
+    os << "},\n";
   }
   os << "  \"fig10_batch\": {\"serial_seconds\": " << batch_serial_s
      << ", \"concurrent_seconds\": " << batch_concurrent_s
@@ -158,13 +329,81 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
   os << "}\n";
 }
 
+/// Pull the number following `"key":` out of a JSON text (flat scan — good
+/// enough for the harness's own output format).
+double extract_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  GREENVIS_REQUIRE_MSG(pos != std::string::npos,
+                       "baseline is missing key '" + key + "'");
+  return std::stod(text.substr(pos + needle.size()));
+}
+
+/// Smoke gate: heat2d_512 serial MCUPS + codec MB/s, compared against the
+/// committed baseline. Returns the process exit code.
+int run_smoke(const std::string& baseline_path) {
+  std::cerr << "[perf] smoke: heat 2-D 512x512 serial...\n";
+  double mcups = 0.0;
+  for (int r = 0; r < 2; ++r) {
+    mcups = std::max(mcups, heat2d_mcups(512, 10, 2, nullptr));
+  }
+  std::cerr << "[perf] smoke: codec throughput...\n";
+  CodecBench cdc;
+  for (int r = 0; r < 2; ++r) {
+    const CodecBench b = codec_throughput(1);
+    cdc.encode_mbps = std::max(cdc.encode_mbps, b.encode_mbps);
+    cdc.decode_mbps = std::max(cdc.decode_mbps, b.decode_mbps);
+    cdc.ratio = b.ratio;
+  }
+
+  util::TextTable t({"Metric", "Value"});
+  t.add_row({"heat2d_512 serial (MCUPS)", util::cell(mcups, 1)});
+  t.add_row({"codec encode (MB/s)", util::cell(cdc.encode_mbps, 1)});
+  t.add_row({"codec decode (MB/s)", util::cell(cdc.decode_mbps, 1)});
+  std::cout << t.render();
+
+  if (baseline_path.empty()) {
+    return 0;
+  }
+  std::ifstream in(baseline_path);
+  GREENVIS_REQUIRE_MSG(in.good(), "cannot read baseline " + baseline_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  int rc = 0;
+  auto gate = [&](const char* what, double now, double base) {
+    const double floor = base * 0.9;
+    const bool ok = now >= floor;
+    std::cout << (ok ? "OK  " : "FAIL") << ' ' << what << ": " << now
+              << " vs baseline " << base << " (floor " << floor << ")\n";
+    if (!ok) {
+      rc = 1;
+    }
+  };
+  gate("heat2d_512 serial_mcups", mcups,
+       extract_number(text, "serial_mcups"));
+  // Baselines recorded before the codec existed have no codec section; the
+  // gate then only protects the solver number.
+  if (text.find("\"encode_mbps\":") != std::string::npos) {
+    gate("codec encode_mbps", cdc.encode_mbps,
+         extract_number(text, "encode_mbps"));
+    gate("codec decode_mbps", cdc.decode_mbps,
+         extract_number(text, "decode_mbps"));
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   const util::ArgParser args(argc, argv);
-  args.allow_only({"out", "quick"});
+  args.allow_only({"out", "quick", "smoke", "baseline"});
   const std::string out = args.get("out", std::string{"BENCH_perf.json"});
   const bool quick = args.has("quick");
+  if (args.has("smoke")) {
+    return run_smoke(args.get("baseline", std::string{}));
+  }
   const int reps = quick ? 1 : 3;
 
   util::ThreadPool pool;  // hardware concurrency
@@ -193,6 +432,37 @@ int main(int argc, char** argv) try {
       {"render_1024", best([&] { return render_mpixels(1024, 4, nullptr); }),
        best([&] { return render_mpixels(1024, 4, &pool); }),
        "mpixels_per_s"});
+
+  // Degenerate-pool guard: a 1-thread pool must ride the serial fallback,
+  // so its throughput may not regress against the plain serial call.
+  std::cerr << "[perf] render_pseudocolor 1024x1024, 1-thread pool...\n";
+  util::ThreadPool pool1(1);
+  const double p1_serial = best([&] { return render_mpixels(1024, 4, nullptr); });
+  const double p1_degen = best([&] { return render_mpixels(1024, 4, &pool1); });
+  const double p1_speedup = p1_degen / p1_serial;
+  GREENVIS_REQUIRE_MSG(p1_speedup >= 0.99,
+                       "1-thread pool render regressed: speedup " +
+                           std::to_string(p1_speedup) + " < 0.99");
+
+  std::cerr << "[perf] codec throughput...\n";
+  CodecBench cdc;
+  for (int r = 0; r < reps; ++r) {
+    const CodecBench b = codec_throughput(quick ? 1 : 2);
+    cdc.encode_mbps = std::max(cdc.encode_mbps, b.encode_mbps);
+    cdc.decode_mbps = std::max(cdc.decode_mbps, b.decode_mbps);
+    cdc.ratio = b.ratio;
+  }
+  std::cerr << "[perf] codec ratio per case study...\n";
+  std::vector<double> case_ratios;
+  for (int n = 1; n <= 3; ++n) {
+    case_ratios.push_back(case_study_ratio(n));
+  }
+  std::cerr << "[perf] fig10 virtual time, raw vs delta codec...\n";
+  std::vector<double> fig10_raw_s, fig10_delta_s;
+  for (int n = 1; n <= 3; ++n) {
+    fig10_raw_s.push_back(fig10_virtual_seconds(n, codec::Kind::kRaw));
+    fig10_delta_s.push_back(fig10_virtual_seconds(n, codec::Kind::kDelta));
+  }
 
   std::cerr << "[perf] fig10 batch, serial...\n";
   double batch_serial = 1e300;
@@ -226,16 +496,33 @@ int main(int argc, char** argv) try {
     t.add_row({row.name, util::cell(row.serial, 1), util::cell(row.parallel, 1),
                util::cell(row.parallel / row.serial, 2), row.unit});
   }
+  t.add_row({"render_1024_pool1", util::cell(p1_serial, 1),
+             util::cell(p1_degen, 1), util::cell(p1_speedup, 2),
+             "mpixels_per_s"});
+  t.add_row({"codec_512 (delta)", util::cell(cdc.encode_mbps, 1),
+             util::cell(cdc.decode_mbps, 1), util::cell(cdc.ratio, 2),
+             "enc/dec MB/s, ratio"});
   t.add_row({"fig10_batch", util::cell(batch_serial, 2),
              util::cell(batch_conc, 2),
              util::cell(batch_serial / batch_conc, 2), "seconds (lower=better)"});
   std::cout << t.render();
+  std::cout << "codec ratios: case1 " << util::cell(case_ratios[0], 2)
+            << ", case2 " << util::cell(case_ratios[1], 2) << ", case3 "
+            << util::cell(case_ratios[2], 2) << "\n";
+  std::cout << "fig10 virtual (raw -> delta): case1 "
+            << util::cell(fig10_raw_s[0], 1) << " -> "
+            << util::cell(fig10_delta_s[0], 1) << " s, case2 "
+            << util::cell(fig10_raw_s[1], 1) << " -> "
+            << util::cell(fig10_delta_s[1], 1) << " s, case3 "
+            << util::cell(fig10_raw_s[2], 1) << " -> "
+            << util::cell(fig10_delta_s[2], 1) << " s\n";
   std::cout << "observability: " << util::cell(obs_row.instrumented_s, 2)
             << " s instrumented vs " << util::cell(obs_row.uninstrumented_s, 2)
             << " s (" << util::cell(obs_row.overhead_pct(), 2) << "% overhead, "
             << obs_row.spans_captured << " spans)\n";
 
-  write_json(out, rows, batch_serial, batch_conc, obs_row);
+  write_json(out, rows, p1_serial, p1_degen, cdc, case_ratios, fig10_raw_s,
+             fig10_delta_s, batch_serial, batch_conc, obs_row);
   std::cout << "\nwrote " << out << '\n';
   return 0;
 } catch (const std::exception& e) {

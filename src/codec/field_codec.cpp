@@ -1,0 +1,634 @@
+#include "src/codec/field_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace greenvis::codec {
+
+namespace {
+
+// Container layout (little-endian):
+//   0   u64  magic "GVCODEC1"
+//   8   u8   version (1)
+//   9   u8   rank (2 | 3)
+//   10  u8   declared kind
+//   11  u8   reserved (0)
+//   12  u32  chunk edge (cells per side)
+//   16  u64  nx
+//   24  u64  ny
+//   32  u64  nz (1 in 2-D)
+//   40  f64  tolerance (0 when no quantized chunks can appear)
+//   48  ...  chunks, row-major in (cz, cy, cx) order, each:
+//              u8 encoding, u8 bits, u16 reserved, u32 payload bytes,
+//              payload
+constexpr std::uint64_t kMagic = 0x314345444F435647ULL;  // "GVCODEC1"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kContainerHeader = 48;
+constexpr std::size_t kChunkHeader = 8;
+constexpr std::uint64_t kMaxDim = 1ULL << 20;
+constexpr std::uint64_t kMaxCells = 1ULL << 32;
+/// Quanta above this magnitude risk int64 overflow in the delta chain; the
+/// chunk falls back to raw instead.
+constexpr double kMaxQuantum = 9.0e15;  // < 2^53
+
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+void put_u64(std::uint8_t* dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* src) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t pos = out.size();
+  out.resize(pos + 8);
+  put_u64(out.data() + pos, v);
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t pos = out.size();
+  out.resize(pos + 4);
+  for (int i = 0; i < 4; ++i) {
+    out[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+double double_of(std::uint64_t u) {
+  double v = 0.0;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+/// Bounds-checked cursor over an encoded blob: every read REQUIREs the
+/// bytes exist, so truncation surfaces as ContractViolation, never UB.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos{0};
+
+  void need(std::size_t n) const {
+    GREENVIS_REQUIRE_MSG(pos + n <= data.size(),
+                         "codec: truncated blob (need " + std::to_string(n) +
+                             " bytes at offset " + std::to_string(pos) + ")");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>(
+        data[pos] | (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    const std::uint64_t v = get_u64(data.data() + pos);
+    pos += 8;
+    return v;
+  }
+  const std::uint8_t* bytes(std::size_t n) {
+    need(n);
+    const std::uint8_t* p = data.data() + pos;
+    pos += n;
+    return p;
+  }
+};
+
+/// RLE size (bytes) of `v[0..count)` under bitwise-run coding.
+std::size_t rle_bytes(const double* v, std::size_t count) {
+  std::size_t runs = 1;
+  std::uint64_t prev = bits_of(v[0]);
+  for (std::size_t i = 1; i < count; ++i) {
+    const std::uint64_t cur = bits_of(v[i]);
+    runs += cur != prev;
+    prev = cur;
+  }
+  return runs * 12;
+}
+
+}  // namespace
+
+Kind parse_kind(const std::string& name) {
+  if (name == "raw") {
+    return Kind::kRaw;
+  }
+  if (name == "delta") {
+    return Kind::kDelta;
+  }
+  if (name == "rle") {
+    return Kind::kRle;
+  }
+  GREENVIS_REQUIRE_MSG(false, "unknown codec '" + name +
+                                  "' (expected raw|delta|rle)");
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRaw:
+      return "raw";
+    case Kind::kDelta:
+      return "delta";
+    case Kind::kRle:
+      return "rle";
+  }
+  return "?";
+}
+
+FieldCodec::FieldCodec(const CodecConfig& config, util::ScratchArena* arena)
+    : config_(config), arena_(arena) {
+  GREENVIS_REQUIRE(config_.chunk_edge >= 1 && config_.chunk_edge <= 1024);
+  if (config_.kind == Kind::kDelta) {
+    GREENVIS_REQUIRE_MSG(config_.tolerance > 0.0 &&
+                             std::isfinite(config_.tolerance),
+                         "delta codec needs a positive finite tolerance");
+  }
+}
+
+std::span<double> FieldCodec::chunk_scratch(std::size_t count) {
+  if (arena_ != nullptr) {
+    return arena_->alloc<double>(count);
+  }
+  if (chunk_buf_.size() < count) {
+    chunk_buf_.resize(count);
+  }
+  return {chunk_buf_.data(), count};
+}
+
+std::span<std::uint64_t> FieldCodec::word_scratch(std::size_t count) {
+  if (arena_ != nullptr) {
+    return arena_->alloc<std::uint64_t>(count);
+  }
+  if (word_buf_.size() < count) {
+    word_buf_.resize(count);
+  }
+  return {word_buf_.data(), count};
+}
+
+void FieldCodec::encode_chunk(const double* v, std::size_t count,
+                              std::span<std::int64_t> q,
+                              std::span<std::uint64_t> words,
+                              std::vector<std::uint8_t>& out) {
+  const std::size_t raw_payload = count * sizeof(double);
+
+  auto emit_header = [&](ChunkEncoding enc, std::uint8_t bits,
+                         std::uint32_t payload) {
+    out.push_back(static_cast<std::uint8_t>(enc));
+    out.push_back(bits);
+    out.push_back(0);
+    out.push_back(0);
+    append_u32(out, payload);
+  };
+  auto emit_raw = [&] {
+    emit_header(ChunkEncoding::kRaw, 0,
+                static_cast<std::uint32_t>(raw_payload));
+    const std::size_t pos = out.size();
+    out.resize(pos + raw_payload);
+    std::memcpy(out.data() + pos, v, raw_payload);
+    ++stats_.chunks_raw;
+  };
+  auto emit_rle = [&](std::size_t payload) {
+    emit_header(ChunkEncoding::kRle, 0, static_cast<std::uint32_t>(payload));
+    std::uint64_t run_value = bits_of(v[0]);
+    std::uint32_t run_len = 1;
+    for (std::size_t i = 1; i < count; ++i) {
+      const std::uint64_t cur = bits_of(v[i]);
+      if (cur == run_value) {
+        ++run_len;
+      } else {
+        append_u64(out, run_value);
+        append_u32(out, run_len);
+        run_value = cur;
+        run_len = 1;
+      }
+    }
+    append_u64(out, run_value);
+    append_u32(out, run_len);
+    ++stats_.chunks_rle;
+  };
+
+  if (config_.kind == Kind::kRle) {
+    const std::size_t rle = rle_bytes(v, count);
+    if (rle < raw_payload) {
+      emit_rle(rle);
+    } else {
+      emit_raw();
+    }
+    return;
+  }
+
+  // kind == kDelta: quantize when every value is finite and its quantum
+  // fits the delta chain; otherwise degrade to rle/raw, preserving bits.
+  const double inv = 1.0 / config_.tolerance;
+  double max_abs = 0.0;
+  bool finite = true;
+  for (std::size_t i = 0; i < count; ++i) {
+    max_abs = std::max(max_abs, std::fabs(v[i]));
+    finite = finite && (v[i] - v[i] == 0.0);
+  }
+  if (!finite || max_abs * inv > kMaxQuantum) {
+    const std::size_t rle = rle_bytes(v, count);
+    if (rle < raw_payload) {
+      emit_rle(rle);
+    } else {
+      emit_raw();
+    }
+    return;
+  }
+
+  // Quantize (branch-free: round-half-away via copysign) and delta+zigzag.
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = v[i] * inv;
+    q[i] = static_cast<std::int64_t>(t + std::copysign(0.5, t));
+  }
+  std::uint64_t all = 0;
+  for (std::size_t i = count; i-- > 1;) {
+    q[i] -= q[i - 1];  // in place, back to front
+    all |= zigzag(q[i]);
+  }
+  std::uint8_t bits = 0;
+  while (all >> bits != 0) {
+    ++bits;
+  }
+  const std::size_t nwords =
+      bits == 0 ? 0 : ((count - 1) * bits + 63) / 64;
+  const std::size_t payload = 8 + nwords * 8;
+  if (payload >= raw_payload) {
+    // Undo the in-place delta so emit_raw sees... v is untouched; just raw.
+    emit_raw();
+    return;
+  }
+
+  emit_header(ChunkEncoding::kDeltaBitpack, bits,
+              static_cast<std::uint32_t>(payload));
+  append_u64(out, static_cast<std::uint64_t>(q[0]));
+  if (bits > 0) {
+    std::uint64_t acc = 0;
+    unsigned used = 0;
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < count; ++i) {
+      const std::uint64_t zz = zigzag(q[i]);
+      acc |= zz << used;
+      used += bits;
+      if (used >= 64) {
+        words[w++] = acc;
+        used -= 64;
+        acc = used == 0 ? 0 : zz >> (bits - used);
+      }
+    }
+    if (used > 0) {
+      words[w++] = acc;
+    }
+    GREENVIS_ENSURE(w == nwords);
+    const std::size_t pos = out.size();
+    out.resize(pos + nwords * 8);
+    for (std::size_t k = 0; k < nwords; ++k) {
+      put_u64(out.data() + pos + k * 8, words[k]);
+    }
+  }
+  ++stats_.chunks_delta;
+}
+
+void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
+                               std::size_t ny, std::size_t nz,
+                               std::uint8_t rank,
+                               std::vector<std::uint8_t>& out) {
+  const std::size_t e = config_.chunk_edge;
+  const std::size_t max_cells = rank == 2 ? e * e : e * e * e;
+  const std::span<double> staging = chunk_scratch(max_cells);
+  std::span<std::int64_t> q{};
+  std::span<std::uint64_t> words{};
+  if (config_.kind == Kind::kDelta) {
+    if (arena_ != nullptr) {
+      q = arena_->alloc<std::int64_t>(max_cells);
+    } else {
+      if (q_buf_.size() < max_cells) {
+        q_buf_.resize(max_cells);
+      }
+      q = {q_buf_.data(), max_cells};
+    }
+    words = word_scratch(max_cells);  // bits <= 63 < 64: never more words
+  }
+
+  out.resize(kContainerHeader);
+  put_u64(out.data(), kMagic);
+  out[8] = kVersion;
+  out[9] = rank;
+  out[10] = static_cast<std::uint8_t>(config_.kind);
+  out[11] = 0;
+  for (int i = 0; i < 4; ++i) {
+    out[12 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(static_cast<std::uint32_t>(e) >> (8 * i));
+  }
+  put_u64(out.data() + 16, nx);
+  put_u64(out.data() + 24, ny);
+  put_u64(out.data() + 32, nz);
+  put_u64(out.data() + 40,
+          bits_of(config_.kind == Kind::kDelta ? config_.tolerance : 0.0));
+
+  const double* src = values.data();
+  for (std::size_t z0 = 0; z0 < nz; z0 += (rank == 3 ? e : nz)) {
+    const std::size_t z1 = rank == 3 ? std::min(nz, z0 + e) : nz;
+    for (std::size_t y0 = 0; y0 < ny; y0 += e) {
+      const std::size_t y1 = std::min(ny, y0 + e);
+      for (std::size_t x0 = 0; x0 < nx; x0 += e) {
+        const std::size_t x1 = std::min(nx, x0 + e);
+        // Gather the chunk into contiguous SoA order (x fastest).
+        const std::size_t w = x1 - x0;
+        double* dst = staging.data();
+        for (std::size_t z = z0; z < z1; ++z) {
+          for (std::size_t y = y0; y < y1; ++y) {
+            std::memcpy(dst, src + (z * ny + y) * nx + x0,
+                        w * sizeof(double));
+            dst += w;
+          }
+        }
+        encode_chunk(staging.data(),
+                     static_cast<std::size_t>(dst - staging.data()), q, words,
+                     out);
+      }
+    }
+  }
+}
+
+void FieldCodec::encode(const util::Field2D& field,
+                        std::vector<std::uint8_t>& out) {
+  out.clear();
+  stats_ = {};
+  stats_.raw_bytes = field.serialized_bytes();
+  if (config_.kind == Kind::kRaw) {
+    // Identity: exactly the legacy serialization, byte for byte.
+    out.resize(field.serialized_bytes());
+    put_u64(out.data(), field.nx());
+    put_u64(out.data() + 8, field.ny());
+    std::memcpy(out.data() + 16, field.values().data(),
+                field.size() * sizeof(double));
+  } else {
+    encode_values(field.values(), field.nx(), field.ny(), 1, 2, out);
+  }
+  stats_.encoded_bytes = out.size();
+}
+
+void FieldCodec::encode(const util::Field3D& field,
+                        std::vector<std::uint8_t>& out) {
+  out.clear();
+  stats_ = {};
+  stats_.raw_bytes = field.serialized_bytes();
+  if (config_.kind == Kind::kRaw) {
+    out.resize(field.serialized_bytes());
+    put_u64(out.data(), field.nx());
+    put_u64(out.data() + 8, field.ny());
+    put_u64(out.data() + 16, field.nz());
+    std::memcpy(out.data() + 24, field.values().data(),
+                field.size() * sizeof(double));
+  } else {
+    encode_values(field.values(), field.nx(), field.ny(), field.nz(), 3, out);
+  }
+  stats_.encoded_bytes = out.size();
+}
+
+std::vector<std::uint8_t> FieldCodec::encode(const util::Field2D& field) {
+  std::vector<std::uint8_t> out;
+  encode(field, out);
+  return out;
+}
+
+std::vector<std::uint8_t> FieldCodec::encode(const util::Field3D& field) {
+  std::vector<std::uint8_t> out;
+  encode(field, out);
+  return out;
+}
+
+bool FieldCodec::is_container(std::span<const std::uint8_t> blob) {
+  return blob.size() >= 8 && get_u64(blob.data()) == kMagic;
+}
+
+FieldCodec::ContainerInfo FieldCodec::parse_header(
+    std::span<const std::uint8_t> blob) {
+  Reader r{blob};
+  GREENVIS_REQUIRE_MSG(r.u64() == kMagic, "codec: bad container magic");
+  ContainerInfo info;
+  info.version = r.u8();
+  GREENVIS_REQUIRE_MSG(info.version == kVersion,
+                       "codec: unsupported container version " +
+                           std::to_string(info.version));
+  info.rank = r.u8();
+  GREENVIS_REQUIRE_MSG(info.rank == 2 || info.rank == 3,
+                       "codec: bad rank " + std::to_string(info.rank));
+  const std::uint8_t kind = r.u8();
+  GREENVIS_REQUIRE_MSG(kind <= 2, "codec: bad kind byte");
+  info.kind = static_cast<Kind>(kind);
+  (void)r.u8();  // reserved
+  info.chunk_edge = r.u32();
+  GREENVIS_REQUIRE_MSG(info.chunk_edge >= 1 && info.chunk_edge <= 1024,
+                       "codec: bad chunk edge");
+  info.nx = r.u64();
+  info.ny = r.u64();
+  info.nz = r.u64();
+  GREENVIS_REQUIRE_MSG(info.nx >= 1 && info.nx <= kMaxDim &&  //
+                           info.ny >= 1 && info.ny <= kMaxDim &&
+                           info.nz >= 1 && info.nz <= kMaxDim,
+                       "codec: implausible dimensions");
+  GREENVIS_REQUIRE_MSG(info.rank == 3 || info.nz == 1,
+                       "codec: 2-D container with nz != 1");
+  GREENVIS_REQUIRE_MSG(info.nx * info.ny * info.nz <= kMaxCells,
+                       "codec: implausible cell count");
+  info.tolerance = double_of(r.u64());
+  GREENVIS_REQUIRE_MSG(
+      std::isfinite(info.tolerance) && info.tolerance >= 0.0,
+      "codec: bad tolerance");
+  return info;
+}
+
+void FieldCodec::decode_chunks(std::span<const std::uint8_t> blob,
+                               const ContainerInfo& info, double* dst) {
+  Reader r{blob};
+  r.pos = kContainerHeader;
+  const std::size_t e = info.chunk_edge;
+  const std::size_t nx = info.nx, ny = info.ny, nz = info.nz;
+  const std::size_t max_cells = info.rank == 2 ? e * e : e * e * e;
+  const std::span<double> staging = chunk_scratch(max_cells);
+
+  for (std::size_t z0 = 0; z0 < nz; z0 += (info.rank == 3 ? e : nz)) {
+    const std::size_t z1 = info.rank == 3 ? std::min(nz, z0 + e) : nz;
+    for (std::size_t y0 = 0; y0 < ny; y0 += e) {
+      const std::size_t y1 = std::min(ny, y0 + e);
+      for (std::size_t x0 = 0; x0 < nx; x0 += e) {
+        const std::size_t x1 = std::min(nx, x0 + e);
+        const std::size_t count = (x1 - x0) * (y1 - y0) * (z1 - z0);
+
+        const auto enc = r.u8();
+        const std::uint8_t bits = r.u8();
+        (void)r.u16();  // reserved
+        const std::uint32_t payload = r.u32();
+
+        if (enc == static_cast<std::uint8_t>(ChunkEncoding::kRaw)) {
+          GREENVIS_REQUIRE_MSG(payload == count * sizeof(double),
+                               "codec: raw chunk size mismatch");
+          std::memcpy(staging.data(), r.bytes(payload), payload);
+        } else if (enc == static_cast<std::uint8_t>(ChunkEncoding::kRle)) {
+          GREENVIS_REQUIRE_MSG(payload % 12 == 0 && payload > 0,
+                               "codec: rle chunk size mismatch");
+          std::size_t filled = 0;
+          for (std::size_t k = 0; k < payload / 12; ++k) {
+            const double value = double_of(r.u64());
+            const std::uint32_t len = r.u32();
+            GREENVIS_REQUIRE_MSG(len > 0 && filled + len <= count,
+                                 "codec: rle run overflows chunk");
+            for (std::size_t i = 0; i < len; ++i) {
+              staging[filled + i] = value;
+            }
+            filled += len;
+          }
+          GREENVIS_REQUIRE_MSG(filled == count,
+                               "codec: rle runs do not cover chunk");
+        } else if (enc ==
+                   static_cast<std::uint8_t>(ChunkEncoding::kDeltaBitpack)) {
+          GREENVIS_REQUIRE_MSG(info.tolerance > 0.0,
+                               "codec: delta chunk without tolerance");
+          GREENVIS_REQUIRE_MSG(bits <= 63, "codec: bad delta bit width");
+          const std::size_t nwords =
+              bits == 0 ? 0 : ((count - 1) * bits + 63) / 64;
+          GREENVIS_REQUIRE_MSG(payload == 8 + nwords * 8,
+                               "codec: delta chunk size mismatch");
+          std::int64_t qv = static_cast<std::int64_t>(r.u64());
+          const double tol = info.tolerance;
+          staging[0] = static_cast<double>(qv) * tol;
+          if (bits == 0) {
+            for (std::size_t i = 1; i < count; ++i) {
+              staging[i] = staging[0];
+            }
+          } else {
+            const std::uint8_t* packed = r.bytes(nwords * 8);
+            const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+            std::size_t bitpos = 0;
+            for (std::size_t i = 1; i < count; ++i) {
+              const std::size_t w = bitpos >> 6;
+              const unsigned off = bitpos & 63;
+              std::uint64_t val = get_u64(packed + w * 8) >> off;
+              if (off + bits > 64) {
+                val |= get_u64(packed + (w + 1) * 8) << (64 - off);
+              }
+              qv += unzigzag(val & mask);
+              staging[i] = static_cast<double>(qv) * tol;
+              bitpos += bits;
+            }
+          }
+        } else {
+          GREENVIS_REQUIRE_MSG(false, "codec: unknown chunk encoding " +
+                                          std::to_string(enc));
+        }
+
+        // Scatter the SoA chunk back into the row-major field.
+        const std::size_t w = x1 - x0;
+        const double* src = staging.data();
+        for (std::size_t z = z0; z < z1; ++z) {
+          for (std::size_t y = y0; y < y1; ++y) {
+            std::memcpy(dst + (z * ny + y) * nx + x0, src,
+                        w * sizeof(double));
+            src += w;
+          }
+        }
+      }
+    }
+  }
+  GREENVIS_REQUIRE_MSG(r.pos == blob.size(),
+                       "codec: trailing bytes after last chunk");
+}
+
+void FieldCodec::decode_into(std::span<const std::uint8_t> blob,
+                             util::Field2D& out) {
+  if (!is_container(blob)) {
+    // Legacy plain serialization; decode in place when dimensions match.
+    GREENVIS_REQUIRE_MSG(blob.size() >= 16, "codec: truncated legacy field");
+    const std::size_t nx = get_u64(blob.data());
+    const std::size_t ny = get_u64(blob.data() + 8);
+    if (out.nx() == nx && out.ny() == ny) {
+      GREENVIS_REQUIRE(blob.size() == 16 + nx * ny * sizeof(double));
+      std::memcpy(out.values().data(), blob.data() + 16,
+                  nx * ny * sizeof(double));
+    } else {
+      out = util::Field2D::deserialize(blob);
+    }
+    return;
+  }
+  const ContainerInfo info = parse_header(blob);
+  GREENVIS_REQUIRE_MSG(info.rank == 2, "codec: expected a 2-D container");
+  if (out.nx() != info.nx || out.ny() != info.ny) {
+    out = util::Field2D(info.nx, info.ny);
+  }
+  decode_chunks(blob, info, out.values().data());
+}
+
+void FieldCodec::decode_into(std::span<const std::uint8_t> blob,
+                             util::Field3D& out) {
+  if (!is_container(blob)) {
+    GREENVIS_REQUIRE_MSG(blob.size() >= 24, "codec: truncated legacy field");
+    const std::size_t nx = get_u64(blob.data());
+    const std::size_t ny = get_u64(blob.data() + 8);
+    const std::size_t nz = get_u64(blob.data() + 16);
+    if (out.nx() == nx && out.ny() == ny && out.nz() == nz) {
+      GREENVIS_REQUIRE(blob.size() == 24 + nx * ny * nz * sizeof(double));
+      std::memcpy(out.values().data(), blob.data() + 24,
+                  nx * ny * nz * sizeof(double));
+    } else {
+      out = util::Field3D::deserialize(blob);
+    }
+    return;
+  }
+  const ContainerInfo info = parse_header(blob);
+  GREENVIS_REQUIRE_MSG(info.rank == 3, "codec: expected a 3-D container");
+  if (out.nx() != info.nx || out.ny() != info.ny || out.nz() != info.nz) {
+    out = util::Field3D(info.nx, info.ny, info.nz);
+  }
+  decode_chunks(blob, info, out.values().data());
+}
+
+util::Field2D FieldCodec::decode2d(std::span<const std::uint8_t> blob) {
+  FieldCodec codec;
+  util::Field2D out;
+  codec.decode_into(blob, out);
+  return out;
+}
+
+util::Field3D FieldCodec::decode3d(std::span<const std::uint8_t> blob) {
+  FieldCodec codec;
+  util::Field3D out;
+  codec.decode_into(blob, out);
+  return out;
+}
+
+}  // namespace greenvis::codec

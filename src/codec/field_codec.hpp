@@ -1,0 +1,160 @@
+// Chunked field codec for snapshot I/O — the paper's Sec. VI direction of
+// *software-directed data reorganization*: shrink the bytes written and
+// re-read between the simulate and visualize phases and the post-processing
+// pipeline's time/energy gap closes with them (the Fig. 10 savings are
+// driven almost entirely by I/O time). Follows the in-situ float-compression
+// line of work (ISABELA-style quantized residuals, Gorilla/SZ-style delta
+// coding) cited in PAPERS.md.
+//
+// Format: a field is split into fixed-edge 2-D/3-D chunks; each chunk is
+// gathered into a contiguous SoA staging buffer and encoded independently by
+// the cheapest admissible encoder:
+//
+//   * raw           — the 8-byte IEEE-754 values verbatim (bit-exact,
+//                     NaN/Inf safe);
+//   * delta+bitpack — values quantized to an absolute tolerance
+//                     (|x - decode(encode(x))| <= tolerance), first quantum
+//                     stored whole, successive deltas zigzag-mapped and
+//                     packed at the chunk's max bit width;
+//   * rle           — runs of bitwise-identical values (constant regions
+//                     collapse to one run).
+//
+// The container header is self-describing (magic, rank, dims, chunk edge,
+// tolerance), so readback auto-detects the encoding — including the legacy
+// plain Field2D/Field3D serialization, which has no magic. Kind::kRaw is an
+// identity codec: it emits exactly the legacy bytes, keeping every existing
+// figure byte-identical. Corrupt or truncated input fails loudly
+// (ContractViolation), never with UB. See DESIGN.md §3b.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/arena.hpp"
+#include "src/util/field.hpp"
+#include "src/util/field3d.hpp"
+
+namespace greenvis::codec {
+
+/// Container-level codec selection (the `--codec=` flag / Workload knob).
+enum class Kind : std::uint8_t {
+  kRaw = 0,    // identity: legacy plain serialization, byte-identical
+  kDelta = 1,  // quantized delta+bitpack (lossy within `tolerance`)
+  kRle = 2,    // run-length only (lossless; wins on constant regions)
+};
+
+/// Per-chunk encoding chosen by the heuristic (stored in the chunk header).
+enum class ChunkEncoding : std::uint8_t {
+  kRaw = 0,
+  kDeltaBitpack = 1,
+  kRle = 2,
+};
+
+struct CodecConfig {
+  Kind kind{Kind::kRaw};
+  /// Absolute per-value error bound for delta+bitpack (must be > 0 when
+  /// kind == kDelta; reconstruction error is <= tolerance/2).
+  double tolerance{1e-3};
+  /// Cells per chunk side (chunks are edge x edge in 2-D, edge^3 in 3-D;
+  /// boundary chunks are partial).
+  std::size_t chunk_edge{32};
+};
+
+/// Parse "raw" | "delta" | "rle" (throws ContractViolation otherwise).
+[[nodiscard]] Kind parse_kind(const std::string& name);
+[[nodiscard]] const char* kind_name(Kind kind);
+
+struct EncodeStats {
+  std::uint64_t raw_bytes{0};
+  std::uint64_t encoded_bytes{0};
+  std::uint64_t chunks_raw{0};
+  std::uint64_t chunks_delta{0};
+  std::uint64_t chunks_rle{0};
+
+  /// Uncompressed payload bytes / encoded payload bytes.
+  [[nodiscard]] double ratio() const {
+    return encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(encoded_bytes);
+  }
+};
+
+/// Encoder/decoder instance. Holds reusable staging buffers (and optionally
+/// bumps an external ScratchArena), so steady-state encode/decode performs
+/// zero heap allocations. Single-threaded; one instance per pipeline.
+class FieldCodec {
+ public:
+  explicit FieldCodec(const CodecConfig& config = {},
+                      util::ScratchArena* arena = nullptr);
+
+  /// True when this codec changes bytes (kind != kRaw) and hence when the
+  /// pipeline should charge modeled encode/decode compute.
+  [[nodiscard]] bool active() const { return config_.kind != Kind::kRaw; }
+
+  /// Encode into `out` (cleared first; capacity reused across calls).
+  /// kind == kRaw emits exactly `field.serialize()`.
+  void encode(const util::Field2D& field, std::vector<std::uint8_t>& out);
+  void encode(const util::Field3D& field, std::vector<std::uint8_t>& out);
+  [[nodiscard]] std::vector<std::uint8_t> encode(const util::Field2D& field);
+  [[nodiscard]] std::vector<std::uint8_t> encode(const util::Field3D& field);
+
+  /// Decode, auto-detecting container vs legacy plain serialization. The
+  /// `_into` forms reuse `out`'s storage when the dimensions match.
+  void decode_into(std::span<const std::uint8_t> blob, util::Field2D& out);
+  void decode_into(std::span<const std::uint8_t> blob, util::Field3D& out);
+  [[nodiscard]] static util::Field2D decode2d(
+      std::span<const std::uint8_t> blob);
+  [[nodiscard]] static util::Field3D decode3d(
+      std::span<const std::uint8_t> blob);
+
+  /// True when `blob` starts with the codec container magic.
+  [[nodiscard]] static bool is_container(std::span<const std::uint8_t> blob);
+
+  /// Stats of the most recent encode() on this instance.
+  [[nodiscard]] const EncodeStats& last_stats() const { return stats_; }
+  [[nodiscard]] const CodecConfig& config() const { return config_; }
+
+ private:
+  /// Parsed-and-validated container header.
+  struct ContainerInfo {
+    std::uint8_t version{0};
+    std::uint8_t rank{0};
+    Kind kind{Kind::kRaw};
+    std::uint32_t chunk_edge{0};
+    std::uint64_t nx{0};
+    std::uint64_t ny{0};
+    std::uint64_t nz{0};
+    double tolerance{0.0};
+  };
+  [[nodiscard]] static ContainerInfo parse_header(
+      std::span<const std::uint8_t> blob);
+
+  void encode_values(std::span<const double> values, std::size_t nx,
+                     std::size_t ny, std::size_t nz, std::uint8_t rank,
+                     std::vector<std::uint8_t>& out);
+  /// Encode one SoA-gathered chunk; appends chunk header + payload.
+  /// `q`/`words` are caller-provided scratch (delta kind only).
+  void encode_chunk(const double* values, std::size_t count,
+                    std::span<std::int64_t> q, std::span<std::uint64_t> words,
+                    std::vector<std::uint8_t>& out);
+  /// Decode every chunk of a validated container into `dst` (sized
+  /// nx*ny*nz, row-major).
+  void decode_chunks(std::span<const std::uint8_t> blob,
+                     const ContainerInfo& info, double* dst);
+
+  /// Chunk-sized scratch: either arena-backed per call or retained members.
+  [[nodiscard]] std::span<double> chunk_scratch(std::size_t count);
+  [[nodiscard]] std::span<std::uint64_t> word_scratch(std::size_t count);
+
+  CodecConfig config_;
+  util::ScratchArena* arena_;
+  std::vector<double> chunk_buf_;  // used when arena_ == nullptr
+  std::vector<std::uint64_t> word_buf_;
+  std::vector<std::int64_t> q_buf_;
+  EncodeStats stats_;
+};
+
+}  // namespace greenvis::codec

@@ -64,6 +64,18 @@ void InSituAdaptor::add_trigger(std::unique_ptr<Trigger> trigger) {
   triggers_.push_back(std::move(trigger));
 }
 
+void InSituAdaptor::enable_snapshot_export(io::TimestepWriter& writer,
+                                           const codec::CodecConfig& config,
+                                           double io_cores,
+                                           double io_utilization) {
+  snapshot_writer_ = &writer;
+  snapshot_arena_ = std::make_unique<util::ScratchArena>();
+  snapshot_codec_ =
+      std::make_unique<codec::FieldCodec>(config, snapshot_arena_.get());
+  snapshot_io_cores_ = io_cores;
+  snapshot_io_utilization_ = io_utilization;
+}
+
 std::optional<std::uint64_t> InSituAdaptor::process(
     int step, const util::Field2D& field) {
   GREENVIS_REQUIRE_MSG(!triggers_.empty(), "adaptor has no triggers");
@@ -91,6 +103,21 @@ std::optional<std::uint64_t> InSituAdaptor::process(
   const vis::Image image = pipeline_.render(field);
   bed_->run_compute(pipeline_.render_activity(), stage::kVisualization);
   ++rendered_;
+
+  if (snapshot_writer_ != nullptr) {
+    snapshot_arena_->reset();
+    snapshot_codec_->encode(field, snapshot_buf_);
+    if (snapshot_codec_->active()) {
+      machine::ActivityRecord codec_work;
+      codec_work.flops = static_cast<double>(field.size()) * 12.0;
+      codec_work.active_cores = 1;
+      codec_work.dram_bytes = util::Bytes{field.size() * 16};
+      bed_->run_compute(codec_work, stage::kWrite);
+    }
+    snapshot_bytes_ += util::Bytes{snapshot_buf_.size()};
+    bed_->run_io(stage::kWrite, snapshot_io_cores_, snapshot_io_utilization_,
+                 [&] { snapshot_writer_->write_step(step, snapshot_buf_); });
+  }
   return image.digest();
 }
 

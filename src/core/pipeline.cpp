@@ -19,17 +19,18 @@ void simulate_step(Testbed& bed, heat::HeatSolver& solver) {
   bed.run_compute(solver.step_activity(), stage::kSimulation);
 }
 
-/// Render one frame: real raster + modeled compute burst.
+/// Render one frame: real raster + modeled compute burst. `frame` is a
+/// caller-owned buffer reused across steps (no per-frame image allocation).
 void visualize_step(Testbed& bed, const vis::VisPipeline& pipeline,
                     const util::Field2D& field, PipelineOutput& out,
-                    bool keep) {
+                    bool keep, vis::Image& frame) {
   obs::ScopedSpan span("stage.visualize", obs::kCatStage);
-  vis::Image image = pipeline.render(field);
+  pipeline.render_into(field, frame);
   bed.run_compute(pipeline.render_activity(), stage::kVisualization);
-  out.image_digests.push_back(image.digest());
+  out.image_digests.push_back(frame.digest());
   ++out.visualized_steps;
   if (keep) {
-    out.images.push_back(std::move(image));
+    out.images.push_back(frame);
   }
 }
 
@@ -43,13 +44,37 @@ PipelineOutput run_post_processing(Testbed& bed,
   util::ThreadPool pool(options.host_threads);
   heat::HeatSolver solver(config.problem, &pool);
   vis::VisPipeline vis_pipeline(config.vis, &pool);
+  vis::Image frame;  // reused across visualize steps
   io::TimestepWriter writer(bed.fs(), config.dataset);
 
+  // Snapshot codec (raw by default: byte-identical to the legacy
+  // serialization, and no modeled codec compute is charged). The arena is
+  // reset per output step, so the steady-state encode/decode path performs
+  // zero heap allocations.
+  util::ScratchArena arena;
+  codec::FieldCodec snap_codec(config.snapshot_codec, &arena);
+  // Modeled per-snapshot codec cost (quantize + delta + pack is a handful
+  // of ops per cell; one streaming read + one write of the field).
+  const double cells =
+      static_cast<double>(config.problem.nx * config.problem.ny);
+  machine::ActivityRecord codec_work;
+  codec_work.flops = cells * 12.0;
+  codec_work.active_cores = 1;
+  codec_work.dram_bytes = util::Bytes{static_cast<std::uint64_t>(cells * 16)};
+
   // Phase 1: simulate, writing every io_period-th step to disk.
+  std::vector<std::uint8_t> payload;
   for (int step = 0; step < config.iterations; ++step) {
     simulate_step(bed, solver);
     if (config.is_io_step(step)) {
-      const auto payload = solver.temperature().serialize();
+      arena.reset();
+      snap_codec.encode(solver.temperature(), payload);
+      if (snap_codec.active()) {
+        bed.run_compute(codec_work, stage::kSimulation);
+      }
+      out.snapshot_bytes_written += util::Bytes{payload.size()};
+      out.snapshot_bytes_raw +=
+          util::Bytes{snap_codec.last_stats().raw_bytes};
       bed.run_io(stage::kWrite, config.io_stage_cores,
                  config.io_stage_utilization,
                  [&] { writer.write_step(step, payload); });
@@ -65,16 +90,21 @@ PipelineOutput run_post_processing(Testbed& bed,
 
   // Phase 2: read each written step back and visualize it.
   io::TimestepReader reader(bed.fs(), config.dataset);
+  util::Field2D field;
   for (int step = 0; step < config.iterations; ++step) {
     if (!config.is_io_step(step)) {
       continue;
     }
-    std::vector<std::uint8_t> payload;
     bed.run_io(stage::kRead, config.io_stage_cores,
                config.io_stage_utilization,
                [&] { payload = reader.read_step(step); });
-    const util::Field2D field = util::Field2D::deserialize(payload);
-    visualize_step(bed, vis_pipeline, field, out, options.keep_images);
+    arena.reset();
+    snap_codec.decode_into(payload, field);
+    if (snap_codec.active()) {
+      bed.run_compute(codec_work, stage::kRead);
+    }
+    out.snapshot_bytes_read += util::Bytes{payload.size()};
+    visualize_step(bed, vis_pipeline, field, out, options.keep_images, frame);
   }
   return out;
 }
@@ -90,6 +120,7 @@ SampledOutput run_sampled_post_processing(Testbed& bed,
   util::ThreadPool pool(options.host_threads);
   heat::HeatSolver solver(config.problem, &pool);
   vis::VisPipeline vis_pipeline(config.vis, &pool);
+  vis::Image frame;  // reused across visualize steps
   io::TimestepWriter writer(bed.fs(), config.dataset);
 
   // Phase 1: simulate; sample and write every io_period-th step. Keep the
@@ -132,7 +163,7 @@ SampledOutput run_sampled_post_processing(Testbed& bed,
                                     config.problem.ny);
     error_sum += vis::rms_difference(reconstructed, truths[truth_idx++]);
     visualize_step(bed, vis_pipeline, reconstructed, out.base,
-                   options.keep_images);
+                   options.keep_images, frame);
   }
   if (truth_idx > 0) {
     out.mean_rms_error = error_sum / static_cast<double>(truth_idx);
@@ -152,6 +183,7 @@ CompressedOutput run_compressed_post_processing(
   util::ThreadPool pool(options.host_threads);
   heat::HeatSolver solver(config.problem, &pool);
   vis::VisPipeline vis_pipeline(config.vis, &pool);
+  vis::Image frame;  // reused across visualize steps
   io::TimestepWriter writer(bed.fs(), config.dataset);
 
   // Modeled cost of the predictive codec per cell (compress and decompress
@@ -201,7 +233,8 @@ CompressedOutput run_compressed_post_processing(
           std::max(out.max_abs_error,
                    std::abs(field.values()[k] - truth.values()[k]));
     }
-    visualize_step(bed, vis_pipeline, field, out.base, options.keep_images);
+    visualize_step(bed, vis_pipeline, field, out.base, options.keep_images,
+                   frame);
   }
   if (truth_idx > 0) {
     out.mean_compression_ratio = ratio_sum / static_cast<double>(truth_idx);
@@ -216,12 +249,13 @@ PipelineOutput run_in_situ(Testbed& bed, const CaseStudyConfig& config,
   util::ThreadPool pool(options.host_threads);
   heat::HeatSolver solver(config.problem, &pool);
   vis::VisPipeline vis_pipeline(config.vis, &pool);
+  vis::Image frame;  // reused across visualize steps
 
   for (int step = 0; step < config.iterations; ++step) {
     simulate_step(bed, solver);
     if (config.is_io_step(step)) {
       visualize_step(bed, vis_pipeline, solver.temperature(), out,
-                     options.keep_images);
+                     options.keep_images, frame);
     }
   }
   out.steps = config.iterations;

@@ -37,6 +37,12 @@ struct PipelineOutput {
   util::Field2D final_field;
   int steps{0};
   int visualized_steps{0};
+  /// Snapshot payload accounting (post-processing only; zero for in-situ).
+  /// With the raw codec written == raw; with an active codec written < raw
+  /// and the storage counters shrink proportionally.
+  util::Bytes snapshot_bytes_written{0};
+  util::Bytes snapshot_bytes_read{0};
+  util::Bytes snapshot_bytes_raw{0};
   /// Kept only when `keep_images` was requested.
   std::vector<vis::Image> images;
 };

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "src/codec/field_codec.hpp"
 #include "src/heat/solver.hpp"
 #include "src/io/dataset.hpp"
 #include "src/vis/pipeline.hpp"
@@ -27,6 +28,10 @@ struct CaseStudyConfig {
   /// journal thread (calibrated to Table II's stage powers).
   double io_stage_cores{3.0};
   double io_stage_utilization{0.5};
+  /// Snapshot codec for the post-processing write/read path. The default
+  /// (Kind::kRaw) emits the legacy serialization byte-for-byte, so every
+  /// seed figure is unchanged unless a codec is explicitly selected.
+  codec::CodecConfig snapshot_codec{};
 
   [[nodiscard]] bool is_io_step(int step) const {
     return step % io_period == 0;

@@ -1,0 +1,75 @@
+#include "src/util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace greenvis::util {
+
+namespace {
+constexpr std::size_t kMinSlabBytes = 4096;
+}  // namespace
+
+ScratchArena::ScratchArena(std::size_t initial_capacity) {
+  if (initial_capacity > 0) {
+    add_slab(initial_capacity);
+  }
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) {
+    total += slab.size;
+  }
+  return total;
+}
+
+std::size_t ScratchArena::high_water() const {
+  return std::max(high_water_, used_);
+}
+
+void ScratchArena::reset() {
+  high_water_ = std::max(high_water_, used_);
+  if (slabs_.size() > 1) {
+    // Coalesce: one slab covering the worst cycle seen, so the next cycle
+    // of the same workload bumps through a single contiguous block.
+    slabs_.clear();
+    add_slab(high_water_);
+  }
+  slab_index_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+void ScratchArena::add_slab(std::size_t min_bytes) {
+  Slab slab;
+  slab.size = std::max({min_bytes, kMinSlabBytes, capacity()});
+  slab.mem = std::make_unique<std::byte[]>(slab.size);
+  slabs_.push_back(std::move(slab));
+}
+
+void* ScratchArena::alloc_bytes(std::size_t bytes, std::size_t align) {
+  GREENVIS_REQUIRE(align > 0 && (align & (align - 1)) == 0);
+  if (slabs_.empty()) {
+    add_slab(bytes);
+  }
+  for (;;) {
+    Slab& slab = slabs_[slab_index_];
+    const auto base = reinterpret_cast<std::uintptr_t>(slab.mem.get());
+    const std::size_t aligned =
+        ((base + offset_ + align - 1) & ~(std::uintptr_t{align} - 1)) - base;
+    if (aligned + bytes <= slab.size) {
+      used_ += (aligned - offset_) + bytes;
+      offset_ = aligned + bytes;
+      return slab.mem.get() + aligned;
+    }
+    // Current slab exhausted: move to the next, creating one when needed
+    // (doubling policy via add_slab's max-with-capacity).
+    used_ += slab.size - offset_;
+    if (++slab_index_ == slabs_.size()) {
+      add_slab(bytes + align);
+    }
+    offset_ = 0;
+  }
+}
+
+}  // namespace greenvis::util

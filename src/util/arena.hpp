@@ -1,0 +1,123 @@
+// Bump-allocated scratch arena for per-timestep temporaries.
+//
+// The hot loop of both pipelines allocates the same transient buffers every
+// timestep (codec staging, contour segments, iso levels). A ScratchArena
+// turns that churn into pointer bumps: callers alloc<T>() during a step and
+// reset() between steps. Memory is retained across resets, so after a
+// one-step warm-up the arena reaches its high-water capacity and the hot
+// loop performs zero heap allocations (asserted in tests/codec_test.cpp).
+//
+// Only trivially-copyable, trivially-destructible types may live in the
+// arena — reset() rewinds the bump pointer without running destructors.
+// An arena is single-threaded; give each pipeline/codec its own.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+class ScratchArena {
+ public:
+  /// `initial_capacity` pre-sizes the first slab (0 defers to first use).
+  explicit ScratchArena(std::size_t initial_capacity = 0);
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Rewind to empty, keeping memory. If the previous cycle overflowed into
+  /// extra slabs, they are coalesced into one slab sized to the high-water
+  /// mark, so a stable workload stops allocating after its first cycle.
+  void reset();
+
+  /// Uninitialized storage for `count` objects of T, aligned for T.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void* p = alloc_bytes(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Bytes handed out since the last reset().
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+  /// Total bytes owned across slabs.
+  [[nodiscard]] std::size_t capacity() const;
+  /// Largest bytes_used() seen over any cycle (including the current one).
+  [[nodiscard]] std::size_t high_water() const;
+  /// Number of slabs (1 once the workload's footprint has stabilized).
+  [[nodiscard]] std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size{0};
+  };
+
+  [[nodiscard]] void* alloc_bytes(std::size_t bytes, std::size_t align);
+  void add_slab(std::size_t min_bytes);
+
+  std::vector<Slab> slabs_;
+  std::size_t slab_index_{0};  // slab currently bumped
+  std::size_t offset_{0};      // bump offset within that slab
+  std::size_t used_{0};        // bytes handed out this cycle (incl. padding)
+  std::size_t high_water_{0};
+};
+
+/// A push_back-able sequence living inside a ScratchArena. Growth allocates
+/// a doubled span from the arena and memcpys — the abandoned prefix is
+/// reclaimed wholesale at the next reset(), so the waste never accumulates.
+/// Invalidated by ScratchArena::reset(); do not hold across cycles.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit ArenaVec(ScratchArena& arena, std::size_t initial_capacity = 16)
+      : arena_(&arena) {
+    data_ = arena.alloc<T>(initial_capacity).data();
+    capacity_ = initial_capacity;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      grow();
+    }
+    data_[size_++] = value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::span<T> span() { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+
+ private:
+  void grow() {
+    const std::size_t next = capacity_ == 0 ? 16 : capacity_ * 2;
+    T* fresh = arena_->alloc<T>(next).data();
+    if (size_ > 0) {
+      std::memcpy(static_cast<void*>(fresh), data_, size_ * sizeof(T));
+    }
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  ScratchArena* arena_;
+  T* data_{nullptr};
+  std::size_t size_{0};
+  std::size_t capacity_{0};
+};
+
+}  // namespace greenvis::util

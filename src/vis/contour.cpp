@@ -16,9 +16,11 @@ double crossing(double a, double b, double value) {
 }
 
 /// Scan cell rows [j_begin, j_end) and append their segments to `segments`
-/// in row-major order.
+/// in row-major order. `Sink` is any push_back-able container (std::vector
+/// or an arena-backed ArenaVec).
+template <typename Sink>
 void scan_rows(const util::Field2D& field, double value, std::size_t j_begin,
-               std::size_t j_end, std::vector<Segment>& segments) {
+               std::size_t j_end, Sink& segments) {
   const std::size_t nx = field.nx();
 
   for (std::size_t j = j_begin; j < j_end; ++j) {
@@ -111,17 +113,27 @@ std::vector<Segment> marching_squares(const util::Field2D& field, double value,
       });
 }
 
+void marching_squares_into(const util::Field2D& field, double value,
+                           util::ArenaVec<Segment>& segments) {
+  const std::size_t ny = field.ny();
+  scan_rows(field, value, 0, ny > 0 ? ny - 1 : 0, segments);
+}
+
 std::vector<double> iso_levels(const util::Field2D& field, std::size_t count) {
   GREENVIS_REQUIRE(count >= 1);
+  std::vector<double> levels(count);
+  iso_levels_into(field, levels);
+  return levels;
+}
+
+void iso_levels_into(const util::Field2D& field, std::span<double> out) {
+  GREENVIS_REQUIRE(!out.empty());
   const double lo = field.min_value();
   const double hi = field.max_value();
-  std::vector<double> levels;
-  levels.reserve(count);
-  for (std::size_t k = 1; k <= count; ++k) {
-    levels.push_back(lo + (hi - lo) * static_cast<double>(k) /
-                              static_cast<double>(count + 1));
+  const auto count = static_cast<double>(out.size());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = lo + (hi - lo) * static_cast<double>(k + 1) / (count + 1.0);
   }
-  return levels;
 }
 
 }  // namespace greenvis::vis

@@ -1,8 +1,10 @@
 // Marching-squares isocontour extraction.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "src/util/arena.hpp"
 #include "src/util/field.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -22,8 +24,17 @@ struct Segment {
     const util::Field2D& field, double value,
     util::ThreadPool* pool = nullptr);
 
+/// Allocation-free variant for the per-timestep hot loop: appends the same
+/// segments in the same order into an arena-backed vector (serial scan).
+void marching_squares_into(const util::Field2D& field, double value,
+                           util::ArenaVec<Segment>& segments);
+
 /// Evenly spaced iso values across [min, max] (excluding the extremes).
 [[nodiscard]] std::vector<double> iso_levels(const util::Field2D& field,
                                              std::size_t count);
+
+/// Fill `out` with `out.size()` evenly spaced iso values (same values as
+/// iso_levels(field, out.size()) without allocating).
+void iso_levels_into(const util::Field2D& field, std::span<double> out);
 
 }  // namespace greenvis::vis

@@ -16,6 +16,14 @@ class Image {
   Image() = default;
   Image(std::size_t width, std::size_t height, Rgb fill = Rgb{0, 0, 0});
 
+  /// Re-shape and clear in place, reusing the pixel storage when capacity
+  /// allows — the hot-loop alternative to constructing a fresh Image.
+  void reset(std::size_t width, std::size_t height, Rgb fill = Rgb{0, 0, 0}) {
+    width_ = width;
+    height_ = height;
+    pixels_.assign(width * height, fill);
+  }
+
   [[nodiscard]] std::size_t width() const { return width_; }
   [[nodiscard]] std::size_t height() const { return height_; }
 

@@ -5,25 +5,38 @@
 namespace greenvis::vis {
 
 Image VisPipeline::render(const util::Field2D& field) const {
+  Image image;
+  render_into(field, image);
+  return image;
+}
+
+void VisPipeline::render_into(const util::Field2D& field, Image& image) const {
   static obs::Histogram& render_us = obs::Registry::global().histogram(
       "vis.render_us", obs::duration_us_bounds());
   obs::ScopedSpan span("vis.render", obs::kCatVis, &render_us);
+  arena_.reset();
   double lo = config_.range_lo;
   double hi = config_.range_hi;
   if (lo >= hi) {
     lo = field.min_value();
     hi = field.max_value();
   }
-  Image image = [&] {
+  {
     obs::ScopedSpan raster_span("vis.raster", obs::kCatVis);
-    return render_pseudocolor(field, ColorMap::cool_warm(), config_.width,
-                              config_.height, lo, hi, pool_);
-  }();
+    render_pseudocolor_into(field, cmap_, config_.width, config_.height, lo,
+                            hi, pool_, image);
+  }
   {
     obs::ScopedSpan contour_span("vis.contour", obs::kCatVis);
-    for (double level : iso_levels(field, config_.contour_levels)) {
-      const auto segments = marching_squares(field, level, pool_);
-      draw_segments(image, segments, field.nx(), field.ny(),
+    const std::span<double> levels =
+        arena_.alloc<double>(config_.contour_levels);
+    iso_levels_into(field, levels);
+    for (double level : levels) {
+      // Serial arena-backed extraction: same segments in the same order as
+      // the pooled variant (asserted in tests), no per-frame heap churn.
+      util::ArenaVec<Segment> segments(arena_, 256);
+      marching_squares_into(field, level, segments);
+      draw_segments(image, segments.span(), field.nx(), field.ny(),
                     config_.contour_color);
     }
   }
@@ -31,7 +44,6 @@ Image VisPipeline::render(const util::Field2D& field) const {
     static obs::Counter& frames = obs::Registry::global().counter("vis.frames");
     frames.add(1);
   }
-  return image;
 }
 
 machine::ActivityRecord VisPipeline::render_activity() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "src/machine/activity.hpp"
+#include "src/util/arena.hpp"
 #include "src/util/field.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/vis/contour.hpp"
@@ -42,10 +43,15 @@ struct VisConfig {
 class VisPipeline {
  public:
   VisPipeline(const VisConfig& config, util::ThreadPool* pool)
-      : config_(config), pool_(pool) {}
+      : config_(config), pool_(pool), cmap_(ColorMap::cool_warm()) {}
 
   /// Render one frame: pseudocolor + contour overlay.
   [[nodiscard]] Image render(const util::Field2D& field) const;
+
+  /// Hot-loop variant: renders into `image`, reusing its pixel storage and
+  /// taking all contour temporaries from the internal scratch arena — zero
+  /// heap allocations at steady state (identical pixels to render()).
+  void render_into(const util::Field2D& field, Image& image) const;
 
   /// Machine-visible work of one render.
   [[nodiscard]] machine::ActivityRecord render_activity() const;
@@ -55,6 +61,10 @@ class VisPipeline {
  private:
   VisConfig config_;
   util::ThreadPool* pool_;
+  ColorMap cmap_;  // built once; per-frame construction would allocate
+  /// Per-frame temporaries (iso levels, contour segments); reset at the
+  /// start of every render. Mutable: scratch reuse is not observable state.
+  mutable util::ScratchArena arena_;
 };
 
 }  // namespace greenvis::vis

@@ -42,14 +42,30 @@ AxisMap axis_map(std::size_t field_cells, std::size_t pixels) {
   return {extent / static_cast<double>(pixels - 1), 0.0};
 }
 
+/// Parallel dispatch pays off only with real workers and enough rows per
+/// worker to amortize the wake/claim round trip. Below that, the serial
+/// path is both faster and allocation-free (pixels are identical either
+/// way: rows are disjoint).
+bool worth_parallel(const util::ThreadPool* pool, std::size_t rows) {
+  return pool != nullptr && pool->size() > 1 && rows >= 4 * pool->size();
+}
+
 }  // namespace
 
 Image render_pseudocolor(const util::Field2D& field, const ColorMap& cmap,
                          std::size_t width, std::size_t height, double lo,
                          double hi, util::ThreadPool* pool) {
+  Image image;
+  render_pseudocolor_into(field, cmap, width, height, lo, hi, pool, image);
+  return image;
+}
+
+void render_pseudocolor_into(const util::Field2D& field, const ColorMap& cmap,
+                             std::size_t width, std::size_t height, double lo,
+                             double hi, util::ThreadPool* pool, Image& image) {
   GREENVIS_REQUIRE(width > 0 && height > 0);
   GREENVIS_REQUIRE(field.nx() > 0 && field.ny() > 0);
-  Image image(width, height);
+  image.reset(width, height);
   const AxisMap mx = axis_map(field.nx(), width);
   const AxisMap my = axis_map(field.ny(), height);
 
@@ -63,15 +79,14 @@ Image render_pseudocolor(const util::Field2D& field, const ColorMap& cmap,
       }
     }
   };
-  if (pool != nullptr) {
+  if (worth_parallel(pool, height)) {
     pool->parallel_for(0, height, rows);
   } else {
     rows(0, height);
   }
-  return image;
 }
 
-void draw_segments(Image& image, const std::vector<Segment>& segments,
+void draw_segments(Image& image, std::span<const Segment> segments,
                    std::size_t field_nx, std::size_t field_ny, Rgb color) {
   GREENVIS_REQUIRE(field_nx >= 2 && field_ny >= 2);
   const double sx = static_cast<double>(image.width() - 1) /

@@ -1,6 +1,7 @@
 // Software rasterization: pseudocolor fields and contour overlays.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/util/field.hpp"
@@ -16,16 +17,24 @@ namespace greenvis::vis {
 
 /// Render `field` as a pseudocolor image of the given size using bilinear
 /// resampling. `lo`/`hi` fix the transfer-function range (pass min/max for
-/// auto). Row-parallel over `pool` when provided.
+/// auto). Row-parallel over `pool` when it has >1 worker and enough rows to
+/// amortize dispatch; otherwise the serial path runs (identical pixels —
+/// rows are disjoint).
 [[nodiscard]] Image render_pseudocolor(const util::Field2D& field,
                                        const ColorMap& cmap, std::size_t width,
                                        std::size_t height, double lo,
                                        double hi,
                                        util::ThreadPool* pool = nullptr);
 
+/// In-place variant for the hot loop: renders into `image` (reset to the
+/// given size first), allocating nothing once the image has capacity.
+void render_pseudocolor_into(const util::Field2D& field, const ColorMap& cmap,
+                             std::size_t width, std::size_t height, double lo,
+                             double hi, util::ThreadPool* pool, Image& image);
+
 /// Draw contour segments (field coordinates) onto an image rendered from an
 /// nx-by-ny field — coordinates scale accordingly. DDA line drawing.
-void draw_segments(Image& image, const std::vector<Segment>& segments,
+void draw_segments(Image& image, std::span<const Segment> segments,
                    std::size_t field_nx, std::size_t field_ny, Rgb color);
 
 }  // namespace greenvis::vis

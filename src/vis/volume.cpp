@@ -177,7 +177,11 @@ Image render_volume(const util::Field3D& field, const VolumeConfig& config,
       }
     }
   };
-  if (pool != nullptr) {
+  // Same dispatch policy as render_pseudocolor: parallelism must be real
+  // (>1 worker) and have enough rows to amortize, else serial is faster
+  // and the pixels are identical (rows are disjoint).
+  if (pool != nullptr && pool->size() > 1 &&
+      config.height >= 4 * pool->size()) {
     pool->parallel_for(0, config.height, rows);
   } else {
     rows(0, config.height);

@@ -1,0 +1,637 @@
+// Field-codec subsystem tests: container round-trips and error bounds,
+// bit-exact non-finite passthrough, raw-kind byte identity with the legacy
+// serialization, corrupt/truncated-input rejection, ScratchArena semantics,
+// the zero-allocation steady-state guarantee of the timestep hot loop, and
+// the post-processing pipeline's byte accounting under an active codec.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "src/codec/field_codec.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/testbed.hpp"
+#include "src/core/workload.hpp"
+#include "src/heat/solver.hpp"
+#include "src/obs/registry.hpp"
+#include "src/util/arena.hpp"
+#include "src/util/error.hpp"
+#include "src/util/field.hpp"
+#include "src/util/field3d.hpp"
+#include "src/vis/pipeline.hpp"
+
+// ---------- global allocation counter (for the zero-alloc test) ----------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+namespace {
+void* counted_alloc(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return operator new(n, std::nothrow);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace greenvis::codec {
+namespace {
+
+using util::ContractViolation;
+using util::Field2D;
+using util::Field3D;
+
+Field2D random_field2d(std::size_t nx, std::size_t ny, unsigned seed,
+                       double lo = -10.0, double hi = 10.0) {
+  Field2D f(nx, ny);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (double& v : f.values()) {
+    v = dist(rng);
+  }
+  return f;
+}
+
+Field3D random_field3d(std::size_t nx, std::size_t ny, std::size_t nz,
+                       unsigned seed) {
+  Field3D f(nx, ny, nz);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  for (double& v : f.values()) {
+    v = dist(rng);
+  }
+  return f;
+}
+
+Field2D smooth_field2d(std::size_t n) {
+  Field2D f(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) / static_cast<double>(n);
+      const double y = static_cast<double>(j) / static_cast<double>(n);
+      f.at(i, j) = 40.0 * std::sin(6.0 * x) * std::cos(4.0 * y) + 25.0 * x;
+    }
+  }
+  return f;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+bool bit_identical(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(Kind, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_kind("raw"), Kind::kRaw);
+  EXPECT_EQ(parse_kind("delta"), Kind::kDelta);
+  EXPECT_EQ(parse_kind("rle"), Kind::kRle);
+  EXPECT_STREQ(kind_name(Kind::kRaw), "raw");
+  EXPECT_STREQ(kind_name(Kind::kDelta), "delta");
+  EXPECT_STREQ(kind_name(Kind::kRle), "rle");
+  EXPECT_THROW((void)parse_kind("zstd"), ContractViolation);
+  EXPECT_THROW((void)parse_kind(""), ContractViolation);
+}
+
+TEST(Config, RejectsInvalid) {
+  CodecConfig bad_edge;
+  bad_edge.chunk_edge = 0;
+  EXPECT_THROW(FieldCodec{bad_edge}, ContractViolation);
+  bad_edge.chunk_edge = 4096;
+  EXPECT_THROW(FieldCodec{bad_edge}, ContractViolation);
+  CodecConfig bad_tol;
+  bad_tol.kind = Kind::kDelta;
+  bad_tol.tolerance = 0.0;
+  EXPECT_THROW(FieldCodec{bad_tol}, ContractViolation);
+  bad_tol.tolerance = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(FieldCodec{bad_tol}, ContractViolation);
+}
+
+// --- raw kind: identity codec, byte-for-byte the legacy serialization ---
+
+TEST(RawKind, ByteIdenticalToLegacySerialize2D) {
+  const Field2D f = random_field2d(37, 53, 1);
+  FieldCodec codec;  // default = raw
+  EXPECT_FALSE(codec.active());
+  EXPECT_EQ(codec.encode(f), f.serialize());
+}
+
+TEST(RawKind, ByteIdenticalToLegacySerialize3D) {
+  const Field3D f = random_field3d(11, 7, 5, 2);
+  FieldCodec codec;
+  EXPECT_EQ(codec.encode(f), f.serialize());
+}
+
+TEST(RawKind, PreservesNonFiniteBitsExactly) {
+  Field2D f = random_field2d(16, 16, 3);
+  f.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  f.at(1, 0) = std::numeric_limits<double>::infinity();
+  f.at(2, 0) = -std::numeric_limits<double>::infinity();
+  f.at(3, 0) = -0.0;
+  FieldCodec codec;
+  const Field2D back = FieldCodec::decode2d(codec.encode(f));
+  EXPECT_TRUE(bit_identical(f.values(), back.values()));
+}
+
+// --- delta kind: error bound, fallbacks, compression ---
+
+TEST(DeltaKind, RoundTripWithinTolerance2D) {
+  for (const double tol : {1e-2, 1e-4, 1e-6}) {
+    const Field2D f = random_field2d(37, 53, 4);  // non-chunk-multiple dims
+    CodecConfig cfg;
+    cfg.kind = Kind::kDelta;
+    cfg.tolerance = tol;
+    cfg.chunk_edge = 16;
+    FieldCodec codec(cfg);
+    EXPECT_TRUE(codec.active());
+    const auto blob = codec.encode(f);
+    EXPECT_TRUE(FieldCodec::is_container(blob));
+    const Field2D back = FieldCodec::decode2d(blob);
+    ASSERT_EQ(back.nx(), f.nx());
+    ASSERT_EQ(back.ny(), f.ny());
+    EXPECT_LE(max_abs_diff(f.values(), back.values()), tol);
+  }
+}
+
+TEST(DeltaKind, RoundTripWithinTolerance3D) {
+  const Field3D f = random_field3d(20, 17, 9, 5);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.tolerance = 1e-3;
+  cfg.chunk_edge = 8;
+  FieldCodec codec(cfg);
+  const auto blob = codec.encode(f);
+  const Field3D back = FieldCodec::decode3d(blob);
+  ASSERT_EQ(back.nx(), f.nx());
+  ASSERT_EQ(back.ny(), f.ny());
+  ASSERT_EQ(back.nz(), f.nz());
+  EXPECT_LE(max_abs_diff(f.values(), back.values()), 1e-3);
+}
+
+TEST(DeltaKind, NonFiniteChunkFallsBackBitExact) {
+  Field2D f = random_field2d(32, 32, 6);
+  // Poison one 8x8 chunk with non-finite values; the rest stay quantizable.
+  f.at(2, 2) = std::numeric_limits<double>::quiet_NaN();
+  f.at(3, 2) = std::numeric_limits<double>::infinity();
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.tolerance = 1e-3;
+  cfg.chunk_edge = 8;
+  FieldCodec codec(cfg);
+  const Field2D back = FieldCodec::decode2d(codec.encode(f));
+  // Poisoned chunk is passed through with its exact bits...
+  for (std::size_t j = 0; j < 8; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      const double want = f.at(i, j);
+      const double got = back.at(i, j);
+      EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0);
+    }
+  }
+  // ...and the finite chunks still honor the tolerance.
+  EXPECT_LE(std::fabs(f.at(20, 20) - back.at(20, 20)), 1e-3);
+  EXPECT_GT(codec.last_stats().chunks_delta, 0u);
+}
+
+TEST(DeltaKind, HugeMagnitudesFallBackBitExact) {
+  Field2D f(8, 8, 0.0);
+  for (double& v : f.values()) {
+    v = 1.0e300;  // quantum would overflow int64 at tol 1e-3
+  }
+  f.at(0, 0) = -1.0e300;
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.tolerance = 1e-3;
+  FieldCodec codec(cfg);
+  const Field2D back = FieldCodec::decode2d(codec.encode(f));
+  EXPECT_TRUE(bit_identical(f.values(), back.values()));
+  EXPECT_EQ(codec.last_stats().chunks_delta, 0u);
+}
+
+TEST(DeltaKind, CompressesSmoothFields) {
+  const Field2D f = smooth_field2d(128);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.tolerance = 1e-3;
+  FieldCodec codec(cfg);
+  const auto blob = codec.encode(f);
+  const EncodeStats& s = codec.last_stats();
+  EXPECT_EQ(s.raw_bytes, f.serialized_bytes());
+  EXPECT_EQ(s.encoded_bytes, blob.size());
+  EXPECT_GE(s.ratio(), 3.0);
+  // 128/32 = 4 chunks per side.
+  EXPECT_EQ(s.chunks_raw + s.chunks_delta + s.chunks_rle, 16u);
+}
+
+TEST(DeltaKind, ConstantFieldCollapsesToRuns) {
+  const Field2D f(64, 64, 42.5);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.tolerance = 1e-3;
+  FieldCodec codec(cfg);
+  const auto blob = codec.encode(f);
+  const Field2D back = FieldCodec::decode2d(blob);
+  EXPECT_LE(max_abs_diff(f.values(), back.values()), 1e-3);
+  EXPECT_GE(codec.last_stats().ratio(), 50.0);
+}
+
+TEST(DeltaKind, EncodeIsDeterministic) {
+  const Field2D f = random_field2d(40, 24, 7);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  FieldCodec codec(cfg);
+  std::vector<std::uint8_t> a;
+  std::vector<std::uint8_t> b;
+  codec.encode(f, a);
+  codec.encode(f, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, codec.encode(f));  // by-value overload agrees
+}
+
+// --- rle kind: lossless run coding ---
+
+TEST(RleKind, LosslessRoundTripOnRunData) {
+  Field2D f(48, 48, 0.0);
+  for (std::size_t j = 0; j < 48; ++j) {
+    for (std::size_t i = 0; i < 48; ++i) {
+      f.at(i, j) = i < 24 ? 1.0 : 2.0;  // long runs inside each chunk row
+    }
+  }
+  CodecConfig cfg;
+  cfg.kind = Kind::kRle;
+  FieldCodec codec(cfg);
+  const auto blob = codec.encode(f);
+  EXPECT_LT(blob.size(), f.serialized_bytes());
+  const Field2D back = FieldCodec::decode2d(blob);
+  EXPECT_TRUE(bit_identical(f.values(), back.values()));
+  EXPECT_GT(codec.last_stats().chunks_rle, 0u);
+}
+
+TEST(RleKind, IncompressibleDataFallsBackToRawChunks) {
+  const Field2D f = random_field2d(32, 32, 8);  // no runs at all
+  CodecConfig cfg;
+  cfg.kind = Kind::kRle;
+  FieldCodec codec(cfg);
+  const Field2D back = FieldCodec::decode2d(codec.encode(f));
+  EXPECT_TRUE(bit_identical(f.values(), back.values()));
+  EXPECT_EQ(codec.last_stats().chunks_rle, 0u);
+  EXPECT_GT(codec.last_stats().chunks_raw, 0u);
+}
+
+// --- container detection, legacy auto-detect, decode_into reuse ---
+
+TEST(Container, DetectsMagicButNotLegacyBytes) {
+  const Field2D f = random_field2d(16, 16, 9);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  FieldCodec codec(cfg);
+  EXPECT_TRUE(FieldCodec::is_container(codec.encode(f)));
+  EXPECT_FALSE(FieldCodec::is_container(f.serialize()));
+  const std::vector<std::uint8_t> tiny(4, 0);
+  EXPECT_FALSE(FieldCodec::is_container(tiny));
+}
+
+TEST(Container, LegacyBlobsAutoDetectOnDecode) {
+  const Field2D f2 = random_field2d(19, 31, 10);
+  const Field3D f3 = random_field3d(6, 5, 4, 11);
+  FieldCodec codec;
+  Field2D out2;
+  codec.decode_into(f2.serialize(), out2);
+  EXPECT_EQ(out2, f2);
+  Field3D out3;
+  codec.decode_into(f3.serialize(), out3);
+  EXPECT_EQ(out3, f3);
+  // Static helpers take the same path.
+  EXPECT_EQ(FieldCodec::decode2d(f2.serialize()), f2);
+}
+
+TEST(Container, DecodeIntoResizesOnDimensionMismatch) {
+  const Field2D f = random_field2d(24, 24, 12);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  FieldCodec codec(cfg);
+  const auto blob = codec.encode(f);
+  Field2D out(8, 8);  // wrong dims: must be replaced, not corrupted
+  codec.decode_into(blob, out);
+  ASSERT_EQ(out.nx(), 24u);
+  ASSERT_EQ(out.ny(), 24u);
+  EXPECT_LE(max_abs_diff(f.values(), out.values()), cfg.tolerance);
+}
+
+// --- corrupt and truncated input must fail loudly, never crash ---
+
+TEST(Robustness, EveryTruncationLengthThrows) {
+  const Field2D f = random_field2d(16, 16, 13);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.chunk_edge = 8;
+  FieldCodec codec(cfg);
+  const auto blob = codec.encode(f);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW((void)FieldCodec::decode2d({blob.data(), len}),
+                 ContractViolation)
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(Robustness, CorruptHeaderFieldsThrow) {
+  const Field2D f = random_field2d(16, 16, 14);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  FieldCodec codec(cfg);
+  const auto good = codec.encode(f);
+
+  auto corrupted = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = good;
+    bad[offset] = value;
+    return bad;
+  };
+  // version, rank, kind, chunk edge (low byte -> 0).
+  EXPECT_THROW((void)FieldCodec::decode2d(corrupted(8, 2)),
+               ContractViolation);
+  EXPECT_THROW((void)FieldCodec::decode2d(corrupted(9, 4)),
+               ContractViolation);
+  EXPECT_THROW((void)FieldCodec::decode2d(corrupted(10, 7)),
+               ContractViolation);
+  EXPECT_THROW((void)FieldCodec::decode2d(corrupted(12, 0)),
+               ContractViolation);
+  // Implausible nx (set the top byte of the u64 at offset 16).
+  EXPECT_THROW((void)FieldCodec::decode2d(corrupted(23, 0xFF)),
+               ContractViolation);
+  // Non-finite tolerance (exponent bytes of the f64 at offset 40).
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[46] = 0xF0;
+    bad[47] = 0x7F;  // +inf
+    EXPECT_THROW((void)FieldCodec::decode2d(bad), ContractViolation);
+  }
+  // Corrupt first chunk's payload length.
+  EXPECT_THROW((void)FieldCodec::decode2d(corrupted(52, 0xFF)),
+               ContractViolation);
+  // Trailing garbage after the last chunk.
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad.push_back(0);
+    EXPECT_THROW((void)FieldCodec::decode2d(bad), ContractViolation);
+  }
+}
+
+TEST(Robustness, RankMismatchThrows) {
+  const Field2D f2 = random_field2d(16, 16, 15);
+  const Field3D f3 = random_field3d(8, 8, 8, 16);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  FieldCodec codec(cfg);
+  EXPECT_THROW((void)FieldCodec::decode3d(codec.encode(f2)),
+               ContractViolation);
+  EXPECT_THROW((void)FieldCodec::decode2d(codec.encode(f3)),
+               ContractViolation);
+}
+
+TEST(Robustness, TruncatedLegacyBlobThrows) {
+  const std::vector<std::uint8_t> not_magic(10, 0x5A);
+  FieldCodec codec;
+  Field2D out;
+  EXPECT_THROW(codec.decode_into(not_magic, out), ContractViolation);
+}
+
+}  // namespace
+}  // namespace greenvis::codec
+
+// ---------------------------- ScratchArena ----------------------------
+
+namespace greenvis::util {
+namespace {
+
+TEST(ScratchArena, AllocationsAreAlignedAndTracked) {
+  ScratchArena arena;
+  const std::span<double> d = arena.alloc<double>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+  const std::span<std::uint8_t> b = arena.alloc<std::uint8_t>(1);
+  const std::span<std::uint64_t> w = arena.alloc<std::uint64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % alignof(std::uint64_t),
+            0u);
+  (void)b;
+  EXPECT_GE(arena.bytes_used(), 3 * sizeof(double) + 1 + 2 * sizeof(double));
+  EXPECT_GE(arena.capacity(), arena.bytes_used());
+}
+
+TEST(ScratchArena, ResetRewindsAndReusesTheSameSlab) {
+  ScratchArena arena(1024);
+  double* first = arena.alloc<double>(64).data();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  double* second = arena.alloc<double>(64).data();
+  EXPECT_EQ(first, second);  // same memory, no new slab
+  EXPECT_EQ(arena.slab_count(), 1u);
+}
+
+TEST(ScratchArena, OverflowCoalescesToOneSlabOnReset) {
+  ScratchArena arena(256);  // force several slab spills
+  for (int i = 0; i < 32; ++i) {
+    (void)arena.alloc<double>(128);
+  }
+  EXPECT_GT(arena.slab_count(), 1u);
+  const std::size_t high = arena.high_water();
+  EXPECT_GE(high, 32u * 128 * sizeof(double));
+  arena.reset();
+  EXPECT_EQ(arena.slab_count(), 1u);
+  EXPECT_GE(arena.capacity(), high);
+  // The coalesced slab absorbs the whole cycle without further growth.
+  for (int i = 0; i < 32; ++i) {
+    (void)arena.alloc<double>(128);
+  }
+  EXPECT_EQ(arena.slab_count(), 1u);
+}
+
+TEST(ScratchArena, HighWaterTracksLargestCycle) {
+  ScratchArena arena;
+  (void)arena.alloc<std::uint8_t>(100);
+  arena.reset();
+  (void)arena.alloc<std::uint8_t>(5000);
+  arena.reset();
+  (void)arena.alloc<std::uint8_t>(10);
+  EXPECT_GE(arena.high_water(), 5000u);
+}
+
+TEST(ArenaVec, GrowthPreservesContents) {
+  ScratchArena arena;
+  ArenaVec<int> v(arena, 4);
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(i);
+  }
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(v.span().size(), 1000u);
+  EXPECT_EQ(v.span()[999], 999);
+}
+
+// The tentpole's steady-state guarantee: one timestep of the hot loop —
+// solver step, codec encode + decode through the arena, render into a
+// reused frame — performs zero heap allocations after warm-up.
+TEST(ScratchArena, TimestepHotLoopIsAllocationFreeAtSteadyState) {
+  heat::HeatProblem problem;
+  problem.nx = 64;
+  problem.ny = 64;
+  problem.executed_sweeps = 4;
+  problem.sources.push_back(heat::HeatSource{32.0, 32.0, 8.0, 100.0});
+  heat::HeatSolver solver(problem, nullptr);  // serial
+
+  vis::VisConfig vis_config;
+  vis_config.width = 64;
+  vis_config.height = 64;
+  vis::VisPipeline vis_pipeline(vis_config, nullptr);
+  vis::Image frame;
+
+  ScratchArena arena;
+  codec::CodecConfig codec_config;
+  codec_config.kind = codec::Kind::kDelta;
+  codec_config.tolerance = 1e-3;
+  codec::FieldCodec codec(codec_config, &arena);
+  std::vector<std::uint8_t> payload;
+  payload.reserve(solver.temperature().serialized_bytes());
+  Field2D decoded(problem.nx, problem.ny);
+
+  auto timestep = [&] {
+    arena.reset();
+    (void)solver.step();
+    codec.encode(solver.temperature(), payload);
+    codec.decode_into(payload, decoded);
+    vis_pipeline.render_into(decoded, frame);
+  };
+
+  for (int i = 0; i < 3; ++i) {
+    timestep();  // warm-up: arena high-water, image/payload capacity,
+                 // registry statics
+  }
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 5; ++i) {
+    timestep();
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "hot loop allocated " << (after - before)
+                                << " times over 5 steady-state timesteps";
+}
+
+}  // namespace
+}  // namespace greenvis::util
+
+// ----------------- pipeline integration: codec accounting -----------------
+
+namespace greenvis::core {
+namespace {
+
+CaseStudyConfig small_case(codec::Kind kind) {
+  CaseStudyConfig c = case_study(1);
+  c.iterations = 8;
+  c.vis.width = 64;
+  c.vis.height = 64;
+  c.snapshot_codec.kind = kind;
+  c.snapshot_codec.tolerance = 1e-3;
+  return c;
+}
+
+PipelineOptions serial_options() {
+  PipelineOptions o;
+  o.host_threads = 2;
+  return o;
+}
+
+TEST(CodecPipeline, RawCodecAccountsFullBytes) {
+  Testbed bed;
+  const PipelineOutput out =
+      run_post_processing(bed, small_case(codec::Kind::kRaw),
+                          serial_options());
+  EXPECT_GT(out.snapshot_bytes_raw.value(), 0u);
+  EXPECT_EQ(out.snapshot_bytes_written.value(), out.snapshot_bytes_raw.value());
+  EXPECT_EQ(out.snapshot_bytes_read.value(), out.snapshot_bytes_raw.value());
+}
+
+TEST(CodecPipeline, DeltaCodecShrinksBytesTimeAndStorageCounters) {
+  // The storage counters are behind the observability kill switch.
+  obs::set_enabled(true);
+  auto& registry = obs::Registry::global();
+  obs::Counter& written = registry.counter("storage.bytes_written");
+  obs::Counter& read = registry.counter("storage.bytes_read");
+
+  const std::uint64_t w0 = written.value();
+  const std::uint64_t r0 = read.value();
+  Testbed raw_bed;
+  const PipelineOutput raw_out = run_post_processing(
+      raw_bed, small_case(codec::Kind::kRaw), serial_options());
+  const std::uint64_t w1 = written.value();
+  const std::uint64_t r1 = read.value();
+
+  Testbed delta_bed;
+  const PipelineOutput delta_out = run_post_processing(
+      delta_bed, small_case(codec::Kind::kDelta), serial_options());
+  const std::uint64_t w2 = written.value();
+  const std::uint64_t r2 = read.value();
+
+  // Same schedule, same uncompressed payload...
+  EXPECT_EQ(delta_out.image_digests.size(), raw_out.image_digests.size());
+  EXPECT_EQ(delta_out.snapshot_bytes_raw.value(),
+            raw_out.snapshot_bytes_raw.value());
+  // ...but at least 3x fewer bytes on the wire, read back smaller too.
+  EXPECT_GE(raw_out.snapshot_bytes_written.as_double() /
+                delta_out.snapshot_bytes_written.as_double(),
+            3.0);
+  EXPECT_LT(delta_out.snapshot_bytes_read.value(),
+            raw_out.snapshot_bytes_read.value());
+  // The virtual pipeline finishes sooner (I/O dominates Fig. 10).
+  EXPECT_LT(delta_bed.clock().now().value(), raw_bed.clock().now().value());
+  // Observability storage counters track the compressed payloads.
+  EXPECT_LT(w2 - w1, w1 - w0);
+  EXPECT_LT(r2 - r1, r1 - r0);
+  EXPECT_GT(w1 - w0, 0u);
+  EXPECT_GT(r1 - r0, 0u);
+  obs::set_enabled(false);
+}
+
+TEST(CodecPipeline, DeltaKeepsScienceWithinTolerance) {
+  Testbed raw_bed, delta_bed;
+  const PipelineOutput raw_out = run_post_processing(
+      raw_bed, small_case(codec::Kind::kRaw), serial_options());
+  const PipelineOutput delta_out = run_post_processing(
+      delta_bed, small_case(codec::Kind::kDelta), serial_options());
+  // The solver never sees the codec: final fields are identical.
+  EXPECT_EQ(delta_out.final_field, raw_out.final_field);
+}
+
+}  // namespace
+}  // namespace greenvis::core

@@ -177,7 +177,8 @@ TEST(Rasterizer, OneCellFieldAxisRendersUniformly) {
 
 TEST(Rasterizer, DrawSegmentsLeavesMarks) {
   Image img(32, 32);
-  draw_segments(img, {Segment{0.0, 0.0, 7.0, 7.0}}, 8, 8, Rgb{255, 0, 0});
+  const std::vector<Segment> diag{Segment{0.0, 0.0, 7.0, 7.0}};
+  draw_segments(img, diag, 8, 8, Rgb{255, 0, 0});
   // The diagonal was painted.
   EXPECT_EQ(img.at(0, 0), (Rgb{255, 0, 0}));
   EXPECT_EQ(img.at(31, 31), (Rgb{255, 0, 0}));

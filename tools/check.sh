@@ -2,20 +2,28 @@
 # CI-style gate: configure + build, run the full test suite, and (when
 # clang-format is available) verify formatting of everything under src/.
 #
-# Usage: tools/check.sh [--asan] [build-dir]
-#   --asan     build with AddressSanitizer + UndefinedBehaviorSanitizer
-#              (RelWithDebInfo, default build dir: build-asan) and run the
-#              full suite under them — including the obs/pool concurrency
-#              tests, which is where a data race would surface as UB.
+# Usage: tools/check.sh [--asan] [--bench-smoke] [build-dir]
+#   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
+#                 (RelWithDebInfo, default build dir: build-asan) and run the
+#                 full suite under them — including the obs/pool concurrency
+#                 tests, which is where a data race would surface as UB.
+#   --bench-smoke after the suite, run the ~5 s perf-harness subset and fail
+#                 on a >10% regression vs the committed BENCH_perf.json
+#                 (heat2d_512 serial MCUPS and codec MB/s).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ASAN=0
-if [[ "${1:-}" == "--asan" ]]; then
-  ASAN=1
+BENCH_SMOKE=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --asan) ASAN=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 
 if [[ "$ASAN" == 1 ]]; then
   BUILD_DIR="${1:-build-asan}"
@@ -38,6 +46,17 @@ cmake --build "$BUILD_DIR" -j
 
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+if [[ "$BENCH_SMOKE" == 1 ]]; then
+  echo "== bench smoke =="
+  if [[ "$ASAN" == 1 ]]; then
+    # Sanitizer overhead makes throughput incomparable to the committed
+    # baseline; run --bench-smoke against a plain build instead.
+    echo "skipped: --bench-smoke is meaningless under sanitizers"
+  else
+    "$BUILD_DIR"/bench/bench_perf_harness --smoke --baseline=BENCH_perf.json
+  fi
+fi
 
 echo "== format =="
 if command -v clang-format >/dev/null 2>&1; then

@@ -1,6 +1,7 @@
 // greenvis — command-line front end to the library.
 //
 //   greenvis compare [--case N] [--cap WATTS] [--io-ghz F]
+//                    [--codec raw|delta|rle] [--tolerance T]
 //   greenvis fio <seq-read|rand-read|seq-write|rand-write> [--size MIB]
 //               [--device hdd|ssd|nvram]
 //   greenvis advise --accesses N --kib K --random F --reads F
@@ -24,6 +25,7 @@
 
 #include "src/analysis/advisor.hpp"
 #include "src/analysis/metrics.hpp"
+#include "src/codec/field_codec.hpp"
 #include "src/core/experiment.hpp"
 #include "src/fio/runner.hpp"
 #include "src/net/multinode.hpp"
@@ -54,8 +56,13 @@ int cmd_compare(const Args& args) {
   config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
   config.io_frequency_ghz = opt_double(args, "io-ghz", 0.0);
   const core::Experiment experiment(config);
-  const auto workload = core::case_study(case_number);
-  std::cerr << "running " << workload.name << "...\n";
+  auto workload = core::case_study(case_number);
+  workload.snapshot_codec.kind =
+      codec::parse_kind(opt_string(args, "codec", "raw"));
+  workload.snapshot_codec.tolerance =
+      opt_double(args, "tolerance", workload.snapshot_codec.tolerance);
+  std::cerr << "running " << workload.name << " (codec="
+            << codec::kind_name(workload.snapshot_codec.kind) << ")...\n";
   const auto post =
       experiment.run(core::PipelineKind::kPostProcessing, workload);
   const auto insitu = experiment.run(core::PipelineKind::kInSitu, workload);
@@ -76,6 +83,19 @@ int cmd_compare(const Args& args) {
             << " less time, +"
             << util::cell_percent(cmp.avg_power_increase())
             << " average power.\n";
+  if (post.output.snapshot_bytes_raw.value() > 0) {
+    const double ratio =
+        post.output.snapshot_bytes_written.value() == 0
+            ? 1.0
+            : post.output.snapshot_bytes_raw.as_double() /
+                  post.output.snapshot_bytes_written.as_double();
+    std::cout << "Snapshots: "
+              << post.output.snapshot_bytes_written.megabytes()
+              << " MiB written ("
+              << post.output.snapshot_bytes_raw.megabytes()
+              << " MiB raw, ratio " << util::cell(ratio) << "x, codec="
+            << codec::kind_name(workload.snapshot_codec.kind) << ").\n";
+  }
   return 0;
 }
 
