@@ -67,6 +67,15 @@ double MultiNodeStudy::tile_bytes() const {
   return static_cast<double>(workload_.vis.width * workload_.vis.height * 3);
 }
 
+double MultiNodeStudy::pfs_bytes_per_io_step() const {
+  return subdomain_bytes() * static_cast<double>(cluster_.compute_nodes);
+}
+
+double MultiNodeStudy::total_pfs_bytes() const {
+  return pfs_bytes_per_io_step() * static_cast<double>(workload_.io_steps()) *
+         2.0;
+}
+
 util::Watts MultiNodeStudy::node_idle_power() const {
   // Compute nodes are diskless: package + DRAM + rest of system.
   const auto& cal = cluster_.calibration;

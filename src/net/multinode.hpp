@@ -87,6 +87,12 @@ class MultiNodeStudy {
   [[nodiscard]] util::Seconds render_time() const;
   [[nodiscard]] double subdomain_bytes() const;
   [[nodiscard]] double tile_bytes() const;
+  /// Payload the post-processing pipeline moves through the PFS per I/O
+  /// step: every rank checkpoints its subdomain.
+  [[nodiscard]] double pfs_bytes_per_io_step() const;
+  /// Aggregate PFS traffic over the whole run: each I/O step's checkpoint
+  /// is written once and read back once by the visualization node.
+  [[nodiscard]] double total_pfs_bytes() const;
   /// Idle power of one node (no disk — compute nodes are diskless; storage
   /// targets add theirs separately).
   [[nodiscard]] util::Watts node_idle_power() const;

@@ -1,0 +1,203 @@
+// Seeded generator combinators for property-based testing.
+//
+// Every generated value is a pure function of a *choice tape*: the sequence
+// of bounded integer draws the generator consumed. Running a generator in
+// fresh mode records the tape; running it in replay mode reproduces the
+// exact value from a recorded tape. That one level of indirection buys the
+// whole framework:
+//
+//   * determinism  — a root seed fully determines every case (no wall
+//     clock, no global state), so failures replay bit-exactly across runs
+//     and hosts;
+//   * universal shrinking — the shrinker never needs to understand T; it
+//     mutates the tape (delete blocks, lower words) and re-runs the
+//     generator, which maps smaller tapes to structurally smaller values
+//     because every combinator draws sizes and offsets from `lo` upward;
+//   * trivial reproducers — a failure is (property name, tape), a few
+//     dozen integers in a text file (see property.hpp).
+//
+// Replay is total: a draw past the end of the tape yields the bound's
+// minimum and an over-large recorded word is clamped, so *any* mutated tape
+// is a valid input. Generators must therefore tolerate the all-minimal
+// value of their domain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace greenvis::qa {
+
+/// A recorded choice sequence. Words are the *bounded* draw results (not
+/// raw RNG output), so lowering a word always stays in the draw's range.
+using Tape = std::vector<std::uint64_t>;
+
+/// The single source of nondeterminism a generator may touch.
+class Choices {
+ public:
+  /// Fresh mode: draw from a seeded xoshiro stream, recording the tape.
+  explicit Choices(std::uint64_t seed) : rng_(seed) {}
+
+  /// Replay mode: reproduce a recorded tape. Draws beyond the tape yield 0
+  /// (the minimal value); recorded words above the requested bound clamp.
+  explicit Choices(Tape replay) : replay_(std::move(replay)), replaying_(true) {}
+
+  /// Uniform draw in [0, n); n >= 1.
+  std::uint64_t draw_below(std::uint64_t n) {
+    GREENVIS_REQUIRE(n >= 1);
+    return next_word(n - 1);
+  }
+
+  /// Uniform draw in [lo, hi] (inclusive); shrinks toward lo.
+  std::uint64_t draw_range(std::uint64_t lo, std::uint64_t hi) {
+    GREENVIS_REQUIRE(lo <= hi);
+    return lo + next_word(hi - lo);
+  }
+
+  /// Signed inclusive range; shrinks toward lo.
+  long long draw_int(long long lo, long long hi) {
+    GREENVIS_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo);
+    return lo + static_cast<long long>(next_word(span));
+  }
+
+  /// Uniform double in [0, 1) with 53-bit resolution; shrinks toward 0.
+  double draw_unit() {
+    return static_cast<double>(next_word((1ULL << 53) - 1)) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi); shrinks toward lo.
+  double draw_real(double lo, double hi) {
+    GREENVIS_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * draw_unit();
+  }
+
+  /// Shrinks toward false.
+  bool draw_bool() { return next_word(1) == 1; }
+
+  [[nodiscard]] const Tape& tape() const { return tape_; }
+  [[nodiscard]] bool replaying() const { return replaying_; }
+
+ private:
+  std::uint64_t next_word(std::uint64_t max_inclusive) {
+    std::uint64_t word;
+    if (replaying_) {
+      word = pos_ < replay_.size() ? replay_[pos_++] : 0;
+      if (word > max_inclusive) {
+        word = max_inclusive;
+      }
+    } else if (max_inclusive == ~0ULL) {
+      word = rng_.next();
+    } else {
+      word = rng_.uniform_index(max_inclusive + 1);
+    }
+    tape_.push_back(word);
+    return word;
+  }
+
+  util::Xoshiro256 rng_{0};
+  Tape replay_;
+  std::size_t pos_{0};
+  Tape tape_;
+  bool replaying_{false};
+};
+
+/// A generator is a pure function of the choice stream.
+template <typename T>
+using Gen = std::function<T(Choices&)>;
+
+// ---------------------------------------------------------------------------
+// Primitive combinators. All shrink toward their lower bound / first option.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline Gen<std::uint64_t> uint_in(std::uint64_t lo,
+                                                std::uint64_t hi) {
+  return [lo, hi](Choices& c) { return c.draw_range(lo, hi); };
+}
+
+[[nodiscard]] inline Gen<long long> int_in(long long lo, long long hi) {
+  return [lo, hi](Choices& c) { return c.draw_int(lo, hi); };
+}
+
+[[nodiscard]] inline Gen<double> real_in(double lo, double hi) {
+  return [lo, hi](Choices& c) { return c.draw_real(lo, hi); };
+}
+
+[[nodiscard]] inline Gen<bool> boolean() {
+  return [](Choices& c) { return c.draw_bool(); };
+}
+
+template <typename T>
+[[nodiscard]] Gen<T> just(T value) {
+  return [value](Choices&) { return value; };
+}
+
+/// Picks one of `options`; shrinks toward the first.
+template <typename T>
+[[nodiscard]] Gen<T> element_of(std::vector<T> options) {
+  GREENVIS_REQUIRE(!options.empty());
+  return [options = std::move(options)](Choices& c) {
+    return options[c.draw_below(options.size())];
+  };
+}
+
+/// Applies `f` to the generated value. Shrinking passes through: the tape
+/// shrinks in the source domain and `f` maps the smaller value.
+template <typename T, typename F>
+[[nodiscard]] auto fmap(Gen<T> gen, F f)
+    -> Gen<decltype(f(std::declval<T>()))> {
+  return [gen = std::move(gen), f = std::move(f)](Choices& c) {
+    return f(gen(c));
+  };
+}
+
+/// Sequences a dependent generator (monadic bind).
+template <typename T, typename F>
+[[nodiscard]] auto bind(Gen<T> gen, F f)
+    -> Gen<decltype(f(std::declval<T>())(std::declval<Choices&>()))> {
+  return [gen = std::move(gen), f = std::move(f)](Choices& c) {
+    return f(gen(c))(c);
+  };
+}
+
+/// Length drawn first (shrinks toward min_len), then that many items.
+template <typename T>
+[[nodiscard]] Gen<std::vector<T>> vector_of(Gen<T> item, std::size_t min_len,
+                                            std::size_t max_len) {
+  GREENVIS_REQUIRE(min_len <= max_len);
+  return [item = std::move(item), min_len, max_len](Choices& c) {
+    const auto n =
+        static_cast<std::size_t>(c.draw_range(min_len, max_len));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(item(c));
+    }
+    return out;
+  };
+}
+
+template <typename A, typename B>
+[[nodiscard]] Gen<std::pair<A, B>> pair_of(Gen<A> a, Gen<B> b) {
+  return [a = std::move(a), b = std::move(b)](Choices& c) {
+    A first = a(c);   // evaluation order must be deterministic:
+    B second = b(c);  // sequence the draws explicitly
+    return std::pair<A, B>{std::move(first), std::move(second)};
+  };
+}
+
+template <typename... Ts>
+[[nodiscard]] Gen<std::tuple<Ts...>> tuple_of(Gen<Ts>... gens) {
+  return [... gens = std::move(gens)](Choices& c) {
+    // Braced init-list evaluation is left-to-right, unlike function
+    // arguments — the draw order must not depend on the compiler.
+    return std::tuple<Ts...>{gens(c)...};
+  };
+}
+
+}  // namespace greenvis::qa

@@ -1,0 +1,57 @@
+#include "src/qa/oracle.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::qa {
+
+OracleRegistry& OracleRegistry::global() {
+  static OracleRegistry registry;
+  return registry;
+}
+
+void OracleRegistry::add(const std::string& name, Fn fn) {
+  for (auto& [existing, run] : entries_) {
+    if (existing == name) {
+      run = std::move(fn);
+      return;
+    }
+  }
+  entries_.emplace_back(name, std::move(fn));
+}
+
+std::vector<std::string> OracleRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, fn] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+OracleResult OracleRegistry::run(const std::string& name) const {
+  for (const auto& [existing, fn] : entries_) {
+    if (existing != name) {
+      continue;
+    }
+    try {
+      OracleResult result = fn();
+      result.name = name;
+      return result;
+    } catch (const std::exception& e) {
+      return OracleResult{name, false,
+                          std::string("unhandled exception: ") + e.what()};
+    }
+  }
+  throw util::ContractViolation("unknown qa oracle '" + name + "'");
+}
+
+std::vector<OracleResult> OracleRegistry::run_all() const {
+  std::vector<OracleResult> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, fn] : entries_) {
+    out.push_back(run(name));
+  }
+  return out;
+}
+
+}  // namespace greenvis::qa

@@ -1,0 +1,53 @@
+// Differential-oracle registry.
+//
+// Every fast path in the tree has a slow, obviously-correct twin: the
+// thread pool vs serial execution, the chunked codec vs plain
+// serialization, the page cache vs direct I/O, observability on vs off. A
+// differential oracle runs the same workload through both and diffs the
+// structured results — the cheapest machine check that an optimization did
+// not silently change what the system computes. Oracles run in the default
+// ctest suite (tests/qa_test.cpp), under tools/check.sh --asan, and from
+// `greenvis verify`.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace greenvis::qa {
+
+struct OracleResult {
+  std::string name;
+  bool ok{false};
+  /// On success: what was compared. On failure: the first divergence.
+  std::string detail;
+};
+
+class OracleRegistry {
+ public:
+  using Fn = std::function<OracleResult()>;
+
+  [[nodiscard]] static OracleRegistry& global();
+
+  /// Registers (or replaces) an oracle under `name`.
+  void add(const std::string& name, Fn fn);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Runs one oracle by name (throws ContractViolation when unknown).
+  /// Exceptions escaping the oracle body are converted into failures.
+  [[nodiscard]] OracleResult run(const std::string& name) const;
+
+  /// Runs every registered oracle, in registration order.
+  [[nodiscard]] std::vector<OracleResult> run_all() const;
+
+ private:
+  std::vector<std::pair<std::string, Fn>> entries_;
+};
+
+/// Registers the built-in differential oracles (idempotent):
+/// solver/pipeline serial vs pool, codec raw vs delta, page cache vs
+/// direct reads, obs on vs off, legacy vs chunked snapshot decode.
+void register_builtin_oracles();
+
+}  // namespace greenvis::qa

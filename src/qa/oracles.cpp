@@ -1,0 +1,352 @@
+// Built-in differential oracles: paired implementations that must agree.
+//
+// Each oracle drives a deterministic workload through two implementations
+// of the same contract and diffs the structured results. Comparisons are
+// bitwise wherever the contract is bitwise (serial vs pool, obs on/off,
+// raw codec vs legacy serialization) and tolerance-based only where the
+// contract itself is a tolerance (the delta codec).
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "src/codec/field_codec.hpp"
+#include "src/core/experiment.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/testbed.hpp"
+#include "src/heat/solver.hpp"
+#include "src/heat/solver3d.hpp"
+#include "src/obs/obs.hpp"
+#include "src/qa/oracle.hpp"
+#include "src/storage/filesystem.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/trace/clock.hpp"
+#include "src/util/checksum.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace greenvis::qa {
+
+namespace {
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+OracleResult pass(std::string detail) {
+  return OracleResult{{}, true, std::move(detail)};
+}
+
+OracleResult fail(std::string detail) {
+  return OracleResult{{}, false, std::move(detail)};
+}
+
+util::Field2D reference_field(std::size_t nx, std::size_t ny,
+                              std::uint64_t seed) {
+  util::Field2D f(nx, ny);
+  util::Xoshiro256 rng{seed};
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      f.at(i, j) = 30.0 * std::sin(0.11 * static_cast<double>(i)) *
+                       std::cos(0.07 * static_cast<double>(j)) +
+                   rng.uniform(-4.0, 4.0);
+    }
+  }
+  return f;
+}
+
+core::CaseStudyConfig small_pipeline_config() {
+  core::CaseStudyConfig config = core::case_study(1);
+  config.iterations = 6;
+  config.io_period = 2;
+  config.vis.width = 64;
+  config.vis.height = 64;
+  config.problem.nx = 48;
+  config.problem.ny = 48;
+  config.problem.executed_sweeps = 10;
+  return config;
+}
+
+// ---- solver: pool size must never change the numbers ----
+
+OracleResult solver_serial_vs_pool() {
+  heat::HeatProblem problem = core::case_study(1).problem;
+  problem.nx = 96;
+  problem.ny = 96;
+  problem.executed_sweeps = 12;
+  heat::HeatSolver serial(problem, nullptr);
+  util::ThreadPool pool(4);
+  heat::HeatSolver pooled(problem, &pool);
+  for (int s = 0; s < 4; ++s) {
+    serial.step();
+    pooled.step();
+    if (!bits_equal(serial.temperature().values(),
+                    pooled.temperature().values())) {
+      return fail("2-D solver diverged from serial at step " +
+                  std::to_string(s));
+    }
+  }
+
+  heat::HeatProblem3D p3;
+  p3.nx = 20;
+  p3.ny = 18;
+  p3.nz = 16;
+  heat::HeatSolver3D serial3(p3, nullptr);
+  heat::HeatSolver3D pooled3(p3, &pool);
+  for (int s = 0; s < 3; ++s) {
+    serial3.step();
+    pooled3.step();
+    if (!bits_equal(serial3.temperature().values(),
+                    pooled3.temperature().values())) {
+      return fail("3-D solver diverged from serial at step " +
+                  std::to_string(s));
+    }
+  }
+  return pass("2-D (96x96, 4 steps) and 3-D (20x18x16, 3 steps) fields "
+              "bit-identical for pool sizes 1 and 4");
+}
+
+// ---- pipelines: host thread count is invisible to the virtual world ----
+
+OracleResult pipeline_serial_vs_pool() {
+  const core::CaseStudyConfig config = small_pipeline_config();
+  const auto run = [&](core::PipelineKind kind, std::size_t threads) {
+    core::Testbed bed;
+    core::PipelineOptions options;
+    options.host_threads = threads;
+    core::PipelineOutput out =
+        kind == core::PipelineKind::kInSitu
+            ? core::run_in_situ(bed, config, options)
+            : core::run_post_processing(bed, config, options);
+    return std::pair<core::PipelineOutput, util::Seconds>{
+        std::move(out), bed.clock().now()};
+  };
+  for (const auto kind :
+       {core::PipelineKind::kInSitu, core::PipelineKind::kPostProcessing}) {
+    const auto [serial, serial_clock] = run(kind, 1);
+    const auto [pooled, pooled_clock] = run(kind, 4);
+    const char* name = core::pipeline_kind_name(kind);
+    if (serial.image_digests != pooled.image_digests) {
+      return fail(std::string(name) + ": image digests differ");
+    }
+    if (!bits_equal(serial.final_field.values(),
+                    pooled.final_field.values())) {
+      return fail(std::string(name) + ": final fields differ");
+    }
+    if (serial_clock.value() != pooled_clock.value()) {
+      std::ostringstream os;
+      os << name << ": virtual clock differs (" << serial_clock.value()
+         << " vs " << pooled_clock.value() << " s)";
+      return fail(os.str());
+    }
+  }
+  return pass("both pipelines: digests, final field bits, and virtual clock "
+              "identical for 1 vs 4 host threads");
+}
+
+// ---- codec: raw is the identity, delta honors its bound and its books ----
+
+OracleResult codec_raw_vs_delta() {
+  const util::Field2D f = reference_field(96, 80, 11);
+  const double tolerance = 1e-3;
+
+  codec::FieldCodec raw{codec::CodecConfig{codec::Kind::kRaw, tolerance, 32}};
+  const auto raw_blob = raw.encode(f);
+  if (raw_blob != f.serialize()) {
+    return fail("raw codec output differs from legacy serialization");
+  }
+  if (!bits_equal(codec::FieldCodec::decode2d(raw_blob).values(),
+                  f.values())) {
+    return fail("raw round trip is not bit exact");
+  }
+
+  codec::FieldCodec delta{
+      codec::CodecConfig{codec::Kind::kDelta, tolerance, 32}};
+  const auto delta_blob = delta.encode(f);
+  const util::Field2D g = codec::FieldCodec::decode2d(delta_blob);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    max_err = std::max(max_err, std::abs(f.values()[k] - g.values()[k]));
+  }
+  if (max_err > tolerance * (1.0 + 1e-9)) {
+    std::ostringstream os;
+    os << "delta error " << max_err << " exceeds tolerance " << tolerance;
+    return fail(os.str());
+  }
+  // Byte accounting: both codecs charge the same uncompressed payload.
+  if (raw.last_stats().raw_bytes != delta.last_stats().raw_bytes) {
+    return fail("raw_bytes accounting differs between raw and delta");
+  }
+  if (delta.last_stats().encoded_bytes >= raw.last_stats().raw_bytes) {
+    return fail("delta did not compress a smooth field");
+  }
+  std::ostringstream os;
+  os << "raw == legacy bytes; delta max error " << max_err << " <= "
+     << tolerance << ", ratio " << delta.last_stats().ratio() << "x on equal "
+     << raw.last_stats().raw_bytes << " raw bytes";
+  return pass(os.str());
+}
+
+// ---- page cache: a timing model only — data and event order invariant ----
+
+OracleResult cache_on_vs_off() {
+  struct Event {
+    std::string file;
+    std::uint64_t bytes;
+    std::uint64_t checksum;
+  };
+  const auto run = [](storage::ReadMode mode) {
+    trace::VirtualClock clock;
+    storage::HddModel hdd{storage::HddParams{}};
+    storage::FsParams params;
+    params.allocation = storage::AllocationPolicy::kAged;
+    storage::Filesystem fs(hdd, clock, params);
+
+    util::Xoshiro256 rng{77};
+    std::vector<Event> events;
+    std::vector<std::pair<std::string, std::size_t>> files;
+    for (int k = 0; k < 6; ++k) {
+      const std::string name = "f" + std::to_string(k) + ".bin";
+      const std::size_t bytes = 1 + rng.uniform_index(96 * 1024);
+      std::vector<std::uint8_t> data(bytes);
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+      }
+      auto fd = fs.create(name);
+      fs.write(fd, data,
+               k % 2 == 0 ? storage::WriteMode::kBuffered
+                          : storage::WriteMode::kSync);
+      fs.fsync(fd);
+      fs.close(fd);
+      files.emplace_back(name, bytes);
+    }
+    fs.drop_caches();
+    double last = clock.now().value();
+    bool monotone = true;
+    for (const auto& [name, bytes] : files) {
+      auto fd = fs.open(name);
+      std::vector<std::uint8_t> back(bytes);
+      const std::uint64_t got = fs.pread(fd, back, 0, mode);
+      fs.close(fd);
+      events.push_back(Event{name, got, util::fnv1a64(back)});
+      if (clock.now().value() < last) {
+        monotone = false;
+      }
+      last = clock.now().value();
+    }
+    return std::pair<std::vector<Event>, bool>{std::move(events), monotone};
+  };
+
+  const auto [cached, cached_monotone] = run(storage::ReadMode::kBuffered);
+  const auto [direct, direct_monotone] = run(storage::ReadMode::kDirect);
+  if (!cached_monotone || !direct_monotone) {
+    return fail("virtual clock went backwards during reads");
+  }
+  if (cached.size() != direct.size()) {
+    return fail("event counts differ");
+  }
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    if (cached[i].file != direct[i].file ||
+        cached[i].bytes != direct[i].bytes ||
+        cached[i].checksum != direct[i].checksum) {
+      return fail("event " + std::to_string(i) + " (" + cached[i].file +
+                  ") diverged between cached and direct reads");
+    }
+  }
+  return pass(std::to_string(cached.size()) +
+              " read events: identical order, sizes, and payload checksums "
+              "with the page cache on (buffered) and off (direct)");
+}
+
+// ---- observability: watching the run must not change the run ----
+
+OracleResult obs_on_vs_off() {
+  struct ObsGuard {
+    ~ObsGuard() { obs::set_enabled(false); }
+  } guard;
+
+  const core::CaseStudyConfig config = small_pipeline_config();
+  const auto run = [&] {
+    core::Testbed bed;
+    core::PipelineOptions options;
+    options.host_threads = 2;
+    auto out = core::run_post_processing(bed, config, options);
+    return std::pair<core::PipelineOutput, util::Seconds>{std::move(out),
+                                                          bed.clock().now()};
+  };
+  obs::set_enabled(false);
+  const auto [off, off_clock] = run();
+  obs::set_enabled(true);
+  const auto [on, on_clock] = run();
+  obs::set_enabled(false);
+
+  if (off.image_digests != on.image_digests) {
+    return fail("image digests changed when obs was enabled");
+  }
+  if (!bits_equal(off.final_field.values(), on.final_field.values())) {
+    return fail("final field changed when obs was enabled");
+  }
+  if (off_clock.value() != on_clock.value()) {
+    return fail("virtual clock changed when obs was enabled");
+  }
+  if (off.snapshot_bytes_written.value() != on.snapshot_bytes_written.value()) {
+    return fail("snapshot byte accounting changed when obs was enabled");
+  }
+  return pass("post-processing outputs (digests, field bits, clock, "
+              "snapshot bytes) byte-identical with obs on and off");
+}
+
+// ---- snapshot decode: legacy and chunked containers are one namespace ----
+
+OracleResult legacy_vs_chunked_decode() {
+  const util::Field2D f = reference_field(65, 43, 5);
+  const auto legacy = f.serialize();
+  if (codec::FieldCodec::is_container(legacy)) {
+    return fail("legacy serialization misdetected as a codec container");
+  }
+  if (!bits_equal(codec::FieldCodec::decode2d(legacy).values(), f.values())) {
+    return fail("legacy 2-D blob did not decode bit-exactly");
+  }
+
+  codec::FieldCodec rle{codec::CodecConfig{codec::Kind::kRle, 1e-3, 16}};
+  const auto container = rle.encode(f);
+  if (!codec::FieldCodec::is_container(container)) {
+    return fail("rle container missing magic");
+  }
+  if (!bits_equal(codec::FieldCodec::decode2d(container).values(),
+                  f.values())) {
+    return fail("chunked rle container did not decode bit-exactly");
+  }
+
+  util::Field3D f3(12, 9, 7);
+  util::Xoshiro256 rng{9};
+  for (double& v : f3.values()) {
+    v = rng.uniform(-50.0, 50.0);
+  }
+  if (!bits_equal(codec::FieldCodec::decode3d(f3.serialize()).values(),
+                  f3.values())) {
+    return fail("legacy 3-D blob did not decode bit-exactly");
+  }
+  codec::FieldCodec raw3{codec::CodecConfig{codec::Kind::kRaw, 1e-3, 8}};
+  if (raw3.encode(f3) != f3.serialize()) {
+    return fail("3-D raw codec output differs from legacy serialization");
+  }
+  return pass("legacy and chunked blobs (2-D and 3-D) decode through one "
+              "auto-detecting path, bit-exactly");
+}
+
+}  // namespace
+
+void register_builtin_oracles() {
+  auto& registry = OracleRegistry::global();
+  registry.add("solver.serial_vs_pool", solver_serial_vs_pool);
+  registry.add("pipeline.serial_vs_pool", pipeline_serial_vs_pool);
+  registry.add("codec.raw_vs_delta", codec_raw_vs_delta);
+  registry.add("storage.cache_on_vs_off", cache_on_vs_off);
+  registry.add("obs.on_vs_off", obs_on_vs_off);
+  registry.add("codec.legacy_vs_chunked_decode", legacy_vs_chunked_decode);
+}
+
+}  // namespace greenvis::qa

@@ -1,0 +1,235 @@
+// Built-in property sweeps.
+//
+// These are the strongest invariants from the hand-rolled parameter sweeps
+// in tests/property_test.cpp, ported onto qa::Gen so they cover the whole
+// parameter space (not five hand-picked points) and gain shrinking plus
+// reproducer files. They are registered by name so both the gtest property
+// suite and `greenvis verify --qa-repro=` reach the same definitions.
+#include <cmath>
+#include <sstream>
+
+#include "src/codec/field_codec.hpp"
+#include "src/io/compress.hpp"
+#include "src/qa/domains.hpp"
+#include "src/qa/registry.hpp"
+#include "src/replay/trace_format.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::qa {
+
+namespace {
+
+std::string ok() { return {}; }
+
+template <typename T>
+void add_property(const std::string& name, Gen<T> gen, Property<T> property,
+                  std::function<std::string(const T&)> show = {}) {
+  PropertyRegistry::global().add(
+      name, [name, gen = std::move(gen), property = std::move(property),
+             show = std::move(show)](const Config& config) {
+        return check(name, gen, property, config, show);
+      });
+}
+
+// ---- HDD: sequential throughput independent of request size ----
+//
+// Ports HddBlockSizeSweep.SequentialThroughputInvariant: streaming the
+// outer zone, the achieved rate is ~1.18x the sustained rate for *any*
+// block size — the per-request cost is dominated by transfer, not
+// bookkeeping.
+
+void register_hdd_properties() {
+  const Gen<std::uint64_t> block_gen =
+      fmap(uint_in(1, 256), [](std::uint64_t n) { return n * 4096; });
+
+  add_property<std::uint64_t>(
+      "hdd.seq_throughput_block_invariant", block_gen,
+      [](const std::uint64_t& block) {
+        storage::HddModel hdd{storage::HddParams{}};
+        const std::uint64_t total = util::mebibytes(32).value();
+        util::Seconds t{0.0};
+        for (std::uint64_t off = 0; off < total; off += block) {
+          const auto len = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(block, total - off));
+          t = hdd.service(storage::IoRequest{storage::IoKind::kRead, off, len},
+                          t);
+        }
+        const double rate = static_cast<double>(total) / t.value();
+        const double expected =
+            hdd.params().spec.sustained_rate.value() * 1.18;
+        if (std::abs(rate - expected) > expected * 0.05) {
+          std::ostringstream os;
+          os << "sequential rate " << rate << " B/s is not within 5% of "
+             << expected << " B/s";
+          return os.str();
+        }
+        return ok();
+      },
+      [](const std::uint64_t& block) {
+        return "block=" + std::to_string(block);
+      });
+
+  // Ports HddBlockSizeSweep.RandomServiceBoundedBelowBySettle: random
+  // accesses can never beat the head-settle time, for any block size and
+  // any seek pattern.
+  using RandomCase = std::pair<std::uint64_t, std::vector<std::uint64_t>>;
+  add_property<RandomCase>(
+      "hdd.random_service_settle_bound",
+      pair_of(block_gen, vector_of(uint_in(0, 399), 8, 48)),
+      [](const RandomCase& rc) {
+        const auto& [block, offsets_gib] = rc;
+        storage::HddModel hdd{storage::HddParams{}};
+        util::Seconds t{0.0};
+        for (const std::uint64_t gib : offsets_gib) {
+          const util::Seconds t2 = hdd.service(
+              storage::IoRequest{storage::IoKind::kRead,
+                                 gib * util::gibibytes(1).value(),
+                                 static_cast<std::uint32_t>(block)},
+              t);
+          if ((t2 - t).value() < 0.0) {
+            return std::string("service time went backwards");
+          }
+          t = t2;
+        }
+        const double per_req =
+            t.value() / static_cast<double>(offsets_gib.size());
+        if (per_req <= hdd.params().spec.settle_time.value()) {
+          std::ostringstream os;
+          os << "random request averaged " << per_req
+             << " s, at or below the settle time "
+             << hdd.params().spec.settle_time.value() << " s";
+          return os.str();
+        }
+        return ok();
+      },
+      [](const RandomCase& rc) {
+        return "block=" + std::to_string(rc.first) +
+               " requests=" + std::to_string(rc.second.size());
+      });
+}
+
+// ---- compression: error bound holds for every field and bound ----
+//
+// Ports CompressSweep.LossyBoundAlwaysHolds over generated fields instead
+// of five fixed seeds, including degenerate 1x1 and constant fields.
+
+void register_compress_properties() {
+  using CompressCase = std::pair<util::Field2D, double>;
+  add_property<CompressCase>(
+      "compress.lossy_round_trip",
+      pair_of(smooth_field(1, 40, 25.0, 5.0),
+              element_of<double>({1e-9, 1e-6, 1e-3, 0.25, 2.0})),
+      [](const CompressCase& cc) {
+        const auto& [f, bound] = cc;
+        const auto blob = io::compress_field(
+            f, io::CompressConfig{io::CompressionMode::kLossyAbsBound, bound});
+        const util::Field2D g = io::decompress_field(blob);
+        for (std::size_t k = 0; k < f.size(); ++k) {
+          const double err = std::abs(f.values()[k] - g.values()[k]);
+          if (err > bound * (1.0 + 1e-9)) {
+            std::ostringstream os;
+            os << "value " << k << " off by " << err << " > bound " << bound;
+            return os.str();
+          }
+        }
+        if (!(io::decompress_field(io::compress_field(
+                  f, io::CompressConfig{})) == f)) {
+          return std::string("lossless mode is not bit exact");
+        }
+        return ok();
+      },
+      [](const CompressCase& cc) {
+        return std::to_string(cc.first.nx()) + "x" +
+               std::to_string(cc.first.ny()) +
+               " bound=" + std::to_string(cc.second);
+      });
+
+  // The chunked snapshot codec honors the same contract: raw/rle exact,
+  // delta within tolerance, for every field shape and chunk edge.
+  using CodecCase = std::tuple<util::Field2D, std::uint64_t, double>;
+  add_property<CodecCase>(
+      "codec.container_round_trip",
+      tuple_of(smooth_field(1, 48, 50.0, 10.0), uint_in(0, 2),
+               element_of<double>({1e-6, 1e-3, 0.5})),
+      [](const CodecCase& cc) {
+        const auto& [f, kind_index, tolerance] = cc;
+        codec::CodecConfig config;
+        config.kind = static_cast<codec::Kind>(kind_index);
+        config.tolerance = tolerance;
+        codec::FieldCodec codec{config};
+        const auto blob = codec.encode(f);
+        const util::Field2D g = codec::FieldCodec::decode2d(blob);
+        if (g.nx() != f.nx() || g.ny() != f.ny()) {
+          return std::string("decoded dimensions differ");
+        }
+        const double bound =
+            config.kind == codec::Kind::kDelta ? tolerance * (1.0 + 1e-9)
+                                               : 0.0;
+        for (std::size_t k = 0; k < f.size(); ++k) {
+          const double err = std::abs(f.values()[k] - g.values()[k]);
+          if (err > bound) {
+            std::ostringstream os;
+            os << codec::kind_name(config.kind) << " value " << k
+               << " off by " << err << " > " << bound;
+            return os.str();
+          }
+        }
+        return ok();
+      },
+      [](const CodecCase& cc) {
+        return std::to_string(std::get<0>(cc).nx()) + "x" +
+               std::to_string(std::get<0>(cc).ny()) + " kind=" +
+               std::to_string(std::get<1>(cc)) +
+               " tol=" + std::to_string(std::get<2>(cc));
+      });
+}
+
+// ---- replay traces: arbitrary corruption fails cleanly ----
+//
+// Random byte flips over a valid trace must either still parse or raise
+// ContractViolation (TraceParseError) — never crash, hang, or throw
+// anything else. (Truncation coverage lives in tests/replay_test.cpp,
+// which sweeps every prefix length exhaustively.)
+
+void register_replay_properties() {
+  using Flips = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+  add_property<Flips>(
+      "replay.trace_flip_robust",
+      vector_of(pair_of(uint_in(0, 1ULL << 20), uint_in(0, 255)), 1, 8),
+      [](const Flips& flips) {
+        std::string text = replay::mpas_like_trace();
+        for (const auto& [pos, byte] : flips) {
+          text[static_cast<std::size_t>(pos) % text.size()] =
+              static_cast<char>(byte);
+        }
+        try {
+          const replay::AppTrace trace = replay::parse_trace(text);
+          // A still-valid trace must survive its own round trip.
+          (void)replay::parse_trace(replay::format_trace(trace));
+        } catch (const util::ContractViolation&) {
+          // Clean rejection is a pass.
+        } catch (const std::exception& e) {
+          return std::string("non-contract exception: ") + e.what();
+        }
+        return ok();
+      },
+      [](const Flips& flips) {
+        std::ostringstream os;
+        os << flips.size() << " flip(s):";
+        for (const auto& [pos, byte] : flips) {
+          os << " @" << pos << "<-" << byte;
+        }
+        return os.str();
+      });
+}
+
+}  // namespace
+
+void register_builtin_properties() {
+  register_hdd_properties();
+  register_compress_properties();
+  register_replay_properties();
+}
+
+}  // namespace greenvis::qa

@@ -1,0 +1,238 @@
+#include "src/qa/property.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace greenvis::qa {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+/// Strip trailing zeros: replay pads with zeros, so they are semantically
+/// inert and only bloat reproducer files.
+void canonicalize(Tape& tape) {
+  while (!tape.empty() && tape.back() == 0) {
+    tape.pop_back();
+  }
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config config;
+  if (const char* seed = std::getenv("GREENVIS_QA_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 0);
+  }
+  if (const char* cases = std::getenv("GREENVIS_QA_CASES")) {
+    const unsigned long long n = std::strtoull(cases, nullptr, 0);
+    if (n > 0) {
+      config.cases = static_cast<std::size_t>(n);
+    }
+  }
+  if (const char* dir = std::getenv("GREENVIS_QA_REPRO_DIR")) {
+    config.repro_dir = dir;  // empty string disables reproducer output
+  }
+  if (const char* replay = std::getenv("GREENVIS_QA_REPLAY")) {
+    config.replay_file = replay;
+  }
+  return config;
+}
+
+std::string CheckResult::summary() const {
+  std::ostringstream os;
+  os << "property '" << property << "': ";
+  if (passed) {
+    os << "passed " << cases_run << " case(s)";
+    return os.str();
+  }
+  os << "FAILED after " << cases_run << " case(s), " << shrink_steps
+     << " shrink step(s)\n"
+     << failure;
+  if (!repro_file.empty()) {
+    os << "\nreproducer: " << repro_file
+       << " (replay with GREENVIS_QA_REPLAY=<file> or greenvis verify "
+          "--qa-repro=<file>)";
+  }
+  return os.str();
+}
+
+std::string repro_to_text(const Repro& repro) {
+  std::ostringstream os;
+  os << "greenvis-qa-repro v1\n"
+     << "property " << repro.property << '\n'
+     << "seed " << repro.seed << '\n'
+     << "words " << repro.tape.size() << '\n';
+  for (std::size_t i = 0; i < repro.tape.size(); ++i) {
+    os << repro.tape[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  }
+  if (repro.tape.size() % 8 != 0) {
+    os << '\n';
+  }
+  return os.str();
+}
+
+Repro repro_from_text(const std::string& text) {
+  std::istringstream is{text};
+  std::string magic, version;
+  is >> magic >> version;
+  GREENVIS_REQUIRE_MSG(magic == "greenvis-qa-repro" && version == "v1",
+                       "not a greenvis qa reproducer");
+  Repro repro;
+  std::string key;
+  is >> key >> repro.property;
+  GREENVIS_REQUIRE_MSG(key == "property", "malformed reproducer: " + key);
+  is >> key >> repro.seed;
+  GREENVIS_REQUIRE_MSG(key == "seed" && !is.fail(),
+                       "malformed reproducer seed");
+  std::size_t count = 0;
+  is >> key >> count;
+  GREENVIS_REQUIRE_MSG(key == "words" && !is.fail(),
+                       "malformed reproducer word count");
+  repro.tape.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t word = 0;
+    is >> word;
+    GREENVIS_REQUIRE_MSG(!is.fail(), "reproducer truncated at word " +
+                                         std::to_string(i));
+    repro.tape.push_back(word);
+  }
+  return repro;
+}
+
+Repro load_repro(const std::string& path) {
+  std::ifstream file{path};
+  GREENVIS_REQUIRE_MSG(file.good(), "cannot open reproducer " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return repro_from_text(buf.str());
+}
+
+std::string write_repro(const std::string& dir, const Repro& repro) {
+  const std::string path = dir + "/" + sanitize(repro.property) + ".qarepro";
+  std::ofstream file{path};
+  if (!file.good()) {
+    return {};  // unwritable repro dir must not mask the property failure
+  }
+  file << repro_to_text(repro);
+  return file.good() ? path : std::string{};
+}
+
+Tape shrink_tape(Tape tape, const std::function<bool(const Tape&)>& fails,
+                 std::size_t max_attempts, std::size_t* steps_out) {
+  canonicalize(tape);
+  std::size_t attempts = 0;
+  std::size_t accepted = 0;
+  const auto try_candidate = [&](Tape candidate) {
+    if (attempts >= max_attempts) {
+      return false;
+    }
+    ++attempts;
+    canonicalize(candidate);
+    if (candidate == tape) {
+      return false;
+    }
+    if (!fails(candidate)) {
+      return false;
+    }
+    tape = std::move(candidate);
+    ++accepted;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && attempts < max_attempts) {
+    improved = false;
+
+    // Pass 1: delete blocks of words, largest windows first. Removing a
+    // word shifts later draws; replay's zero-padding keeps any result
+    // well-formed.
+    for (std::size_t window = tape.size(); window >= 1; window /= 2) {
+      for (std::size_t begin = 0; begin + window <= tape.size();) {
+        Tape candidate;
+        candidate.reserve(tape.size() - window);
+        candidate.insert(candidate.end(), tape.begin(),
+                         tape.begin() + static_cast<std::ptrdiff_t>(begin));
+        candidate.insert(
+            candidate.end(),
+            tape.begin() + static_cast<std::ptrdiff_t>(begin + window),
+            tape.end());
+        if (try_candidate(std::move(candidate))) {
+          improved = true;  // tape shrank; same begin now names new words
+        } else {
+          ++begin;
+        }
+        if (attempts >= max_attempts) {
+          break;
+        }
+      }
+      if (window == 1 || attempts >= max_attempts) {
+        break;
+      }
+    }
+
+    // Pass 2: lower individual words — zero, then binary-search the
+    // smallest still-failing value. Lands on the exact boundary of each
+    // draw in O(log range) attempts.
+    for (std::size_t i = 0; i < tape.size() && attempts < max_attempts; ++i) {
+      if (tape[i] == 0) {
+        continue;
+      }
+      Tape candidate = tape;
+      candidate[i] = 0;
+      if (try_candidate(std::move(candidate))) {
+        improved = true;
+        continue;
+      }
+      // Zero passes, tape[i] fails: the boundary is in (floor, tape[i]].
+      std::uint64_t floor = 0;  // largest known-passing value
+      while (i < tape.size() && tape[i] > floor + 1 &&
+             attempts < max_attempts) {
+        const std::uint64_t mid = floor + (tape[i] - floor) / 2;
+        Tape lowered = tape;
+        lowered[i] = mid;
+        if (try_candidate(std::move(lowered))) {
+          improved = true;  // tape[i] is now mid; keep bisecting
+        } else {
+          floor = mid;
+        }
+      }
+    }
+  }
+
+  if (steps_out != nullptr) {
+    *steps_out = accepted;
+  }
+  return tape;
+}
+
+namespace detail {
+
+void append_show(std::string* failure, const std::string& shown) {
+  if (!shown.empty()) {
+    *failure += "\ncounterexample: " + shown;
+  }
+}
+
+std::string describe_tape(const Tape& tape) {
+  std::ostringstream os;
+  os << "\nchoice tape (" << tape.size() << " word(s)):";
+  for (const std::uint64_t w : tape) {
+    os << ' ' << w;
+  }
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace greenvis::qa

@@ -1,0 +1,205 @@
+// Property runner: seeded case generation, greedy tape shrinking, and
+// on-disk reproducer files.
+//
+// A property is a function of a generated value returning "" on success or
+// a failure description. `check()` runs it over `Config::cases` values,
+// each derived deterministically from the root seed; on the first failure
+// it shrinks the failing choice tape (gen.hpp) to a local minimum and
+// writes a reproducer file. Replaying that file — via Config::replay_file,
+// the GREENVIS_QA_REPLAY environment variable, or `greenvis verify
+// --qa-repro=<file>` — re-runs the property on the shrunk tape and lands on
+// the identical counterexample, every time, on every host.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/qa/gen.hpp"
+
+namespace greenvis::qa {
+
+struct Config {
+  /// Root seed; case i draws from splitmix64(seed, i).
+  std::uint64_t seed{0x9E3779B97F4A7C15ULL};
+  std::size_t cases{100};
+  /// Budget of candidate tapes the shrinker may evaluate.
+  std::size_t max_shrink_attempts{2000};
+  /// When non-empty, failures write `<repro_dir>/<property>.qarepro`.
+  std::string repro_dir{"."};
+  /// When non-empty, skip generation and replay this reproducer file.
+  std::string replay_file{};
+
+  /// Environment overrides: GREENVIS_QA_SEED, GREENVIS_QA_CASES,
+  /// GREENVIS_QA_REPRO_DIR (empty string disables reproducer output),
+  /// GREENVIS_QA_REPLAY.
+  [[nodiscard]] static Config from_env();
+};
+
+struct CheckResult {
+  std::string property;
+  bool passed{true};
+  std::size_t cases_run{0};
+  std::size_t shrink_steps{0};
+  /// Shrunk failing tape (empty when passed).
+  Tape counterexample;
+  /// Human-readable counterexample (the property's failure message, plus
+  /// show() output when provided).
+  std::string failure;
+  /// Path of the reproducer written for this failure, if any.
+  std::string repro_file;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// On-disk reproducer: property name + root seed + shrunk tape.
+struct Repro {
+  std::string property;
+  std::uint64_t seed{0};
+  Tape tape;
+};
+
+[[nodiscard]] std::string repro_to_text(const Repro& repro);
+[[nodiscard]] Repro repro_from_text(const std::string& text);
+[[nodiscard]] Repro load_repro(const std::string& path);
+/// Returns the path written: `<dir>/<sanitized property>.qarepro`.
+std::string write_repro(const std::string& dir, const Repro& repro);
+
+/// Greedy tape minimization: strip trailing zeros, delete blocks
+/// (halving window sizes), then lower individual words (zero, then a
+/// binary search for the draw's failure boundary) until a fixpoint or the
+/// attempt budget. `fails(tape)` must
+/// return true when the tape still reproduces the failure. Deterministic.
+[[nodiscard]] Tape shrink_tape(Tape tape,
+                               const std::function<bool(const Tape&)>& fails,
+                               std::size_t max_attempts,
+                               std::size_t* steps_out = nullptr);
+
+/// A property: "" = pass, anything else = failure description. Thrown
+/// exceptions also count as failures (message captured).
+template <typename T>
+using Property = std::function<std::string(const T&)>;
+
+namespace detail {
+
+/// Run gen+property on a tape. Returns true when the property fails;
+/// `message` receives the failure text. A generator exception during
+/// replay means the mutated tape left the generator's domain: not a
+/// failure.
+template <typename T>
+bool tape_fails(const Gen<T>& gen, const Property<T>& property,
+                const Tape& tape, std::string* message) {
+  Choices choices{tape};
+  std::optional<T> value;
+  try {
+    value.emplace(gen(choices));
+  } catch (const std::exception&) {
+    return false;
+  }
+  try {
+    std::string m = property(*value);
+    if (m.empty()) {
+      return false;
+    }
+    if (message != nullptr) {
+      *message = std::move(m);
+    }
+    return true;
+  } catch (const std::exception& e) {
+    if (message != nullptr) {
+      *message = std::string("unhandled exception: ") + e.what();
+    }
+    return true;
+  }
+}
+
+void append_show(std::string* failure, const std::string& shown);
+std::string describe_tape(const Tape& tape);
+
+}  // namespace detail
+
+/// Run `property` over generated values. `show` (optional) renders the
+/// shrunk counterexample for the failure message.
+template <typename T>
+CheckResult check(const std::string& name, const Gen<T>& gen,
+                  const Property<T>& property,
+                  const Config& config = Config::from_env(),
+                  const std::function<std::string(const T&)>& show = {}) {
+  CheckResult result;
+  result.property = name;
+
+  const auto finish_failure = [&](const Tape& tape, std::uint64_t seed) {
+    result.passed = false;
+    result.counterexample = tape;
+    std::string message;
+    (void)detail::tape_fails(gen, property, tape, &message);
+    result.failure = message;
+    if (show) {
+      Choices replay{tape};
+      try {
+        detail::append_show(&result.failure, show(gen(replay)));
+      } catch (const std::exception&) {
+        // Counterexample rendering is best-effort.
+      }
+    }
+    result.failure += detail::describe_tape(tape);
+    if (!config.repro_dir.empty()) {
+      result.repro_file =
+          write_repro(config.repro_dir, Repro{name, seed, tape});
+    }
+  };
+
+  if (!config.replay_file.empty()) {
+    const Repro repro = load_repro(config.replay_file);
+    GREENVIS_REQUIRE_MSG(repro.property == name,
+                         "reproducer is for property '" + repro.property +
+                             "', not '" + name + "'");
+    result.cases_run = 1;
+    std::string message;
+    if (detail::tape_fails(gen, property, repro.tape, &message)) {
+      result.passed = false;
+      result.counterexample = repro.tape;
+      result.failure = message;
+      if (show) {
+        Choices replay{repro.tape};
+        try {
+          detail::append_show(&result.failure, show(gen(replay)));
+        } catch (const std::exception&) {
+        }
+      }
+      result.failure += detail::describe_tape(repro.tape);
+    }
+    return result;
+  }
+
+  std::uint64_t mix = config.seed;
+  for (std::size_t i = 0; i < config.cases; ++i) {
+    const std::uint64_t case_seed = util::splitmix64_next(mix);
+    Choices choices{case_seed};
+    T value = gen(choices);  // fresh-mode generator bugs propagate
+    ++result.cases_run;
+    std::string message;
+    bool failed = false;
+    try {
+      message = property(value);
+      failed = !message.empty();
+    } catch (const std::exception& e) {
+      message = std::string("unhandled exception: ") + e.what();
+      failed = true;
+    }
+    if (!failed) {
+      continue;
+    }
+    const Tape shrunk = shrink_tape(
+        choices.tape(),
+        [&](const Tape& t) {
+          return detail::tape_fails(gen, property, t, nullptr);
+        },
+        config.max_shrink_attempts, &result.shrink_steps);
+    finish_failure(shrunk, config.seed);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace greenvis::qa

@@ -1,0 +1,56 @@
+#include "src/qa/registry.hpp"
+
+namespace greenvis::qa {
+
+PropertyRegistry& PropertyRegistry::global() {
+  static PropertyRegistry registry;
+  return registry;
+}
+
+void PropertyRegistry::add(const std::string& name, RunFn fn) {
+  for (auto& [existing, run] : entries_) {
+    if (existing == name) {
+      run = std::move(fn);
+      return;
+    }
+  }
+  entries_.emplace_back(name, std::move(fn));
+}
+
+bool PropertyRegistry::contains(const std::string& name) const {
+  for (const auto& [existing, run] : entries_) {
+    if (existing == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> PropertyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, run] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+CheckResult PropertyRegistry::run(const std::string& name,
+                                  const Config& config) const {
+  for (const auto& [existing, fn] : entries_) {
+    if (existing == name) {
+      return fn(config);
+    }
+  }
+  throw util::ContractViolation("unknown qa property '" + name + "'");
+}
+
+CheckResult replay_repro_file(const std::string& path) {
+  const Repro repro = load_repro(path);
+  Config config;
+  config.replay_file = path;
+  config.repro_dir.clear();
+  return PropertyRegistry::global().run(repro.property, config);
+}
+
+}  // namespace greenvis::qa

@@ -1,0 +1,45 @@
+// Named-property registry.
+//
+// Properties registered here are runnable by name — which is what lets a
+// reproducer file written by any test binary be replayed from the CLI
+// (`greenvis verify --qa-repro=<file>`) without knowing which binary
+// produced it. The gtest property suites iterate the same registry, so a
+// property is defined exactly once (src/qa/properties.cpp) and exercised
+// from both entry points.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/qa/property.hpp"
+
+namespace greenvis::qa {
+
+class PropertyRegistry {
+ public:
+  using RunFn = std::function<CheckResult(const Config&)>;
+
+  [[nodiscard]] static PropertyRegistry& global();
+
+  /// Registers (or replaces) a property runner under `name`.
+  void add(const std::string& name, RunFn fn);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Runs one property; throws ContractViolation for unknown names.
+  [[nodiscard]] CheckResult run(const std::string& name,
+                                const Config& config) const;
+
+ private:
+  std::vector<std::pair<std::string, RunFn>> entries_;
+};
+
+/// Registers the built-in property sweeps (idempotent).
+void register_builtin_properties();
+
+/// Loads a reproducer file and replays it through the registry.
+[[nodiscard]] CheckResult replay_repro_file(const std::string& path);
+
+}  // namespace greenvis::qa

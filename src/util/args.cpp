@@ -17,9 +17,9 @@ ArgParser::ArgParser(int argc, const char* const* argv, int first) {
       } else {
         const std::string key = token.substr(2);
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          options_[key] = argv[++i];
+          options_[key] = std::string(argv[++i]);
         } else {
-          options_[key] = "";
+          options_[key] = std::nullopt;
         }
       }
     } else {
@@ -41,10 +41,18 @@ void ArgParser::allow_only(const std::vector<std::string>& allowed) const {
   }
 }
 
+bool ArgParser::has_value(const std::string& key) const {
+  const auto it = options_.find(key);
+  return it != options_.end() && it->second.has_value();
+}
+
 std::string ArgParser::get(const std::string& key,
                            const std::string& fallback) const {
   const auto it = options_.find(key);
-  return it == options_.end() ? fallback : it->second;
+  if (it == options_.end()) {
+    return fallback;
+  }
+  return it->second.value_or(std::string{});
 }
 
 double ArgParser::get(const std::string& key, double fallback) const {
@@ -52,14 +60,19 @@ double ArgParser::get(const std::string& key, double fallback) const {
   if (it == options_.end()) {
     return fallback;
   }
+  GREENVIS_REQUIRE_MSG(it->second.has_value(),
+                       "option --" + key + " expects a value");
   try {
     std::size_t used = 0;
-    const double v = std::stod(it->second, &used);
-    GREENVIS_REQUIRE(used == it->second.size());
+    const double v = std::stod(*it->second, &used);
+    GREENVIS_REQUIRE(used == it->second->size());
     return v;
+  } catch (const ContractViolation&) {
+    throw ContractViolation("option --" + key + " expects a number, got '" +
+                            *it->second + "'");
   } catch (const std::exception&) {
     throw ContractViolation("option --" + key + " expects a number, got '" +
-                            it->second + "'");
+                            *it->second + "'");
   }
 }
 
@@ -68,21 +81,28 @@ long long ArgParser::get(const std::string& key, long long fallback) const {
   if (it == options_.end()) {
     return fallback;
   }
+  GREENVIS_REQUIRE_MSG(it->second.has_value(),
+                       "option --" + key + " expects a value");
   try {
     std::size_t used = 0;
-    const long long v = std::stoll(it->second, &used);
-    GREENVIS_REQUIRE(used == it->second.size());
+    const long long v = std::stoll(*it->second, &used);
+    GREENVIS_REQUIRE(used == it->second->size());
     return v;
+  } catch (const ContractViolation&) {
+    throw ContractViolation("option --" + key + " expects an integer, got '" +
+                            *it->second + "'");
   } catch (const std::exception&) {
     throw ContractViolation("option --" + key + " expects an integer, got '" +
-                            it->second + "'");
+                            *it->second + "'");
   }
 }
 
 std::string ArgParser::require(const std::string& key) const {
   const auto it = options_.find(key);
   GREENVIS_REQUIRE_MSG(it != options_.end(), "missing required --" + key);
-  return it->second;
+  GREENVIS_REQUIRE_MSG(it->second.has_value(),
+                       "option --" + key + " expects a value");
+  return *it->second;
 }
 
 }  // namespace greenvis::util

@@ -30,20 +30,29 @@ class ArgParser {
   [[nodiscard]] bool has(const std::string& key) const {
     return options_.contains(key);
   }
+  /// True when the option carries a value — `--key value` or `--key=`
+  /// (explicit empty). A bare `--key` flag is present but value-less, so
+  /// `has("k") && !has_value("k")` identifies flag form.
+  [[nodiscard]] bool has_value(const std::string& key) const;
 
-  /// Typed getters; return `fallback` when absent. Malformed numbers throw.
+  /// Typed getters; return `fallback` when absent. Malformed numbers and
+  /// numeric lookups of a value-less flag throw. The string getter maps a
+  /// bare flag to "" for convenience; use has_value() to distinguish it
+  /// from an explicit `--key=`.
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
   [[nodiscard]] double get(const std::string& key, double fallback) const;
   [[nodiscard]] long long get(const std::string& key,
                               long long fallback) const;
 
-  /// Value of a required option; throws when missing.
+  /// Value of a required option; throws when missing or value-less.
   [[nodiscard]] std::string require(const std::string& key) const;
 
  private:
   std::vector<std::string> positional_;
-  std::map<std::string, std::string> options_;
+  /// nullopt = bare flag; "" = explicit empty via `--key=`. A repeated
+  /// option keeps the last occurrence (last-wins).
+  std::map<std::string, std::optional<std::string>> options_;
 };
 
 }  // namespace greenvis::util

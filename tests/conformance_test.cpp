@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/qa/conformance.hpp"
+#include "src/qa/oracle.hpp"
+
+namespace greenvis::qa {
+namespace {
+
+TEST(Conformance, DefaultBuildPassesEveryInvariant) {
+  const ConformanceReport report = run_conformance();
+  ASSERT_FALSE(report.invariants.empty());
+  for (const auto& inv : report.invariants) {
+    EXPECT_TRUE(inv.pass) << inv.name << " = " << inv.value << " outside ["
+                          << inv.lo << ", " << inv.hi << "]: "
+                          << inv.description;
+  }
+  EXPECT_TRUE(report.all_pass());
+  EXPECT_EQ(report.failures(), 0u);
+}
+
+TEST(Conformance, DeliberatelyBrokenCodecFailsTheSuite) {
+  // An absurd delta tolerance collapses the post-processing I/O volume —
+  // the kind of "optimization" that silently changes what the system
+  // computes. The savings bands must catch it.
+  ConformanceOptions options;
+  options.snapshot_codec.kind = codec::Kind::kDelta;
+  options.snapshot_codec.tolerance = 1e9;
+  options.build_label = "broken-codec";
+  const ConformanceReport report = run_conformance(options);
+  EXPECT_FALSE(report.all_pass());
+  EXPECT_GT(report.failures(), 0u);
+  bool savings_band_tripped = false;
+  for (const auto& inv : report.invariants) {
+    if (inv.name.rfind("fig10.", 0) == 0 && !inv.pass) {
+      savings_band_tripped = true;
+    }
+  }
+  EXPECT_TRUE(savings_band_tripped)
+      << "breaking the codec should move the fig10 savings out of band";
+}
+
+TEST(Conformance, JsonReportIsWellFormed) {
+  ConformanceReport report;
+  report.invariants.push_back(
+      {"fig10.case1_savings", "quote \"this\"", 0.49, 0.33, 0.55, true});
+  report.invariants.push_back({"tab2.static_share", "x", 0.5, 0.85, 1.0,
+                               false});
+  report.oracles.push_back({"codec.raw_vs_delta", true, "ok"});
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"greenvis.qa.conformance/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"fail\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"this\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"fig10.case1_savings\""), std::string::npos);
+  EXPECT_NE(json.find("\"codec.raw_vs_delta\""), std::string::npos);
+  // Balanced braces/brackets as a cheap structural check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(PhaseDetect, NoWriteIntervalsMeansOnePhase) {
+  power::PowerTrace trace{util::Seconds{1.0}};
+  for (int i = 0; i < 10; ++i) {
+    power::PowerSample s;
+    s.time = util::Seconds{static_cast<double>(i + 1)};
+    s.system = util::Watts{130.0};
+    trace.add(s);
+  }
+  trace::Timeline timeline;
+  timeline.record("Simulation", util::Seconds{0.0}, util::Seconds{10.0});
+  EXPECT_EQ(detect_power_phases(trace, timeline), 1);
+}
+
+TEST(PhaseDetect, PowerDropAfterLastWriteMeansTwoPhases) {
+  power::PowerTrace trace{util::Seconds{1.0}};
+  for (int i = 0; i < 20; ++i) {
+    power::PowerSample s;
+    s.time = util::Seconds{static_cast<double>(i + 1)};
+    s.system = util::Watts{i < 10 ? 140.0 : 115.0};
+    trace.add(s);
+  }
+  trace::Timeline timeline;
+  timeline.record("Simulation", util::Seconds{0.0}, util::Seconds{8.0});
+  timeline.record("Write", util::Seconds{8.0}, util::Seconds{10.0});
+  timeline.record("Read", util::Seconds{10.0}, util::Seconds{15.0});
+  timeline.record("Visualization", util::Seconds{15.0}, util::Seconds{20.0});
+  EXPECT_EQ(detect_power_phases(trace, timeline), 2);
+
+  // A flat trace with the same timeline is one phase: the split exists but
+  // the power level does not change.
+  power::PowerTrace flat{util::Seconds{1.0}};
+  for (int i = 0; i < 20; ++i) {
+    power::PowerSample s;
+    s.time = util::Seconds{static_cast<double>(i + 1)};
+    s.system = util::Watts{130.0};
+    flat.add(s);
+  }
+  EXPECT_EQ(detect_power_phases(flat, timeline), 1);
+}
+
+}  // namespace
+}  // namespace greenvis::qa

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/net/multinode.hpp"
 #include "src/net/network.hpp"
 #include "src/net/pfs.hpp"
@@ -205,6 +207,63 @@ TEST(MultiNode, RejectsNonPowerOfTwo) {
   ClusterSpec bad = small_cluster();
   bad.compute_nodes = 6;
   EXPECT_THROW(MultiNodeStudy(bad, workload()), util::ContractViolation);
+}
+
+// ---------- edge cases ----------
+
+TEST(MultiNode, SingleNodeClusterDegeneratesCleanly) {
+  // One compute rank is a legal (power-of-two) cluster; every pipeline must
+  // produce finite, positive durations and energies, and the composite
+  // gather of a 1-node in-situ run reduces to a self-send.
+  ClusterSpec c = small_cluster();
+  c.compute_nodes = 1;
+  const MultiNodeStudy study(c, workload());
+  for (const auto& result :
+       {study.post_processing(), study.in_situ(), study.in_transit()}) {
+    EXPECT_TRUE(std::isfinite(result.duration.value())) << result.pipeline;
+    EXPECT_TRUE(std::isfinite(result.energy.value())) << result.pipeline;
+    EXPECT_GT(result.duration.value(), 0.0) << result.pipeline;
+    EXPECT_GT(result.energy.value(), 0.0) << result.pipeline;
+    for (const auto& p : result.phases) {
+      EXPECT_GE(p.time_per_occurrence.value(), 0.0)
+          << result.pipeline << "/" << p.name;
+    }
+  }
+}
+
+TEST(Network, ZeroByteStagingPayloadCostsOnlyLatency) {
+  NetworkSpec net;
+  // An empty staging ship / gather still pays the wire latency and nothing
+  // else; the PFS likewise charges only its per-file overhead.
+  EXPECT_NEAR(message_time(net, 0.0).value(), net.latency.value(), 1e-15);
+  EXPECT_NEAR(gather_time(net, 0.0, 8).value(), net.latency.value(), 1e-15);
+  const PfsModel pfs{PfsSpec{}};
+  const double empty = pfs.collective_io_time(4, 0.0).value();
+  EXPECT_TRUE(std::isfinite(empty));
+  EXPECT_GT(empty, 0.0);
+  EXPECT_LE(empty, pfs.collective_io_time(4, 1.0).value());
+}
+
+TEST(MultiNode, AggregatePfsBytesMonotoneInNodeCount) {
+  // Weak scaling: every rank checkpoints its own subdomain, so the bytes
+  // crossing the PFS can only grow with the node count.
+  double previous = 0.0;
+  for (std::size_t n = 1; n <= 64; n *= 2) {
+    ClusterSpec c = small_cluster();
+    c.compute_nodes = n;
+    const MultiNodeStudy study(c, workload());
+    EXPECT_NEAR(study.pfs_bytes_per_io_step(),
+                study.subdomain_bytes() * static_cast<double>(n), 1e-9);
+    const double total = study.total_pfs_bytes();
+    EXPECT_GT(total, previous);
+    previous = total;
+  }
+  // The total accounts for one write plus one read-back of every I/O step.
+  ClusterSpec c = small_cluster();
+  const MultiNodeStudy study(c, workload());
+  const auto io_steps = static_cast<double>(workload().io_steps());
+  EXPECT_NEAR(study.total_pfs_bytes(),
+              study.pfs_bytes_per_io_step() * io_steps * 2.0, 1e-6);
 }
 
 }  // namespace

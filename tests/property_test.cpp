@@ -6,9 +6,9 @@
 
 #include "src/core/experiment.hpp"
 #include "src/heat/solver.hpp"
-#include "src/io/compress.hpp"
 #include "src/net/multinode.hpp"
 #include "src/power/rapl.hpp"
+#include "src/qa/registry.hpp"
 #include "src/storage/filesystem.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/trace/clock.hpp"
@@ -19,46 +19,40 @@
 namespace greenvis {
 namespace {
 
-// ---------- HDD: sequential throughput independent of request size ----------
+// ---------- generative sweeps from the qa property registry ----------
+//
+// The strongest of the old hand-rolled sweeps (HDD throughput/settle,
+// compression round trip) now live in src/qa/properties.cpp on qa::Gen:
+// each run covers ~100 generated parameter combinations instead of five
+// hand-picked ones, and a failure shrinks to a minimal counterexample and
+// writes a reproducer file replayable via `greenvis verify --qa-repro=`.
 
-class HddBlockSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+class QaRegistrySweep : public ::testing::TestWithParam<const char*> {};
 
-TEST_P(HddBlockSizeSweep, SequentialThroughputInvariant) {
-  const std::uint32_t block = GetParam();
-  storage::HddModel hdd{storage::HddParams{}};
-  const std::uint64_t total = util::mebibytes(64).value();
-  util::Seconds t{0.0};
-  for (std::uint64_t off = 0; off < total; off += block) {
-    t = hdd.service(storage::IoRequest{storage::IoKind::kRead, off, block},
-                    t);
-  }
-  const double rate = static_cast<double>(total) / t.value();
-  // Outer zone: ~1.18x the sustained rate, regardless of block size.
-  const double expected =
-      hdd.params().spec.sustained_rate.value() * 1.18;
-  EXPECT_NEAR(rate, expected, expected * 0.05) << "block=" << block;
+TEST_P(QaRegistrySweep, HoldsForGeneratedInputs) {
+  qa::register_builtin_properties();
+  qa::Config config = qa::Config::from_env();
+  const qa::CheckResult r =
+      qa::PropertyRegistry::global().run(GetParam(), config);
+  EXPECT_TRUE(r.passed) << r.summary();
 }
 
-TEST_P(HddBlockSizeSweep, RandomServiceBoundedBelowBySettle) {
-  const std::uint32_t block = GetParam();
-  storage::HddModel hdd{storage::HddParams{}};
-  util::Xoshiro256 rng{3};
-  util::Seconds t{0.0};
-  for (int k = 0; k < 32; ++k) {
-    const std::uint64_t off =
-        rng.uniform_index(400) * util::gibibytes(1).value();
-    const util::Seconds t2 = hdd.service(
-        storage::IoRequest{storage::IoKind::kRead, off, block}, t);
-    EXPECT_GE((t2 - t).value(), 0.0);
-    t = t2;
-  }
-  const double per_req = t.value() / 32.0;
-  EXPECT_GT(per_req, hdd.params().spec.settle_time.value());
-}
-
-INSTANTIATE_TEST_SUITE_P(Blocks, HddBlockSizeSweep,
-                         ::testing::Values(4096u, 16384u, 65536u, 262144u,
-                                           1048576u));
+INSTANTIATE_TEST_SUITE_P(
+    Builtins, QaRegistrySweep,
+    ::testing::Values("hdd.seq_throughput_block_invariant",
+                      "hdd.random_service_settle_bound",
+                      "compress.lossy_round_trip",
+                      "codec.container_round_trip",
+                      "replay.trace_flip_robust"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      std::string name = param_info.param;
+      for (char& c : name) {
+        if (c == '.' || c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
 
 // ---------- HDD: elevator never loses to submission order ----------
 
@@ -253,43 +247,6 @@ TEST_P(StrideSweep, CoarserSamplingNeverImproves) {
 
 INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep,
                          ::testing::Values(1u, 2u, 4u, 8u));
-
-// ---------- compression: bound holds across field families and bounds ----------
-
-struct CompressCase {
-  std::uint64_t seed;
-  double bound;
-};
-
-class CompressSweep : public ::testing::TestWithParam<CompressCase> {};
-
-TEST_P(CompressSweep, LossyBoundAlwaysHolds) {
-  const auto [seed, bound] = GetParam();
-  util::Field2D f(40, 40);
-  util::Xoshiro256 rng{seed};
-  // Mix of smooth trend and noise.
-  for (std::size_t j = 0; j < 40; ++j) {
-    for (std::size_t i = 0; i < 40; ++i) {
-      f.at(i, j) = 20.0 * std::sin(0.2 * static_cast<double>(i + j)) +
-                   rng.uniform(-5.0, 5.0);
-    }
-  }
-  const auto blob = io::compress_field(
-      f, io::CompressConfig{io::CompressionMode::kLossyAbsBound, bound});
-  const util::Field2D g = io::decompress_field(blob);
-  for (std::size_t k = 0; k < f.size(); ++k) {
-    ASSERT_LE(std::abs(f.values()[k] - g.values()[k]), bound * (1.0 + 1e-9));
-  }
-  // Lossless mode is bit exact on the same data.
-  EXPECT_EQ(io::decompress_field(io::compress_field(f, io::CompressConfig{})),
-            f);
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Cases, CompressSweep,
-    ::testing::Values(CompressCase{1, 1e-6}, CompressCase{2, 1e-3},
-                      CompressCase{3, 0.25}, CompressCase{4, 2.0},
-                      CompressCase{5, 1e-9}));
 
 // ---------- volume renderer: invariants across camera angles ----------
 

@@ -415,6 +415,67 @@ TEST(Args, EqualsSyntaxRejectsEmptyName) {
   EXPECT_THROW(ArgParser(2, argv), ContractViolation);
 }
 
+TEST(Args, BareFlagDistinguishableFromExplicitEmpty) {
+  // The regression this guards: `--key=` used to be indistinguishable from
+  // a bare `--key` flag. has_value() now tells them apart.
+  const char* argv[] = {"prog", "--flag", "--empty=", "--full", "v"};
+  const ArgParser args(5, argv);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has_value("flag"));
+  EXPECT_TRUE(args.has("empty"));
+  EXPECT_TRUE(args.has_value("empty"));
+  EXPECT_TRUE(args.has_value("full"));
+  EXPECT_FALSE(args.has_value("absent"));
+  // String getter still maps the bare flag to "" for convenience.
+  EXPECT_EQ(args.get("flag", std::string{"?"}), "");
+  EXPECT_EQ(args.get("empty", std::string{"?"}), "");
+}
+
+TEST(Args, NumericGetOnBareFlagThrowsExpectsValue) {
+  const char* argv[] = {"prog", "--count", "--rate"};
+  const ArgParser args(3, argv);
+  try {
+    (void)args.get("count", 0LL);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("expects a value"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)args.get("rate", 0.0), ContractViolation);
+}
+
+TEST(Args, RequireThrowsOnBareFlag) {
+  const char* argv[] = {"prog", "--out"};
+  const ArgParser args(2, argv);
+  EXPECT_THROW((void)args.require("out"), ContractViolation);
+  const char* argv2[] = {"prog", "--out="};
+  const ArgParser args2(2, argv2);
+  EXPECT_EQ(args2.require("out"), "");
+}
+
+TEST(Args, RepeatedOptionLastWins) {
+  const char* argv[] = {"prog", "--case=1", "--case", "2", "--case=3"};
+  const ArgParser args(5, argv);
+  EXPECT_EQ(args.get("case", 0LL), 3);
+  const char* argv2[] = {"prog", "--case=1", "--case"};
+  const ArgParser args2(3, argv2);
+  // A trailing bare repeat demotes the option back to a flag: last wins
+  // applies to the whole occurrence, not just its value.
+  EXPECT_TRUE(args2.has("case"));
+  EXPECT_FALSE(args2.has_value("case"));
+}
+
+TEST(Args, UnknownOptionDiagnosticNamesTheOption) {
+  const char* argv[] = {"prog", "--typox", "1"};
+  const ArgParser args(3, argv);
+  try {
+    args.allow_only({"case"});
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--typox"), std::string::npos);
+  }
+}
+
 // ---------- checksum ----------
 
 TEST(Checksum, StableAndSensitive) {

@@ -2,7 +2,7 @@
 # CI-style gate: configure + build, run the full test suite, and (when
 # clang-format is available) verify formatting of everything under src/.
 #
-# Usage: tools/check.sh [--asan] [--bench-smoke] [build-dir]
+# Usage: tools/check.sh [--asan] [--bench-smoke] [--conformance] [build-dir]
 #   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
 #                 (RelWithDebInfo, default build dir: build-asan) and run the
 #                 full suite under them — including the obs/pool concurrency
@@ -10,16 +10,22 @@
 #   --bench-smoke after the suite, run the ~5 s perf-harness subset and fail
 #                 on a >10% regression vs the committed BENCH_perf.json
 #                 (heat2d_512 serial MCUPS and codec MB/s).
+#   --conformance after the suite, run `greenvis verify`: the differential
+#                 oracles plus the paper-conformance invariants (Fig. 5/8/9/
+#                 10, Table II bands), emitting QA_conformance.json into the
+#                 build dir. Fails if any invariant leaves its band.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ASAN=0
 BENCH_SMOKE=0
+CONFORMANCE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --asan) ASAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --conformance) CONFORMANCE=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -56,6 +62,11 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
   else
     "$BUILD_DIR"/bench/bench_perf_harness --smoke --baseline=BENCH_perf.json
   fi
+fi
+
+if [[ "$CONFORMANCE" == 1 ]]; then
+  echo "== conformance =="
+  "$BUILD_DIR"/tools/greenvis verify --out="$BUILD_DIR/QA_conformance.json"
 fi
 
 echo "== format =="

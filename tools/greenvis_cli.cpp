@@ -31,6 +31,9 @@
 #include "src/net/multinode.hpp"
 #include "src/obs/registry.hpp"
 #include "src/obs/tracer.hpp"
+#include "src/qa/conformance.hpp"
+#include "src/qa/oracle.hpp"
+#include "src/qa/registry.hpp"
 #include "src/replay/engine.hpp"
 #include "src/util/args.hpp"
 #include "src/util/table.hpp"
@@ -246,6 +249,63 @@ int cmd_trace_template() {
   return 0;
 }
 
+int cmd_verify(const Args& args) {
+  // Replay path: re-run one shrunk property counterexample from a
+  // reproducer file written by a failing property check.
+  if (args.has("qa-repro")) {
+    const std::string path = args.require("qa-repro");
+    qa::register_builtin_properties();
+    const qa::CheckResult r = qa::replay_repro_file(path);
+    std::cout << r.summary() << '\n';
+    return r.passed ? 0 : 1;
+  }
+
+  qa::ConformanceOptions options;
+  options.snapshot_codec.kind =
+      codec::parse_kind(opt_string(args, "codec", "raw"));
+  options.snapshot_codec.tolerance = opt_double(
+      args, "tolerance", options.snapshot_codec.tolerance);
+  options.build_label = opt_string(args, "label", "default");
+
+  std::cerr << "running differential oracles...\n";
+  qa::register_builtin_oracles();
+  std::cerr << "running paper-conformance suite (6 pipeline runs + stage "
+               "runs)...\n";
+  qa::ConformanceReport report = qa::run_conformance(options);
+  report.oracles = qa::OracleRegistry::global().run_all();
+
+  util::TextTable t({"Invariant", "Value", "Band", "Verdict"});
+  for (const auto& inv : report.invariants) {
+    std::ostringstream band;
+    band << "[" << inv.lo << ", " << inv.hi << "]";
+    t.add_row({inv.name, util::cell(inv.value, 4), band.str(),
+               inv.pass ? "pass" : "FAIL"});
+  }
+  for (const auto& oracle : report.oracles) {
+    t.add_row({oracle.name, "--", "oracle", oracle.ok ? "pass" : "FAIL"});
+  }
+  std::cout << t.render();
+  for (const auto& oracle : report.oracles) {
+    if (!oracle.ok) {
+      std::cout << oracle.name << ": " << oracle.detail << '\n';
+    }
+  }
+
+  const std::string out = opt_string(args, "out", "QA_conformance.json");
+  std::ofstream file(out);
+  if (file.good()) {
+    report.write_json(file);
+  }
+  if (!file.good()) {
+    std::cerr << "error: cannot write " << out << '\n';
+    return 1;
+  }
+  std::cerr << "wrote " << out << '\n';
+  std::cout << "\nverify: " << (report.all_pass() ? "PASS" : "FAIL") << " ("
+            << report.failures() << " failure(s))\n";
+  return report.all_pass() ? 0 : 1;
+}
+
 void usage() {
   std::cerr <<
       R"(greenvis — greenness analysis of visualization pipelines
@@ -259,6 +319,10 @@ commands:
   replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
   cluster [--nodes N] [--staging S] [--targets T]     multi-node study
   trace-template                                      starter replay trace
+  verify [--out FILE] [--codec raw|delta|rle] [--tolerance T] [--label L]
+         [--qa-repro=FILE]                            qa conformance suite
+                                                      (or replay a property
+                                                      reproducer file)
 
 global options (any command):
   --trace-out=FILE     write a Chrome trace-event JSON (chrome://tracing)
@@ -333,6 +397,8 @@ int main(int argc, char** argv) {
       rc = cmd_cluster(args);
     } else if (command == "trace-template") {
       rc = cmd_trace_template();
+    } else if (command == "verify") {
+      rc = cmd_verify(args);
     } else {
       usage();
       return 2;
