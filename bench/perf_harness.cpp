@@ -123,14 +123,16 @@ struct CodecBench {
   double ratio{0.0};
 };
 
-/// Single-threaded delta-codec throughput over a 512 x 512 field, reported
-/// as uncompressed MB/s through each direction.
-CodecBench codec_throughput(int reps) {
+/// Delta-codec throughput over a 512 x 512 field, reported as uncompressed
+/// MB/s through each direction. With a pool the per-chunk encode fans out
+/// across the workers (bit-identical output, same container bytes).
+CodecBench codec_throughput(int reps, util::ThreadPool* pool) {
   const util::Field2D f = smooth_field(512);
   util::ScratchArena arena;
   codec::CodecConfig cfg;
   cfg.kind = codec::Kind::kDelta;
   codec::FieldCodec enc(cfg, &arena);
+  enc.set_pool(pool);
   std::vector<std::uint8_t> blob;
 
   const int iters = 32 * reps;
@@ -189,6 +191,33 @@ double fig10_virtual_seconds(int n, codec::Kind kind) {
   const core::Experiment experiment;
   return experiment.run(core::PipelineKind::kPostProcessing, workload)
       .duration.value();
+}
+
+struct AsyncOverlap {
+  double sync_s{0.0};
+  double async_s{0.0};
+  std::size_t stage_buffers{2};
+
+  [[nodiscard]] double speedup() const { return sync_s / async_s; }
+};
+
+/// Virtual end-to-end seconds of the sync vs async-staging post-processing
+/// pipeline on case study 1 — the write-overlap win the sched subsystem
+/// buys. Both numbers are deterministic testbed time, not host time.
+AsyncOverlap async_overlap_seconds() {
+  const core::CaseStudyConfig workload = core::case_study(1);
+  const core::Experiment experiment;
+  core::PipelineOptions options;
+  AsyncOverlap out;
+  options.stage_buffers = out.stage_buffers;
+  out.sync_s =
+      experiment.run(core::PipelineKind::kPostProcessing, workload, options)
+          .duration.value();
+  out.async_s =
+      experiment
+          .run(core::PipelineKind::kPostProcessingAsync, workload, options)
+          .duration.value();
+  return out;
 }
 
 /// Wall seconds for the fig. 10 batch (post-processing + in-situ x three
@@ -280,18 +309,17 @@ std::string meta_json() {
 
 void write_json(const std::string& path, const std::vector<KernelRow>& rows,
                 double pool1_serial, double pool1_degenerate,
-                const CodecBench& cdc, const std::vector<double>& case_ratios,
+                const CodecBench& cdc, double encode_pool_mbps,
+                const std::vector<double>& case_ratios,
                 const std::vector<double>& fig10_raw_s,
                 const std::vector<double>& fig10_delta_s,
-                double batch_serial_s, double batch_concurrent_s,
-                const ObsOverhead& obs_row) {
+                const AsyncOverlap& overlap, double batch_serial_s,
+                double batch_concurrent_s, const ObsOverhead& obs_row) {
   std::ofstream os(path);
   GREENVIS_REQUIRE_MSG(os.good(), "cannot open " + path);
   os.setf(std::ios::fixed);
   os.precision(3);
   os << "{\n";
-  os << "  \"hardware_concurrency\": "
-     << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
   os << "  \"meta\": " << meta_json() << ",\n";
   for (const auto& row : rows) {
     os << "  \"" << row.name << "\": {\"serial_" << row.unit
@@ -303,12 +331,17 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
      << ", \"pool1_mpixels_per_s\": " << pool1_degenerate
      << ", \"speedup\": " << pool1_degenerate / pool1_serial << "},\n";
   os << "  \"codec\": {\"encode_mbps\": " << cdc.encode_mbps
+     << ", \"encode_mbps_pool\": " << encode_pool_mbps
      << ", \"decode_mbps\": " << cdc.decode_mbps
      << ", \"smooth_ratio\": " << cdc.ratio;
   for (std::size_t n = 0; n < case_ratios.size(); ++n) {
     os << ", \"ratio_case" << n + 1 << "\": " << case_ratios[n];
   }
   os << "},\n";
+  os << "  \"async_overlap\": {\"case1_sync_s\": " << overlap.sync_s
+     << ", \"case1_async_s\": " << overlap.async_s
+     << ", \"speedup\": " << overlap.speedup()
+     << ", \"stage_buffers\": " << overlap.stage_buffers << "},\n";
   if (!fig10_raw_s.empty()) {
     os << "  \"fig10_codec_virtual\": {";
     for (std::size_t n = 0; n < fig10_raw_s.size(); ++n) {
@@ -350,7 +383,7 @@ int run_smoke(const std::string& baseline_path) {
   std::cerr << "[perf] smoke: codec throughput...\n";
   CodecBench cdc;
   for (int r = 0; r < 2; ++r) {
-    const CodecBench b = codec_throughput(1);
+    const CodecBench b = codec_throughput(1, nullptr);
     cdc.encode_mbps = std::max(cdc.encode_mbps, b.encode_mbps);
     cdc.decode_mbps = std::max(cdc.decode_mbps, b.decode_mbps);
     cdc.ratio = b.ratio;
@@ -447,10 +480,16 @@ int main(int argc, char** argv) try {
   std::cerr << "[perf] codec throughput...\n";
   CodecBench cdc;
   for (int r = 0; r < reps; ++r) {
-    const CodecBench b = codec_throughput(quick ? 1 : 2);
+    const CodecBench b = codec_throughput(quick ? 1 : 2, nullptr);
     cdc.encode_mbps = std::max(cdc.encode_mbps, b.encode_mbps);
     cdc.decode_mbps = std::max(cdc.decode_mbps, b.decode_mbps);
     cdc.ratio = b.ratio;
+  }
+  std::cerr << "[perf] codec throughput, pooled encode...\n";
+  double encode_pool_mbps = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    encode_pool_mbps = std::max(
+        encode_pool_mbps, codec_throughput(quick ? 1 : 2, &pool).encode_mbps);
   }
   std::cerr << "[perf] codec ratio per case study...\n";
   std::vector<double> case_ratios;
@@ -463,6 +502,13 @@ int main(int argc, char** argv) try {
     fig10_raw_s.push_back(fig10_virtual_seconds(n, codec::Kind::kRaw));
     fig10_delta_s.push_back(fig10_virtual_seconds(n, codec::Kind::kDelta));
   }
+
+  std::cerr << "[perf] async staging overlap, case 1...\n";
+  const AsyncOverlap overlap = async_overlap_seconds();
+  GREENVIS_REQUIRE_MSG(
+      overlap.speedup() >= 1.15,
+      "async staging overlap too small: " + std::to_string(overlap.speedup()) +
+          "x < 1.15x on case study 1");
 
   std::cerr << "[perf] fig10 batch, serial...\n";
   double batch_serial = 1e300;
@@ -502,6 +548,12 @@ int main(int argc, char** argv) try {
   t.add_row({"codec_512 (delta)", util::cell(cdc.encode_mbps, 1),
              util::cell(cdc.decode_mbps, 1), util::cell(cdc.ratio, 2),
              "enc/dec MB/s, ratio"});
+  t.add_row({"codec_512 encode pool", util::cell(cdc.encode_mbps, 1),
+             util::cell(encode_pool_mbps, 1),
+             util::cell(encode_pool_mbps / cdc.encode_mbps, 2), "MB/s"});
+  t.add_row({"async_overlap case1", util::cell(overlap.sync_s, 1),
+             util::cell(overlap.async_s, 1), util::cell(overlap.speedup(), 2),
+             "virtual s (lower=better)"});
   t.add_row({"fig10_batch", util::cell(batch_serial, 2),
              util::cell(batch_conc, 2),
              util::cell(batch_serial / batch_conc, 2), "seconds (lower=better)"});
@@ -521,8 +573,9 @@ int main(int argc, char** argv) try {
             << " s (" << util::cell(obs_row.overhead_pct(), 2) << "% overhead, "
             << obs_row.spans_captured << " spans)\n";
 
-  write_json(out, rows, p1_serial, p1_degen, cdc, case_ratios, fig10_raw_s,
-             fig10_delta_s, batch_serial, batch_conc, obs_row);
+  write_json(out, rows, p1_serial, p1_degen, cdc, encode_pool_mbps,
+             case_ratios, fig10_raw_s, fig10_delta_s, overlap, batch_serial,
+             batch_conc, obs_row);
   std::cout << "\nwrote " << out << '\n';
   return 0;
 } catch (const std::exception& e) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/util/thread_pool.hpp"
+
 namespace greenvis::codec {
 
 namespace {
@@ -47,27 +49,18 @@ void put_u64(std::uint8_t* dst, std::uint64_t v) {
   }
 }
 
+void put_u32(std::uint8_t* dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
 std::uint64_t get_u64(const std::uint8_t* src) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
   }
   return v;
-}
-
-void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  const std::size_t pos = out.size();
-  out.resize(pos + 8);
-  put_u64(out.data() + pos, v);
-}
-
-void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  const std::size_t pos = out.size();
-  out.resize(pos + 4);
-  for (int i = 0; i < 4; ++i) {
-    out[pos + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(v >> (8 * i));
-  }
 }
 
 std::uint64_t bits_of(double v) {
@@ -81,6 +74,29 @@ double double_of(std::uint64_t u) {
   std::memcpy(&v, &u, sizeof(v));
   return v;
 }
+
+/// Serialize the 48-byte container header (layout above).
+void write_container_header(std::vector<std::uint8_t>& out, Kind kind,
+                            double tolerance, std::size_t chunk_edge,
+                            std::size_t nx, std::size_t ny, std::size_t nz,
+                            std::uint8_t rank) {
+  out.resize(kContainerHeader);
+  put_u64(out.data(), kMagic);
+  out[8] = kVersion;
+  out[9] = rank;
+  out[10] = static_cast<std::uint8_t>(kind);
+  out[11] = 0;
+  put_u32(out.data() + 12, static_cast<std::uint32_t>(chunk_edge));
+  put_u64(out.data() + 16, nx);
+  put_u64(out.data() + 24, ny);
+  put_u64(out.data() + 32, nz);
+  put_u64(out.data() + 40, bits_of(kind == Kind::kDelta ? tolerance : 0.0));
+}
+
+/// Fields below this stay on the serial path even with a pool attached; the
+/// dispatch overhead would dominate (the 128x128 case-study fields land
+/// here, keeping the hot loop allocation-free and single-threaded).
+constexpr std::size_t kParallelMinCells = std::size_t{1} << 16;
 
 /// Bounds-checked cursor over an encoded blob: every read REQUIREs the
 /// bytes exist, so truncation surfaces as ContractViolation, never UB.
@@ -198,56 +214,53 @@ std::span<std::uint64_t> FieldCodec::word_scratch(std::size_t count) {
   return {word_buf_.data(), count};
 }
 
-void FieldCodec::encode_chunk(const double* v, std::size_t count,
-                              std::span<std::int64_t> q,
-                              std::span<std::uint64_t> words,
-                              std::vector<std::uint8_t>& out) {
+FieldCodec::ChunkResult FieldCodec::encode_chunk(
+    const double* v, std::size_t count, std::span<std::int64_t> q,
+    std::span<std::uint64_t> words, std::uint8_t* dst) const {
   const std::size_t raw_payload = count * sizeof(double);
 
-  auto emit_header = [&](ChunkEncoding enc, std::uint8_t bits,
-                         std::uint32_t payload) {
-    out.push_back(static_cast<std::uint8_t>(enc));
-    out.push_back(bits);
-    out.push_back(0);
-    out.push_back(0);
-    append_u32(out, payload);
+  auto put_header = [&](ChunkEncoding enc, std::uint8_t bits,
+                        std::uint32_t payload) {
+    dst[0] = static_cast<std::uint8_t>(enc);
+    dst[1] = bits;
+    dst[2] = 0;
+    dst[3] = 0;
+    put_u32(dst + 4, payload);
   };
-  auto emit_raw = [&] {
-    emit_header(ChunkEncoding::kRaw, 0,
-                static_cast<std::uint32_t>(raw_payload));
-    const std::size_t pos = out.size();
-    out.resize(pos + raw_payload);
-    std::memcpy(out.data() + pos, v, raw_payload);
-    ++stats_.chunks_raw;
+  auto put_raw = [&]() -> ChunkResult {
+    put_header(ChunkEncoding::kRaw, 0,
+               static_cast<std::uint32_t>(raw_payload));
+    std::memcpy(dst + kChunkHeader, v, raw_payload);
+    return {kChunkHeader + raw_payload, ChunkEncoding::kRaw};
   };
-  auto emit_rle = [&](std::size_t payload) {
-    emit_header(ChunkEncoding::kRle, 0, static_cast<std::uint32_t>(payload));
+  auto put_rle = [&](std::size_t payload) -> ChunkResult {
+    put_header(ChunkEncoding::kRle, 0, static_cast<std::uint32_t>(payload));
+    std::uint8_t* cur = dst + kChunkHeader;
     std::uint64_t run_value = bits_of(v[0]);
     std::uint32_t run_len = 1;
     for (std::size_t i = 1; i < count; ++i) {
-      const std::uint64_t cur = bits_of(v[i]);
-      if (cur == run_value) {
+      const std::uint64_t b = bits_of(v[i]);
+      if (b == run_value) {
         ++run_len;
       } else {
-        append_u64(out, run_value);
-        append_u32(out, run_len);
-        run_value = cur;
+        put_u64(cur, run_value);
+        put_u32(cur + 8, run_len);
+        cur += 12;
+        run_value = b;
         run_len = 1;
       }
     }
-    append_u64(out, run_value);
-    append_u32(out, run_len);
-    ++stats_.chunks_rle;
+    put_u64(cur, run_value);
+    put_u32(cur + 8, run_len);
+    cur += 12;
+    GREENVIS_ENSURE(static_cast<std::size_t>(cur - dst) ==
+                    kChunkHeader + payload);
+    return {kChunkHeader + payload, ChunkEncoding::kRle};
   };
 
   if (config_.kind == Kind::kRle) {
     const std::size_t rle = rle_bytes(v, count);
-    if (rle < raw_payload) {
-      emit_rle(rle);
-    } else {
-      emit_raw();
-    }
-    return;
+    return rle < raw_payload ? put_rle(rle) : put_raw();
   }
 
   // kind == kDelta: quantize when every value is finite and its quantum
@@ -261,12 +274,7 @@ void FieldCodec::encode_chunk(const double* v, std::size_t count,
   }
   if (!finite || max_abs * inv > kMaxQuantum) {
     const std::size_t rle = rle_bytes(v, count);
-    if (rle < raw_payload) {
-      emit_rle(rle);
-    } else {
-      emit_raw();
-    }
-    return;
+    return rle < raw_payload ? put_rle(rle) : put_raw();
   }
 
   // Quantize (branch-free: round-half-away via copysign) and delta+zigzag.
@@ -287,14 +295,12 @@ void FieldCodec::encode_chunk(const double* v, std::size_t count,
       bits == 0 ? 0 : ((count - 1) * bits + 63) / 64;
   const std::size_t payload = 8 + nwords * 8;
   if (payload >= raw_payload) {
-    // Undo the in-place delta so emit_raw sees... v is untouched; just raw.
-    emit_raw();
-    return;
+    return put_raw();  // v is untouched (deltas were in-place in q)
   }
 
-  emit_header(ChunkEncoding::kDeltaBitpack, bits,
-              static_cast<std::uint32_t>(payload));
-  append_u64(out, static_cast<std::uint64_t>(q[0]));
+  put_header(ChunkEncoding::kDeltaBitpack, bits,
+             static_cast<std::uint32_t>(payload));
+  put_u64(dst + kChunkHeader, static_cast<std::uint64_t>(q[0]));
   if (bits > 0) {
     std::uint64_t acc = 0;
     unsigned used = 0;
@@ -313,13 +319,25 @@ void FieldCodec::encode_chunk(const double* v, std::size_t count,
       words[w++] = acc;
     }
     GREENVIS_ENSURE(w == nwords);
-    const std::size_t pos = out.size();
-    out.resize(pos + nwords * 8);
     for (std::size_t k = 0; k < nwords; ++k) {
-      put_u64(out.data() + pos + k * 8, words[k]);
+      put_u64(dst + kChunkHeader + 8 + k * 8, words[k]);
     }
   }
-  ++stats_.chunks_delta;
+  return {kChunkHeader + payload, ChunkEncoding::kDeltaBitpack};
+}
+
+void FieldCodec::bump_chunk_stats(ChunkEncoding encoding) {
+  switch (encoding) {
+    case ChunkEncoding::kRaw:
+      ++stats_.chunks_raw;
+      break;
+    case ChunkEncoding::kDeltaBitpack:
+      ++stats_.chunks_delta;
+      break;
+    case ChunkEncoding::kRle:
+      ++stats_.chunks_rle;
+      break;
+  }
 }
 
 void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
@@ -327,6 +345,14 @@ void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
                                std::uint8_t rank,
                                std::vector<std::uint8_t>& out) {
   const std::size_t e = config_.chunk_edge;
+  const std::size_t chunk_count = ((nx + e - 1) / e) * ((ny + e - 1) / e) *
+                                  (rank == 3 ? (nz + e - 1) / e : 1);
+  if (pool_ != nullptr && pool_->size() > 1 &&
+      values.size() >= kParallelMinCells && chunk_count >= 2) {
+    encode_values_parallel(values, nx, ny, nz, rank, out);
+    return;
+  }
+
   const std::size_t max_cells = rank == 2 ? e * e : e * e * e;
   const std::span<double> staging = chunk_scratch(max_cells);
   std::span<std::int64_t> q{};
@@ -343,21 +369,8 @@ void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
     words = word_scratch(max_cells);  // bits <= 63 < 64: never more words
   }
 
-  out.resize(kContainerHeader);
-  put_u64(out.data(), kMagic);
-  out[8] = kVersion;
-  out[9] = rank;
-  out[10] = static_cast<std::uint8_t>(config_.kind);
-  out[11] = 0;
-  for (int i = 0; i < 4; ++i) {
-    out[12 + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(static_cast<std::uint32_t>(e) >> (8 * i));
-  }
-  put_u64(out.data() + 16, nx);
-  put_u64(out.data() + 24, ny);
-  put_u64(out.data() + 32, nz);
-  put_u64(out.data() + 40,
-          bits_of(config_.kind == Kind::kDelta ? config_.tolerance : 0.0));
+  write_container_header(out, config_.kind, config_.tolerance, e, nx, ny, nz,
+                         rank);
 
   const double* src = values.data();
   for (std::size_t z0 = 0; z0 < nz; z0 += (rank == 3 ? e : nz)) {
@@ -376,12 +389,124 @@ void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
             dst += w;
           }
         }
-        encode_chunk(staging.data(),
-                     static_cast<std::size_t>(dst - staging.data()), q, words,
-                     out);
+        const std::size_t count =
+            static_cast<std::size_t>(dst - staging.data());
+        // Worst-case bound-sized emission, trimmed to what was written —
+        // byte-identical to an append-based emit.
+        const std::size_t bound = kChunkHeader + count * sizeof(double);
+        const std::size_t pos = out.size();
+        out.resize(pos + bound);
+        const ChunkResult r =
+            encode_chunk(staging.data(), count, q, words, out.data() + pos);
+        out.resize(pos + r.bytes);
+        bump_chunk_stats(r.encoding);
       }
     }
   }
+}
+
+void FieldCodec::encode_values_parallel(std::span<const double> values,
+                                        std::size_t nx, std::size_t ny,
+                                        std::size_t nz, std::uint8_t rank,
+                                        std::vector<std::uint8_t>& out) {
+  const std::size_t e = config_.chunk_edge;
+
+  // Plan: one descriptor per chunk in the serial (cz, cy, cx) order, with
+  // prefix sums for per-chunk scratch cells and bound-spaced output offsets.
+  chunk_descs_.clear();
+  std::size_t total_cells = 0;
+  std::size_t bound_end = kContainerHeader;
+  for (std::size_t z0 = 0; z0 < nz; z0 += (rank == 3 ? e : nz)) {
+    const std::size_t z1 = rank == 3 ? std::min(nz, z0 + e) : nz;
+    for (std::size_t y0 = 0; y0 < ny; y0 += e) {
+      const std::size_t y1 = std::min(ny, y0 + e);
+      for (std::size_t x0 = 0; x0 < nx; x0 += e) {
+        const std::size_t x1 = std::min(nx, x0 + e);
+        ChunkDesc d;
+        d.x0 = x0, d.x1 = x1, d.y0 = y0, d.y1 = y1, d.z0 = z0, d.z1 = z1;
+        d.cells = (x1 - x0) * (y1 - y0) * (z1 - z0);
+        d.cell_offset = total_cells;
+        d.dst_offset = bound_end;
+        total_cells += d.cells;
+        bound_end += kChunkHeader + d.cells * sizeof(double);
+        chunk_descs_.push_back(d);
+      }
+    }
+  }
+  chunk_results_.assign(chunk_descs_.size(), ChunkResult{});
+
+  // Scratch pools carved per chunk via cell_offset. Allocation happens here,
+  // on the calling thread (ScratchArena is single-threaded); workers only
+  // index into their disjoint slices.
+  const bool delta = config_.kind == Kind::kDelta;
+  std::span<double> stage{};
+  std::span<std::int64_t> q{};
+  std::span<std::uint64_t> words{};
+  if (arena_ != nullptr) {
+    stage = arena_->alloc<double>(total_cells);
+    if (delta) {
+      q = arena_->alloc<std::int64_t>(total_cells);
+      words = arena_->alloc<std::uint64_t>(total_cells);
+    }
+  } else {
+    if (pstage_buf_.size() < total_cells) {
+      pstage_buf_.resize(total_cells);
+    }
+    stage = {pstage_buf_.data(), total_cells};
+    if (delta) {
+      if (pq_buf_.size() < total_cells) {
+        pq_buf_.resize(total_cells);
+      }
+      if (pword_buf_.size() < total_cells) {
+        pword_buf_.resize(total_cells);
+      }
+      q = {pq_buf_.data(), total_cells};
+      words = {pword_buf_.data(), total_cells};
+    }
+  }
+
+  write_container_header(out, config_.kind, config_.tolerance, e, nx, ny, nz,
+                         rank);
+  out.resize(bound_end);  // worst case per chunk; compacted below
+
+  const double* src = values.data();
+  pool_->parallel_for(0, chunk_descs_.size(), [&](std::size_t lo,
+                                                  std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const ChunkDesc& d = chunk_descs_[c];
+      // Gather into this chunk's scratch slice (x fastest, as serial).
+      double* g = stage.data() + d.cell_offset;
+      const std::size_t w = d.x1 - d.x0;
+      for (std::size_t z = d.z0; z < d.z1; ++z) {
+        for (std::size_t y = d.y0; y < d.y1; ++y) {
+          std::memcpy(g, src + (z * ny + y) * nx + d.x0, w * sizeof(double));
+          g += w;
+        }
+      }
+      chunk_results_[c] = encode_chunk(
+          stage.data() + d.cell_offset, d.cells,
+          delta ? q.subspan(d.cell_offset, d.cells)
+                : std::span<std::int64_t>{},
+          delta ? words.subspan(d.cell_offset, d.cells)
+                : std::span<std::uint64_t>{},
+          out.data() + d.dst_offset);
+    }
+  });
+
+  // Serial compaction: slide chunks left to their packed positions and bump
+  // stats in chunk order — bytes and counters identical to the serial path
+  // for any pool size. memmove is safe: cursor <= dst_offset always.
+  std::size_t cursor = kContainerHeader;
+  for (std::size_t c = 0; c < chunk_descs_.size(); ++c) {
+    const ChunkResult& r = chunk_results_[c];
+    if (cursor != chunk_descs_[c].dst_offset) {
+      std::memmove(out.data() + cursor,
+                   out.data() + chunk_descs_[c].dst_offset, r.bytes);
+    }
+    cursor += r.bytes;
+    bump_chunk_stats(r.encoding);
+  }
+  out.resize(cursor);
 }
 
 void FieldCodec::encode(const util::Field2D& field,

@@ -36,6 +36,10 @@
 #include "src/util/field.hpp"
 #include "src/util/field3d.hpp"
 
+namespace greenvis::util {
+class ThreadPool;
+}
+
 namespace greenvis::codec {
 
 /// Container-level codec selection (the `--codec=` flag / Workload knob).
@@ -84,11 +88,23 @@ struct EncodeStats {
 
 /// Encoder/decoder instance. Holds reusable staging buffers (and optionally
 /// bumps an external ScratchArena), so steady-state encode/decode performs
-/// zero heap allocations. Single-threaded; one instance per pipeline.
+/// zero heap allocations. One instance per pipeline; calls on one instance
+/// must not race. encode() itself may fan per-chunk work out across an
+/// attached ThreadPool (set_pool) when the field is large enough — chunks
+/// are gathered and laid out in a deterministic order, so the encoded bytes
+/// are identical to the serial path for any pool size.
 class FieldCodec {
  public:
   explicit FieldCodec(const CodecConfig& config = {},
                       util::ScratchArena* arena = nullptr);
+
+  /// Attach a pool for per-chunk parallel encode (nullptr = serial). Small
+  /// fields stay on the serial path (worth_parallel gate).
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Rebind the scratch arena (e.g. to the staging slot an async pipeline
+  /// is encoding into). Pass nullptr to fall back to retained members.
+  void set_arena(util::ScratchArena* arena) { arena_ = arena; }
 
   /// True when this codec changes bytes (kind != kRaw) and hence when the
   /// pipeline should charge modeled encode/decode compute.
@@ -132,14 +148,36 @@ class FieldCodec {
   [[nodiscard]] static ContainerInfo parse_header(
       std::span<const std::uint8_t> blob);
 
+  /// One chunk's extent in the source field plus its scratch/output
+  /// placement in the parallel encode plan.
+  struct ChunkDesc {
+    std::size_t x0{0}, x1{0}, y0{0}, y1{0}, z0{0}, z1{0};
+    std::size_t cells{0};
+    std::size_t cell_offset{0};  // into the per-chunk scratch pools
+    std::size_t dst_offset{0};   // bound-spaced offset into `out`
+  };
+  struct ChunkResult {
+    std::size_t bytes{0};  // header + payload actually written
+    ChunkEncoding encoding{ChunkEncoding::kRaw};
+  };
+
   void encode_values(std::span<const double> values, std::size_t nx,
                      std::size_t ny, std::size_t nz, std::uint8_t rank,
                      std::vector<std::uint8_t>& out);
-  /// Encode one SoA-gathered chunk; appends chunk header + payload.
-  /// `q`/`words` are caller-provided scratch (delta kind only).
-  void encode_chunk(const double* values, std::size_t count,
-                    std::span<std::int64_t> q, std::span<std::uint64_t> words,
-                    std::vector<std::uint8_t>& out);
+  void encode_values_parallel(std::span<const double> values, std::size_t nx,
+                              std::size_t ny, std::size_t nz,
+                              std::uint8_t rank,
+                              std::vector<std::uint8_t>& out);
+  /// Encode one SoA-gathered chunk into `dst` (header + payload; `dst` must
+  /// have room for kChunkHeader + count*8 bytes, the worst case). `q`/
+  /// `words` are caller-provided scratch (delta kind only). Thread-safe:
+  /// touches no instance state.
+  [[nodiscard]] ChunkResult encode_chunk(const double* values,
+                                         std::size_t count,
+                                         std::span<std::int64_t> q,
+                                         std::span<std::uint64_t> words,
+                                         std::uint8_t* dst) const;
+  void bump_chunk_stats(ChunkEncoding encoding);
   /// Decode every chunk of a validated container into `dst` (sized
   /// nx*ny*nz, row-major).
   void decode_chunks(std::span<const std::uint8_t> blob,
@@ -151,9 +189,17 @@ class FieldCodec {
 
   CodecConfig config_;
   util::ScratchArena* arena_;
+  util::ThreadPool* pool_{nullptr};
   std::vector<double> chunk_buf_;  // used when arena_ == nullptr
   std::vector<std::uint64_t> word_buf_;
   std::vector<std::int64_t> q_buf_;
+  // Parallel-encode plan scratch (reused; grows once, steady state is
+  // zero-alloc like the serial path).
+  std::vector<ChunkDesc> chunk_descs_;
+  std::vector<ChunkResult> chunk_results_;
+  std::vector<double> pstage_buf_;  // when arena_ == nullptr
+  std::vector<std::int64_t> pq_buf_;
+  std::vector<std::uint64_t> pword_buf_;
   EncodeStats stats_;
 };
 

@@ -67,14 +67,29 @@ void InSituAdaptor::add_trigger(std::unique_ptr<Trigger> trigger) {
 void InSituAdaptor::enable_snapshot_export(io::TimestepWriter& writer,
                                            const codec::CodecConfig& config,
                                            double io_cores,
-                                           double io_utilization) {
+                                           double io_utilization,
+                                           std::size_t stage_buffers) {
   snapshot_writer_ = &writer;
   snapshot_arena_ = std::make_unique<util::ScratchArena>();
   snapshot_codec_ =
       std::make_unique<codec::FieldCodec>(config, snapshot_arena_.get());
   snapshot_io_cores_ = io_cores;
   snapshot_io_utilization_ = io_utilization;
+  staged_.clear();
+  staged_.resize(stage_buffers);
+  staged_count_ = 0;
 }
+
+void InSituAdaptor::flush_staged() {
+  for (std::size_t i = 0; i < staged_count_; ++i) {
+    StagedExport& e = staged_[i];
+    bed_->run_io(stage::kWrite, snapshot_io_cores_, snapshot_io_utilization_,
+                 [&] { snapshot_writer_->write_step(e.step, e.payload); });
+  }
+  staged_count_ = 0;
+}
+
+void InSituAdaptor::drain() { flush_staged(); }
 
 std::optional<std::uint64_t> InSituAdaptor::process(
     int step, const util::Field2D& field) {
@@ -115,8 +130,20 @@ std::optional<std::uint64_t> InSituAdaptor::process(
       bed_->run_compute(codec_work, stage::kWrite);
     }
     snapshot_bytes_ += util::Bytes{snapshot_buf_.size()};
-    bed_->run_io(stage::kWrite, snapshot_io_cores_, snapshot_io_utilization_,
-                 [&] { snapshot_writer_->write_step(step, snapshot_buf_); });
+    if (staged_.empty()) {
+      // Write-through: one Write interval per rendered step.
+      bed_->run_io(stage::kWrite, snapshot_io_cores_,
+                   snapshot_io_utilization_,
+                   [&] { snapshot_writer_->write_step(step, snapshot_buf_); });
+    } else {
+      // Burst buffer: defer; flush back-to-back once the ring is full.
+      if (staged_count_ == staged_.size()) {
+        flush_staged();
+      }
+      StagedExport& e = staged_[staged_count_++];
+      e.step = step;
+      e.payload.assign(snapshot_buf_.begin(), snapshot_buf_.end());
+    }
   }
   return image.digest();
 }

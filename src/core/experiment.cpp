@@ -9,7 +9,15 @@
 namespace greenvis::core {
 
 const char* pipeline_kind_name(PipelineKind kind) {
-  return kind == PipelineKind::kPostProcessing ? "Traditional" : "In-situ";
+  switch (kind) {
+    case PipelineKind::kPostProcessing:
+      return "Traditional";
+    case PipelineKind::kPostProcessingAsync:
+      return "Traditional (async)";
+    case PipelineKind::kInSitu:
+      return "In-situ";
+  }
+  return "?";
 }
 
 PipelineMetrics Experiment::run(PipelineKind kind,
@@ -22,9 +30,18 @@ PipelineMetrics Experiment::run(PipelineKind kind,
     runs.add(1);
   }
   Testbed bed(base_);
-  PipelineOutput out = kind == PipelineKind::kPostProcessing
-                           ? run_post_processing(bed, config, options)
-                           : run_in_situ(bed, config, options);
+  PipelineOutput out;
+  switch (kind) {
+    case PipelineKind::kPostProcessing:
+      out = run_post_processing(bed, config, options);
+      break;
+    case PipelineKind::kPostProcessingAsync:
+      out = run_post_processing_async(bed, config, options);
+      break;
+    case PipelineKind::kInSitu:
+      out = run_in_situ(bed, config, options);
+      break;
+  }
 
   PipelineMetrics m;
   m.pipeline_name = out.pipeline_name;

@@ -13,7 +13,7 @@
 
 namespace greenvis::core {
 
-enum class PipelineKind { kPostProcessing, kInSitu };
+enum class PipelineKind { kPostProcessing, kPostProcessingAsync, kInSitu };
 
 [[nodiscard]] const char* pipeline_kind_name(PipelineKind kind);
 

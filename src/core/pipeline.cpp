@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "src/io/dataset.hpp"
+#include "src/obs/registry.hpp"
 #include "src/obs/tracer.hpp"
+#include "src/sched/staging.hpp"
 #include "src/util/error.hpp"
 #include "src/vis/filters.hpp"
 
@@ -91,6 +93,128 @@ PipelineOutput run_post_processing(Testbed& bed,
   // Phase 2: read each written step back and visualize it.
   io::TimestepReader reader(bed.fs(), config.dataset);
   util::Field2D field;
+  for (int step = 0; step < config.iterations; ++step) {
+    if (!config.is_io_step(step)) {
+      continue;
+    }
+    bed.run_io(stage::kRead, config.io_stage_cores,
+               config.io_stage_utilization,
+               [&] { payload = reader.read_step(step); });
+    arena.reset();
+    snap_codec.decode_into(payload, field);
+    if (snap_codec.active()) {
+      bed.run_compute(codec_work, stage::kRead);
+    }
+    out.snapshot_bytes_read += util::Bytes{payload.size()};
+    visualize_step(bed, vis_pipeline, field, out, options.keep_images, frame);
+  }
+  return out;
+}
+
+PipelineOutput run_post_processing_async(Testbed& bed,
+                                         const CaseStudyConfig& config,
+                                         const PipelineOptions& options) {
+  PipelineOutput out;
+  out.pipeline_name = "Post-processing (async staging)";
+  util::ThreadPool pool(options.host_threads);
+  heat::HeatSolver solver(config.problem, &pool);
+  vis::VisPipeline vis_pipeline(config.vis, &pool);
+  vis::Image frame;  // reused across visualize steps
+  io::TimestepWriter writer(bed.fs(), config.dataset);
+
+  // Each staging slot owns the arena its encode scratches in; the codec is
+  // re-pointed at the slot per snapshot. Chunk encode may fan out across
+  // `pool` for large fields (bytes are pool-size-invariant).
+  codec::FieldCodec snap_codec(config.snapshot_codec);
+  snap_codec.set_pool(&pool);
+  const double cells =
+      static_cast<double>(config.problem.nx * config.problem.ny);
+  machine::ActivityRecord codec_work;
+  codec_work.flops = cells * 12.0;
+  codec_work.active_cores = 1;
+  codec_work.dram_bytes = util::Bytes{static_cast<std::uint64_t>(cells * 16)};
+
+  // Phase 1, overlapped: the producer (this thread) simulates and encodes
+  // along its private compute cursor `cpu`; the stager's writer thread owns
+  // the shared clock, placing write k at max(write k-1 end, snapshot k
+  // ready). Writer-side load/phase intervals go to private sinks and are
+  // merged at the drain barrier, so the main timelines see genuinely
+  // concurrent simulate/write activity.
+  machine::LoadTimeline writer_loads;
+  trace::Timeline writer_phases;
+  sched::AsyncStager stager(
+      sched::StagingConfig{options.stage_buffers},
+      [&](sched::StagedSnapshot& snap, util::Seconds start) {
+        return bed.run_io_at(
+            start, stage::kWrite, config.io_stage_cores,
+            config.io_stage_utilization,
+            [&] { writer.write_step(snap.step, snap.payload); }, &writer_loads,
+            &writer_phases);
+      });
+
+  util::Seconds cpu = bed.clock().now();
+  for (int step = 0; step < config.iterations; ++step) {
+    {
+      obs::ScopedSpan span("stage.simulate", obs::kCatStage);
+      solver.step();
+      cpu = bed.run_compute_at(cpu, solver.step_activity(), stage::kSimulation);
+    }
+    if (!config.is_io_step(step)) {
+      continue;
+    }
+    sched::AsyncStager::Slot slot = stager.acquire();
+    if (slot.freed_at > cpu) {
+      // Backpressure: the ring was still draining past our cursor. The
+      // producer busy-waits like an I/O region until the slot's write ends.
+      bed.record_stall(stage::kWrite, cpu, slot.freed_at,
+                       config.io_stage_cores, config.io_stage_utilization);
+      cpu = slot.freed_at;
+      if (obs::enabled()) {
+        static obs::Counter& stalls =
+            obs::Registry::global().counter("sched.virtual_stalls");
+        stalls.add(1);
+      }
+    }
+    sched::StagedSnapshot& snap = *slot.snapshot;
+    snap.arena.reset();
+    snap_codec.set_arena(&snap.arena);
+    {
+      obs::ScopedSpan span("sched.encode", obs::kCatStage);
+      snap_codec.encode(solver.temperature(), snap.payload);
+    }
+    if (snap_codec.active()) {
+      cpu = bed.run_compute_at(cpu, codec_work, stage::kSimulation);
+    }
+    snap.step = step;
+    snap.raw_bytes = snap_codec.last_stats().raw_bytes;
+    out.snapshot_bytes_written += util::Bytes{snap.payload.size()};
+    out.snapshot_bytes_raw += util::Bytes{snap.raw_bytes};
+    stager.submit(cpu);
+  }
+  out.steps = config.iterations;
+  out.final_field = solver.temperature();
+
+  // Drain barrier: everything staged is on disk; both tracks join and the
+  // shared clock lands at the later of compute-end and write-end.
+  const util::Seconds io_end = stager.drain();
+  cpu = std::max(cpu, io_end);
+  if (cpu > bed.clock().now()) {
+    bed.clock().advance_to(cpu);
+  }
+  bed.loads().merge(writer_loads);
+  for (const auto& iv : writer_phases.intervals()) {
+    bed.phases().record(iv.category, iv.begin, iv.end);
+  }
+
+  bed.run_io(stage::kWrite, config.io_stage_cores,
+             config.io_stage_utilization, [&] { bed.fs().drop_caches(); });
+
+  // Phase 2: identical to the sync pipeline (same reads, same renders).
+  util::ScratchArena arena;
+  snap_codec.set_arena(&arena);
+  io::TimestepReader reader(bed.fs(), config.dataset);
+  util::Field2D field;
+  std::vector<std::uint8_t> payload;
   for (int step = 0; step < config.iterations; ++step) {
     if (!config.is_io_step(step)) {
       continue;

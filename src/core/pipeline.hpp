@@ -1,12 +1,15 @@
-// The two visualization pipelines of Fig. 2.
+// The two visualization pipelines of Fig. 2, plus the in-transit variant.
 //
-//   Post-processing: [simulation -> disk write]*  sync/drop_caches
-//                    [disk read -> visualization]*
-//   In-situ:         [simulation -> visualization]*      (no disk at all)
+//   Post-processing:  [simulation -> disk write]*  sync/drop_caches
+//                     [disk read -> visualization]*
+//   Post-proc async:  [simulation -> stage]* || [staged write]*  (overlapped
+//                     via sched::AsyncStager), then the same read phase
+//   In-situ:          [simulation -> visualization]*     (no disk at all)
 //
-// Both run the same solver and the same renderer, so for a given case study
+// All run the same solver and the same renderer, so for a given case study
 // they produce identical images (asserted via digests); only where the data
-// travels differs — which is precisely the trade the paper prices.
+// travels — and what overlaps with what — differs, which is precisely the
+// trade the paper prices.
 #pragma once
 
 #include <cstdint>
@@ -51,11 +54,23 @@ struct PipelineOptions {
   bool keep_images{false};
   /// Host threads for solver/renderer (0 = hardware concurrency).
   std::size_t host_threads{0};
+  /// Staging ring slots for run_post_processing_async (>= 1).
+  std::size_t stage_buffers{2};
 };
 
 /// Run the traditional pipeline on `bed`. The testbed's clock/timelines
 /// advance; call bed.profile() afterwards for the power trace.
 [[nodiscard]] PipelineOutput run_post_processing(
+    Testbed& bed, const CaseStudyConfig& config,
+    const PipelineOptions& options = {});
+
+/// Run the traditional pipeline with in-transit staging: snapshots land in
+/// a bounded ring (`options.stage_buffers`) and a background writer drains
+/// them to disk while the solver advances — simulate and write overlap in
+/// both host and virtual time (concurrent intervals on the timelines, not
+/// summed serial phases). On-disk bytes, images, and snapshot accounting
+/// are identical to run_post_processing; only where the time goes differs.
+[[nodiscard]] PipelineOutput run_post_processing_async(
     Testbed& bed, const CaseStudyConfig& config,
     const PipelineOptions& options = {});
 

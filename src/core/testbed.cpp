@@ -44,12 +44,17 @@ double Testbed::governed_frequency(
 
 void Testbed::run_compute(const machine::ActivityRecord& activity,
                           const std::string& phase) {
+  clock_.advance_to(run_compute_at(clock_.now(), activity, phase));
+}
+
+util::Seconds Testbed::run_compute_at(util::Seconds start,
+                                      const machine::ActivityRecord& activity,
+                                      const std::string& phase) {
   const double freq = governed_frequency(activity);
   const util::Seconds dur = cost_.duration(activity, freq);
-  const util::Seconds t0 = clock_.now();
-  loads_.add(t0, t0 + dur, cost_.load(activity, dur, freq));
-  phases_.record(phase, t0, t0 + dur);
-  clock_.advance(dur);
+  loads_.add(start, start + dur, cost_.load(activity, dur, freq));
+  phases_.record(phase, start, start + dur);
+  return start + dur;
 }
 
 void Testbed::run_io(const std::string& phase, double cores,
@@ -69,6 +74,45 @@ void Testbed::run_io(const std::string& phase, double cores,
     loads_.add(t0, t1, load);
     phases_.record(phase, t0, t1);
   }
+}
+
+util::Seconds Testbed::run_io_at(util::Seconds start, const std::string& phase,
+                                 double cores, double utilization,
+                                 const std::function<void()>& body,
+                                 machine::LoadTimeline* loads,
+                                 trace::Timeline* phases) {
+  GREENVIS_REQUIRE(cores >= 0.0 && utilization > 0.0 && utilization <= 1.0);
+  obs::ScopedSpan span("stage.io:", phase, obs::kCatIo);
+  if (start > clock_.now()) {
+    clock_.advance_to(start);
+  }
+  const util::Seconds t0 = clock_.now();
+  body();
+  const util::Seconds t1 = clock_.now();
+  if (t1 > t0) {
+    machine::ComponentLoad load;
+    load.active_cores = cores;
+    load.core_utilization = utilization;
+    load.frequency_ghz = config_.effective_io_ghz();
+    (loads != nullptr ? *loads : loads_).add(t0, t1, load);
+    (phases != nullptr ? *phases : phases_).record(phase, t0, t1);
+  }
+  return t1;
+}
+
+void Testbed::record_stall(const std::string& phase, util::Seconds begin,
+                           util::Seconds end, double cores,
+                           double utilization) {
+  GREENVIS_REQUIRE(cores >= 0.0 && utilization > 0.0 && utilization <= 1.0);
+  if (end <= begin) {
+    return;
+  }
+  machine::ComponentLoad load;
+  load.active_cores = cores;
+  load.core_utilization = utilization;
+  load.frequency_ghz = config_.effective_io_ghz();
+  loads_.add(begin, end, load);
+  phases_.record(phase, begin, end);
 }
 
 void Testbed::idle(util::Seconds duration) { clock_.advance(duration); }

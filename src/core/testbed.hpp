@@ -71,6 +71,34 @@ class Testbed {
   void run_compute(const machine::ActivityRecord& activity,
                    const std::string& phase);
 
+  /// Modeled compute burst placed at an explicit virtual start time, for
+  /// tracks that run ahead of (or beside) the shared clock — the async
+  /// staging producer keeps its own compute cursor while the writer owns
+  /// the clock. Records load + phase at [start, start+dur) WITHOUT
+  /// advancing the clock; returns the interval end. Successive calls must
+  /// pass nondecreasing starts (one track is serial).
+  [[nodiscard]] util::Seconds run_compute_at(
+      util::Seconds start, const machine::ActivityRecord& activity,
+      const std::string& phase);
+
+  /// I/O region placed at an explicit virtual start: positions the shared
+  /// clock at max(start, now), runs `body` (which advances the clock), and
+  /// records the span. When `loads`/`phases` sinks are given the interval
+  /// goes there instead of the testbed's own timelines — a concurrently
+  /// recording track (the staging writer thread) stays off the main
+  /// timelines until the caller merges at a barrier. Returns completion.
+  util::Seconds run_io_at(util::Seconds start, const std::string& phase,
+                          double cores, double utilization,
+                          const std::function<void()>& body,
+                          machine::LoadTimeline* loads = nullptr,
+                          trace::Timeline* phases = nullptr);
+
+  /// Record a backpressure stall [begin, end): the producer blocked waiting
+  /// for a staging slot, busy-polling like an I/O region (light load at the
+  /// I/O clock). No clock movement.
+  void record_stall(const std::string& phase, util::Seconds begin,
+                    util::Seconds end, double cores, double utilization);
+
   /// The frequency the RAPL governor grants `activity` (nominal when no cap
   /// is set or the cap admits full speed).
   [[nodiscard]] double governed_frequency(

@@ -9,25 +9,93 @@ namespace greenvis::machine {
 void LoadTimeline::add(Seconds begin, Seconds end, const ComponentLoad& load) {
   GREENVIS_REQUIRE_MSG(end >= begin, "segment must not be negative");
   if (!begins_.empty()) {
-    GREENVIS_REQUIRE_MSG(begin >= ends_.back(),
+    GREENVIS_REQUIRE_MSG(begin >= max_end_.back(),
                          "segments must be appended in time order");
   }
   begins_.push_back(begin);
   ends_.push_back(end);
   loads_.push_back(load);
+  max_end_.push_back(max_end_.empty() ? end
+                                      : std::max(max_end_.back(), end));
+}
+
+void LoadTimeline::merge(const LoadTimeline& other) {
+  if (other.empty()) {
+    return;
+  }
+  std::vector<Seconds> begins, ends;
+  std::vector<ComponentLoad> loads;
+  const std::size_t total = begins_.size() + other.begins_.size();
+  begins.reserve(total);
+  ends.reserve(total);
+  loads.reserve(total);
+  std::size_t a = 0, b = 0;
+  while (a < begins_.size() || b < other.begins_.size()) {
+    const bool take_a =
+        b >= other.begins_.size() ||
+        (a < begins_.size() && begins_[a] <= other.begins_[b]);
+    if (take_a) {
+      begins.push_back(begins_[a]);
+      ends.push_back(ends_[a]);
+      loads.push_back(loads_[a]);
+      ++a;
+    } else {
+      begins.push_back(other.begins_[b]);
+      ends.push_back(other.ends_[b]);
+      loads.push_back(other.loads_[b]);
+      ++b;
+    }
+  }
+  begins_ = std::move(begins);
+  ends_ = std::move(ends);
+  loads_ = std::move(loads);
+  max_end_.clear();
+  max_end_.reserve(ends_.size());
+  for (const Seconds end : ends_) {
+    max_end_.push_back(max_end_.empty() ? end
+                                        : std::max(max_end_.back(), end));
+  }
 }
 
 ComponentLoad LoadTimeline::at(Seconds t) const {
-  // Find the last segment with begin <= t.
+  // Candidates: segments with begin <= t whose prefix-max end reaches past
+  // t. Walk back from the last begin <= t; stop once no earlier segment can
+  // still cover t.
   const auto it = std::upper_bound(begins_.begin(), begins_.end(), t);
   if (it == begins_.begin()) {
     return ComponentLoad{};
   }
-  const auto idx = static_cast<std::size_t>(it - begins_.begin()) - 1;
-  if (t < ends_[idx]) {
-    return loads_[idx];
+  std::size_t idx = static_cast<std::size_t>(it - begins_.begin());
+  std::size_t covering = 0;
+  std::size_t single = 0;
+  double effective = 0.0;
+  double freq_weight = 0.0;
+  double dram = 0.0;
+  while (idx-- > 0) {
+    if (max_end_[idx] <= t) {
+      break;  // nothing at or before idx reaches past t
+    }
+    if (t < ends_[idx]) {
+      ++covering;
+      single = idx;
+      const ComponentLoad& l = loads_[idx];
+      effective += l.effective_cores();
+      freq_weight += l.effective_cores() * l.frequency_ghz;
+      dram += l.dram_bandwidth.value();
+    }
   }
-  return ComponentLoad{};  // in a gap
+  if (covering == 0) {
+    return ComponentLoad{};  // in a gap
+  }
+  if (covering == 1) {
+    return loads_[single];  // the common serial case: verbatim
+  }
+  ComponentLoad sum;
+  sum.active_cores = effective;
+  sum.core_utilization = 1.0;
+  sum.frequency_ghz = effective > 0.0 ? freq_weight / effective : 0.0;
+  sum.dram_bandwidth = util::BytesPerSecond{dram};
+  return sum;
 }
 
 ComponentLoad LoadTimeline::average_in(Seconds t0, Seconds t1) const {
@@ -39,10 +107,11 @@ ComponentLoad LoadTimeline::average_in(Seconds t0, Seconds t1) const {
   if (window <= 0.0 || begins_.empty()) {
     return ComponentLoad{};
   }
-  auto it = std::upper_bound(begins_.begin(), begins_.end(), t0);
-  std::size_t idx = it == begins_.begin()
-                        ? 0
-                        : static_cast<std::size_t>(it - begins_.begin()) - 1;
+  // First segment whose prefix-max end extends past t0: everything earlier
+  // ends at or before t0 and cannot contribute. (For non-overlapping data
+  // this lands on the same segment the old last-begin-<=-t0 search did.)
+  const auto it = std::upper_bound(max_end_.begin(), max_end_.end(), t0);
+  std::size_t idx = static_cast<std::size_t>(it - max_end_.begin());
   double busy_weight = 0.0;
   double dram_rate_time = 0.0;
   for (; idx < begins_.size() && begins_[idx] < t1; ++idx) {
@@ -67,7 +136,7 @@ ComponentLoad LoadTimeline::average_in(Seconds t0, Seconds t1) const {
 }
 
 Seconds LoadTimeline::end_time() const {
-  return ends_.empty() ? Seconds{0.0} : ends_.back();
+  return max_end_.empty() ? Seconds{0.0} : max_end_.back();
 }
 
 }  // namespace greenvis::machine

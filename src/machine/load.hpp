@@ -34,20 +34,33 @@ struct ComponentLoad {
   }
 };
 
-/// Piecewise-constant, non-overlapping load segments. Gaps are idle.
+/// Piecewise-constant load segments. Gaps are idle. Segments appended via
+/// add() must arrive in time order (stages run serially on their track);
+/// merge() interleaves a second track recorded concurrently — e.g. the
+/// async staging writer — so segments may overlap afterwards, and the
+/// query methods sum concurrent activity.
 class LoadTimeline {
  public:
-  /// Append a segment. `begin` must be at or after the end of the previous
-  /// segment (stages run serially on the simulated node).
+  /// Append a segment. `begin` must be at or after the end of every
+  /// previous segment (one track runs serially).
   void add(Seconds begin, Seconds end, const ComponentLoad& load);
 
+  /// Interleave another timeline's segments (sorted by begin, ties keep
+  /// this timeline's segments first). The result may contain overlapping
+  /// segments; add() afterwards still requires `begin >= end_time()`.
+  void merge(const LoadTimeline& other);
+
   /// Load at time `t`; idle (zero) load inside gaps. Boundary samples belong
-  /// to the segment starting at `t`.
+  /// to the segment starting at `t`. When several segments overlap `t`,
+  /// returns their sum: effective cores and DRAM rates add, the frequency
+  /// is the busy-weighted average.
   [[nodiscard]] ComponentLoad at(Seconds t) const;
 
   /// Time-weighted average load over [t0, t1); gaps count as idle. The
   /// frequency reported is the busy-time-weighted average (nominal when the
   /// window is fully idle is the caller's concern; we return 0 activity).
+  /// Overlapping segments both contribute — concurrent compute and I/O
+  /// activity sum, they are never serialized.
   [[nodiscard]] ComponentLoad average_in(Seconds t0, Seconds t1) const;
 
   [[nodiscard]] std::size_t segment_count() const { return begins_.size(); }
@@ -58,6 +71,9 @@ class LoadTimeline {
   std::vector<Seconds> begins_;
   std::vector<Seconds> ends_;
   std::vector<ComponentLoad> loads_;
+  /// max_end_[i] = max(ends_[0..i]) — with overlap, a window query must
+  /// know how far earlier segments can reach past later begins.
+  std::vector<Seconds> max_end_;
 };
 
 }  // namespace greenvis::machine

@@ -15,6 +15,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/core/testbed.hpp"
 #include "src/heat/solver.hpp"
+#include "src/io/dataset.hpp"
 #include "src/heat/solver3d.hpp"
 #include "src/obs/obs.hpp"
 #include "src/qa/oracle.hpp"
@@ -144,6 +145,59 @@ OracleResult pipeline_serial_vs_pool() {
   }
   return pass("both pipelines: digests, final field bits, and virtual clock "
               "identical for 1 vs 4 host threads");
+}
+
+// ---- staging: overlap may move time around, never bytes ----
+
+OracleResult pipeline_sync_vs_async() {
+  const core::CaseStudyConfig config = small_pipeline_config();
+  struct Run {
+    core::PipelineOutput out;
+    std::vector<std::uint64_t> disk_sums;  // per written step, step order
+  };
+  const auto run = [&](core::PipelineKind kind) {
+    core::Testbed bed;
+    core::PipelineOptions options;
+    options.host_threads = 4;
+    options.stage_buffers = 2;
+    Run r;
+    r.out = kind == core::PipelineKind::kPostProcessingAsync
+                ? core::run_post_processing_async(bed, config, options)
+                : core::run_post_processing(bed, config, options);
+    // Checksum what actually landed on disk, independent of the pipeline's
+    // own read path.
+    io::TimestepReader reader(bed.fs(), config.dataset);
+    for (int step = 0; step < config.iterations; ++step) {
+      if (config.is_io_step(step)) {
+        r.disk_sums.push_back(util::fnv1a64(reader.read_step(step)));
+      }
+    }
+    return r;
+  };
+  const Run sync = run(core::PipelineKind::kPostProcessing);
+  const Run async = run(core::PipelineKind::kPostProcessingAsync);
+  if (sync.disk_sums != async.disk_sums) {
+    return fail("on-disk snapshot bytes differ between sync and async");
+  }
+  if (sync.out.image_digests != async.out.image_digests) {
+    return fail("image digests differ between sync and async");
+  }
+  if (!bits_equal(sync.out.final_field.values(),
+                  async.out.final_field.values())) {
+    return fail("final fields differ between sync and async");
+  }
+  if (sync.out.snapshot_bytes_written.value() !=
+          async.out.snapshot_bytes_written.value() ||
+      sync.out.snapshot_bytes_read.value() !=
+          async.out.snapshot_bytes_read.value() ||
+      sync.out.snapshot_bytes_raw.value() !=
+          async.out.snapshot_bytes_raw.value()) {
+    return fail("snapshot byte accounting differs between sync and async");
+  }
+  return pass(std::to_string(sync.disk_sums.size()) +
+              " written steps: on-disk checksums, image digests, final field "
+              "bits, and snapshot accounting identical for sync vs async "
+              "staging (2 buffers)");
 }
 
 // ---- codec: raw is the identity, delta honors its bound and its books ----
@@ -343,6 +397,7 @@ void register_builtin_oracles() {
   auto& registry = OracleRegistry::global();
   registry.add("solver.serial_vs_pool", solver_serial_vs_pool);
   registry.add("pipeline.serial_vs_pool", pipeline_serial_vs_pool);
+  registry.add("pipeline.sync_vs_async", pipeline_sync_vs_async);
   registry.add("codec.raw_vs_delta", codec_raw_vs_delta);
   registry.add("storage.cache_on_vs_off", cache_on_vs_off);
   registry.add("obs.on_vs_off", obs_on_vs_off);

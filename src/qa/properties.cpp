@@ -9,11 +9,15 @@
 #include <sstream>
 
 #include "src/codec/field_codec.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/testbed.hpp"
 #include "src/io/compress.hpp"
+#include "src/io/dataset.hpp"
 #include "src/qa/domains.hpp"
 #include "src/qa/registry.hpp"
 #include "src/replay/trace_format.hpp"
 #include "src/storage/hdd.hpp"
+#include "src/util/checksum.hpp"
 #include "src/util/units.hpp"
 
 namespace greenvis::qa {
@@ -224,12 +228,85 @@ void register_replay_properties() {
       });
 }
 
+// ---- async staging: overlap must never change what reaches disk ----
+//
+// For any iteration count / io period / ring size / chunk edge / codec
+// kind, the async pipeline must terminate (no backpressure deadlock),
+// drain fully (every written step readable afterwards), and leave exactly
+// the bytes the sync pipeline leaves.
+
+void register_pipeline_properties() {
+  using AsyncCase =
+      std::tuple<core::CaseStudyConfig, std::uint64_t, std::uint64_t,
+                 std::uint64_t>;
+  add_property<AsyncCase>(
+      "pipeline.async_matches_sync",
+      tuple_of(small_case_config(), uint_in(1, 4),
+               element_of<std::uint64_t>({8, 16, 32}), uint_in(0, 2)),
+      [](const AsyncCase& ac) {
+        core::CaseStudyConfig config = std::get<0>(ac);
+        const std::uint64_t buffers = std::get<1>(ac);
+        config.snapshot_codec.chunk_edge = std::get<2>(ac);
+        config.snapshot_codec.kind = static_cast<codec::Kind>(std::get<3>(ac));
+        const auto run = [&](bool async_mode) {
+          core::Testbed bed;
+          core::PipelineOptions options;
+          options.host_threads = 2;
+          options.stage_buffers = buffers;
+          core::PipelineOutput out =
+              async_mode
+                  ? core::run_post_processing_async(bed, config, options)
+                  : core::run_post_processing(bed, config, options);
+          std::vector<std::uint64_t> sums;
+          io::TimestepReader reader(bed.fs(), config.dataset);
+          for (int step = 0; step < config.iterations; ++step) {
+            if (config.is_io_step(step)) {
+              sums.push_back(util::fnv1a64(reader.read_step(step)));
+            }
+          }
+          return std::pair<core::PipelineOutput, std::vector<std::uint64_t>>{
+              std::move(out), std::move(sums)};
+        };
+        const auto [sync_out, sync_sums] = run(false);
+        const auto [async_out, async_sums] = run(true);
+        if (async_sums.size() != sync_sums.size()) {
+          return std::string("async drain lost snapshots: ") +
+                 std::to_string(async_sums.size()) + " vs " +
+                 std::to_string(sync_sums.size());
+        }
+        if (async_sums != sync_sums) {
+          return std::string("on-disk bytes differ between sync and async");
+        }
+        if (async_out.image_digests != sync_out.image_digests) {
+          return std::string("image digests differ between sync and async");
+        }
+        if (async_out.snapshot_bytes_written.value() !=
+                sync_out.snapshot_bytes_written.value() ||
+            async_out.snapshot_bytes_read.value() !=
+                sync_out.snapshot_bytes_read.value() ||
+            async_out.snapshot_bytes_raw.value() !=
+                sync_out.snapshot_bytes_raw.value()) {
+          return std::string("snapshot accounting differs");
+        }
+        return ok();
+      },
+      [](const AsyncCase& ac) {
+        const auto& config = std::get<0>(ac);
+        std::ostringstream os;
+        os << "iters=" << config.iterations << " period=" << config.io_period
+           << " grid=" << config.problem.nx << " buffers=" << std::get<1>(ac)
+           << " chunk=" << std::get<2>(ac) << " kind=" << std::get<3>(ac);
+        return os.str();
+      });
+}
+
 }  // namespace
 
 void register_builtin_properties() {
   register_hdd_properties();
   register_compress_properties();
   register_replay_properties();
+  register_pipeline_properties();
 }
 
 }  // namespace greenvis::qa

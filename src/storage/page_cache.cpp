@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
 #include "src/util/error.hpp"
 
 namespace greenvis::storage {
@@ -71,6 +73,9 @@ Seconds PageCache::read(std::uint64_t offset, std::uint64_t length,
     ra_last = std::min(ra_last, device_last);
   }
 
+  const std::uint64_t hits0 = counters_.hits;
+  const std::uint64_t misses0 = counters_.misses;
+
   Seconds t = start;
   // Coalesce runs of missing pages into single device reads (capped at 4 MiB
   // per request, as in flush_range).
@@ -118,6 +123,14 @@ Seconds PageCache::read(std::uint64_t offset, std::uint64_t length,
     t = touch(p, /*dirty=*/false, t);
   }
   last_read_end_page_ = last;
+  if (obs::enabled()) {
+    static obs::Counter& hits =
+        obs::Registry::global().counter("storage.page_cache.hits");
+    static obs::Counter& misses =
+        obs::Registry::global().counter("storage.page_cache.misses");
+    hits.add(counters_.hits - hits0);
+    misses.add(counters_.misses - misses0);
+  }
   return t;
 }
 

@@ -24,6 +24,7 @@
 #include "src/util/error.hpp"
 #include "src/util/field.hpp"
 #include "src/util/field3d.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/vis/pipeline.hpp"
 
 // ---------- global allocation counter (for the zero-alloc test) ----------
@@ -309,6 +310,69 @@ TEST(RleKind, IncompressibleDataFallsBackToRawChunks) {
   EXPECT_TRUE(bit_identical(f.values(), back.values()));
   EXPECT_EQ(codec.last_stats().chunks_rle, 0u);
   EXPECT_GT(codec.last_stats().chunks_raw, 0u);
+}
+
+// --- parallel chunk encode: bit-identical to serial, any pool size ---
+
+TEST(ParallelEncode, BitIdenticalToSerialAcrossKindsAndPools) {
+  const Field2D smooth = smooth_field2d(512);
+  const Field2D noisy = random_field2d(512, 512, 17);
+  for (const Kind kind : {Kind::kRaw, Kind::kDelta, Kind::kRle}) {
+    CodecConfig cfg;
+    cfg.kind = kind;
+    cfg.tolerance = 1e-3;
+    FieldCodec serial(cfg);
+    for (const std::size_t workers : {1u, 2u, 5u}) {
+      util::ThreadPool pool(workers);
+      FieldCodec pooled(cfg);
+      pooled.set_pool(&pool);
+      for (const Field2D* f : {&smooth, &noisy}) {
+        const auto want = serial.encode(*f);
+        const auto got = pooled.encode(*f);
+        EXPECT_EQ(got, want) << kind_name(kind) << " workers=" << workers;
+        EXPECT_EQ(pooled.last_stats().chunks_raw,
+                  serial.last_stats().chunks_raw);
+        EXPECT_EQ(pooled.last_stats().chunks_delta,
+                  serial.last_stats().chunks_delta);
+        EXPECT_EQ(pooled.last_stats().chunks_rle,
+                  serial.last_stats().chunks_rle);
+        EXPECT_EQ(pooled.last_stats().encoded_bytes,
+                  serial.last_stats().encoded_bytes);
+      }
+    }
+  }
+}
+
+TEST(ParallelEncode, ArenaBackedParallelEncodeMatchesSerial) {
+  const Field2D f = smooth_field2d(512);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  cfg.tolerance = 1e-3;
+  FieldCodec serial(cfg);
+  const auto want = serial.encode(f);
+  util::ThreadPool pool(3);
+  util::ScratchArena arena;
+  FieldCodec pooled(cfg, &arena);
+  pooled.set_pool(&pool);
+  std::vector<std::uint8_t> got;
+  for (int rep = 0; rep < 3; ++rep) {
+    arena.reset();
+    pooled.encode(f, got);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ParallelEncode, SmallFieldsStayOnTheSerialPath) {
+  // Below the worth_parallel cell floor the pool must not change anything
+  // (it is not even dispatched) — same bytes, same stats.
+  const Field2D f = random_field2d(64, 64, 18);
+  CodecConfig cfg;
+  cfg.kind = Kind::kDelta;
+  FieldCodec serial(cfg);
+  util::ThreadPool pool(3);
+  FieldCodec pooled(cfg);
+  pooled.set_pool(&pool);
+  EXPECT_EQ(pooled.encode(f), serial.encode(f));
 }
 
 // --- container detection, legacy auto-detect, decode_into reuse ---

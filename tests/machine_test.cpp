@@ -161,6 +161,73 @@ TEST(LoadTimeline, WindowAverageAcrossGapAndTwoSegments) {
   EXPECT_NEAR(avg.effective_cores(), 4.0, 1e-9);  // (4 + 0 + 8) / 3
 }
 
+TEST(LoadTimeline, MergedOverlappingSegmentsSumAtPointQueries) {
+  // Compute track and a concurrently recorded writer track, as the async
+  // staging pipeline produces them: their activity must coexist, not
+  // serialize.
+  LoadTimeline compute;
+  ComponentLoad cpu;
+  cpu.active_cores = 8.0;
+  cpu.frequency_ghz = 2.4;
+  compute.add(Seconds{0.0}, Seconds{4.0}, cpu);
+
+  LoadTimeline writer;
+  ComponentLoad io;
+  io.active_cores = 1.0;
+  io.core_utilization = 0.5;
+  io.frequency_ghz = 1.2;
+  io.dram_bandwidth = util::BytesPerSecond{100.0};
+  writer.add(Seconds{1.0}, Seconds{3.0}, io);
+
+  compute.merge(writer);
+  EXPECT_EQ(compute.segment_count(), 2u);
+  // Outside the overlap: compute only.
+  EXPECT_DOUBLE_EQ(compute.at(Seconds{0.5}).effective_cores(), 8.0);
+  EXPECT_DOUBLE_EQ(compute.at(Seconds{3.5}).effective_cores(), 8.0);
+  // Inside the overlap: effective cores and DRAM rates add, the frequency
+  // is the busy-weighted average.
+  const ComponentLoad both = compute.at(Seconds{2.0});
+  EXPECT_NEAR(both.effective_cores(), 8.5, 1e-12);
+  EXPECT_NEAR(both.dram_bandwidth.value(), 100.0, 1e-12);
+  EXPECT_NEAR(both.frequency_ghz, (8.0 * 2.4 + 0.5 * 1.2) / 8.5, 1e-12);
+}
+
+TEST(LoadTimeline, MergedSegmentsBothContributeToWindowAverages) {
+  LoadTimeline compute;
+  ComponentLoad cpu;
+  cpu.active_cores = 4.0;
+  compute.add(Seconds{0.0}, Seconds{2.0}, cpu);
+
+  LoadTimeline writer;
+  ComponentLoad io;
+  io.active_cores = 2.0;
+  writer.add(Seconds{1.0}, Seconds{3.0}, io);
+
+  compute.merge(writer);
+  // [0,3): compute contributes 4 cores for 2 s, writer 2 cores for 2 s:
+  // (4*2 + 2*2) / 3.
+  EXPECT_NEAR(compute.average_in(Seconds{0.0}, Seconds{3.0}).effective_cores(),
+              4.0, 1e-12);
+  // A window past a later segment's begin still sees the earlier overlap.
+  EXPECT_NEAR(compute.average_in(Seconds{1.0}, Seconds{2.0}).effective_cores(),
+              6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(compute.end_time().value(), 3.0);
+}
+
+TEST(LoadTimeline, MergeEmptyIsIdentityAndAddStillAppends) {
+  LoadTimeline tl;
+  ComponentLoad a;
+  a.active_cores = 1.0;
+  tl.add(Seconds{0.0}, Seconds{1.0}, a);
+  tl.merge(LoadTimeline{});
+  EXPECT_EQ(tl.segment_count(), 1u);
+  // After a merge, add() keeps its ordering contract against end_time().
+  tl.add(Seconds{1.0}, Seconds{2.0}, a);
+  EXPECT_EQ(tl.segment_count(), 2u);
+  EXPECT_THROW(tl.add(Seconds{0.5}, Seconds{3.0}, a),
+               util::ContractViolation);
+}
+
 TEST(LoadTimeline, EmptyIsIdle) {
   LoadTimeline tl;
   EXPECT_DOUBLE_EQ(tl.average_in(Seconds{0.0}, Seconds{5.0}).effective_cores(),

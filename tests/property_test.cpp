@@ -43,7 +43,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "hdd.random_service_settle_bound",
                       "compress.lossy_round_trip",
                       "codec.container_round_trip",
-                      "replay.trace_flip_robust"),
+                      "replay.trace_flip_robust",
+                      "pipeline.async_matches_sync"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       std::string name = param_info.param;
       for (char& c : name) {

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
 #include "src/qa/domains.hpp"
 #include "src/qa/gen.hpp"
 #include "src/qa/oracle.hpp"
@@ -326,8 +328,23 @@ class Oracles : public ::testing::Test {
 
 TEST_F(Oracles, SolverSerialVsPool) { expect_ok("solver.serial_vs_pool"); }
 TEST_F(Oracles, PipelineSerialVsPool) { expect_ok("pipeline.serial_vs_pool"); }
+TEST_F(Oracles, PipelineSyncVsAsync) { expect_ok("pipeline.sync_vs_async"); }
 TEST_F(Oracles, CodecRawVsDelta) { expect_ok("codec.raw_vs_delta"); }
-TEST_F(Oracles, CacheOnVsOff) { expect_ok("storage.cache_on_vs_off"); }
+TEST_F(Oracles, CacheOnVsOff) {
+  // Run the oracle with obs on: the buffered leg must surface page-cache
+  // hit/miss traffic on the registry (the cold reads all miss; hits may or
+  // may not occur depending on readahead coverage, so only misses are
+  // required to advance).
+  auto& hits = obs::Registry::global().counter("storage.page_cache.hits");
+  auto& misses = obs::Registry::global().counter("storage.page_cache.misses");
+  const std::uint64_t hits0 = hits.value();
+  const std::uint64_t misses0 = misses.value();
+  obs::set_enabled(true);
+  expect_ok("storage.cache_on_vs_off");
+  obs::set_enabled(false);
+  EXPECT_GT(misses.value(), misses0);
+  EXPECT_GE(hits.value(), hits0);
+}
 TEST_F(Oracles, ObsOnVsOff) { expect_ok("obs.on_vs_off"); }
 TEST_F(Oracles, LegacyVsChunkedDecode) {
   expect_ok("codec.legacy_vs_chunked_decode");

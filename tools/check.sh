@@ -61,6 +61,9 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
     echo "skipped: --bench-smoke is meaningless under sanitizers"
   else
     "$BUILD_DIR"/bench/bench_perf_harness --smoke --baseline=BENCH_perf.json
+    # The async staging pipeline must stay runnable end to end from the CLI.
+    "$BUILD_DIR"/tools/greenvis compare --case 1 --pipeline=async \
+      --stage-buffers=2 >/dev/null
   fi
 fi
 

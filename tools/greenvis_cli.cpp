@@ -2,6 +2,7 @@
 //
 //   greenvis compare [--case N] [--cap WATTS] [--io-ghz F]
 //                    [--codec raw|delta|rle] [--tolerance T]
+//                    [--pipeline sync|async] [--stage-buffers N]
 //   greenvis fio <seq-read|rand-read|seq-write|rand-write> [--size MIB]
 //               [--device hdd|ssd|nvram]
 //   greenvis advise --accesses N --kib K --random F --reads F
@@ -58,6 +59,16 @@ int cmd_compare(const Args& args) {
   core::TestbedConfig config;
   config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
   config.io_frequency_ghz = opt_double(args, "io-ghz", 0.0);
+  const std::string pipeline = opt_string(args, "pipeline", "sync");
+  if (pipeline != "sync" && pipeline != "async") {
+    std::cerr << "unknown --pipeline '" << pipeline
+              << "' (expected sync or async)\n";
+    return 2;
+  }
+  const bool async_post = pipeline == "async";
+  core::PipelineOptions options;
+  options.stage_buffers = static_cast<std::size_t>(
+      opt_double(args, "stage-buffers", static_cast<double>(options.stage_buffers)));
   const core::Experiment experiment(config);
   auto workload = core::case_study(case_number);
   workload.snapshot_codec.kind =
@@ -65,13 +76,19 @@ int cmd_compare(const Args& args) {
   workload.snapshot_codec.tolerance =
       opt_double(args, "tolerance", workload.snapshot_codec.tolerance);
   std::cerr << "running " << workload.name << " (codec="
-            << codec::kind_name(workload.snapshot_codec.kind) << ")...\n";
-  const auto post =
-      experiment.run(core::PipelineKind::kPostProcessing, workload);
-  const auto insitu = experiment.run(core::PipelineKind::kInSitu, workload);
+            << codec::kind_name(workload.snapshot_codec.kind)
+            << ", post pipeline=" << pipeline << ")...\n";
+  const auto post = experiment.run(async_post
+                                       ? core::PipelineKind::kPostProcessingAsync
+                                       : core::PipelineKind::kPostProcessing,
+                                   workload, options);
+  const auto insitu =
+      experiment.run(core::PipelineKind::kInSitu, workload, options);
   const auto cmp = analysis::compare(post, insitu);
 
-  util::TextTable t({"Metric", "Post-processing", "In-situ"});
+  util::TextTable t({"Metric", async_post ? "Post-proc (async)"
+                                          : "Post-processing",
+                     "In-situ"});
   t.add_row({"Time (s)", util::cell(cmp.time_post.value()),
              util::cell(cmp.time_insitu.value())});
   t.add_row({"Avg power (W)", util::cell(cmp.avg_power_post.value()),
@@ -312,6 +329,8 @@ void usage() {
 
 commands:
   compare [--case 1|2|3] [--cap WATTS] [--io-ghz F]   run both pipelines
+          [--pipeline sync|async] [--stage-buffers N]  (async = overlapped
+                                                      snapshot staging)
   fio <seq-read|rand-read|seq-write|rand-write>
       [--size MIB] [--device hdd|ssd|nvram]           one fio job
   advise --accesses N --kib K --random F --reads F
