@@ -18,7 +18,7 @@ int main() {
     core::BatchJob job;
     job.kind = core::PipelineKind::kPostProcessing;
     job.config = core::case_study(1);
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(freqs.size());
     core::TestbedConfig bed_config;
     bed_config.frequency_ghz = freq;
     job.testbed = bed_config;

@@ -36,7 +36,7 @@ int main() {
 
     core::BatchJob job;
     job.config = config;
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(2 * grids.size());
     job.kind = core::PipelineKind::kPostProcessing;
     jobs.push_back(job);
     job.kind = core::PipelineKind::kInSitu;

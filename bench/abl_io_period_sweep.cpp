@@ -17,7 +17,7 @@ int main() {
     config.name = "period " + std::to_string(period);
     core::BatchJob job;
     job.config = config;
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(2 * periods.size());
     job.kind = core::PipelineKind::kPostProcessing;
     jobs.push_back(job);
     job.kind = core::PipelineKind::kInSitu;

@@ -35,7 +35,7 @@ inline std::vector<CaseResults> run_all_cases() {
   for (int n = 1; n <= 3; ++n) {
     core::BatchJob job;
     job.config = core::case_study(n);
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(6);
     job.kind = core::PipelineKind::kPostProcessing;
     jobs.push_back(job);
     job.kind = core::PipelineKind::kInSitu;

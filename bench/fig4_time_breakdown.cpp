@@ -19,7 +19,7 @@ int main() {
     core::BatchJob job;
     job.kind = core::PipelineKind::kPostProcessing;
     job.config = core::case_study(n);
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(3);
     jobs.push_back(std::move(job));
   }
   std::cerr << "[bench] running " << jobs.size() << " case studies on "

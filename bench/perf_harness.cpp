@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/campaign/engine.hpp"
 #include "src/codec/field_codec.hpp"
 #include "src/core/batch_runner.hpp"
 #include "src/core/experiment.hpp"
@@ -228,7 +229,7 @@ double fig10_batch_seconds(std::size_t concurrency) {
   for (int n = 1; n <= 3; ++n) {
     core::BatchJob job;
     job.config = core::case_study(n);
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(6);
     job.kind = core::PipelineKind::kPostProcessing;
     jobs.push_back(job);
     job.kind = core::PipelineKind::kInSitu;
@@ -240,6 +241,50 @@ double fig10_batch_seconds(std::size_t concurrency) {
   const double elapsed = seconds_since(t0);
   GREENVIS_ENSURE(metrics.size() == jobs.size());
   return elapsed;
+}
+
+struct CampaignBench {
+  std::size_t configs{0};
+  double cold_s{0.0};
+  double warm_s{0.0};
+
+  [[nodiscard]] double cold_rate() const {
+    return static_cast<double>(configs) / cold_s;
+  }
+  [[nodiscard]] double warm_rate() const {
+    return static_cast<double>(configs) / warm_s;
+  }
+  [[nodiscard]] double warm_speedup() const { return cold_s / warm_s; }
+};
+
+/// Wall seconds of a small campaign sweep run cold (every config executed
+/// across the work-stealing shards) and then warm (every config answered
+/// from the deduplicating cache without touching a testbed).
+CampaignBench campaign_throughput() {
+  campaign::CampaignSpec spec;
+  spec.pipelines = {core::PipelineKind::kPostProcessing,
+                    core::PipelineKind::kPostProcessingAsync,
+                    core::PipelineKind::kInSitu};
+  spec.io_periods = {1, 2};
+  spec.grids = {24, 32};
+  std::vector<campaign::CampaignConfig> configs = spec.expand();
+  for (campaign::CampaignConfig& c : configs) {
+    c.iterations = 2;
+    c.sweeps = 8;
+    c.frame = 64;
+  }
+  campaign::ResultCache cache;
+  const campaign::CampaignEngine engine(cache);
+  CampaignBench out;
+  out.configs = configs.size();
+  auto t0 = Clock::now();
+  const campaign::CampaignReport cold = engine.run(configs);
+  out.cold_s = seconds_since(t0);
+  t0 = Clock::now();
+  const campaign::CampaignReport warm = engine.run(configs);
+  out.warm_s = seconds_since(t0);
+  GREENVIS_ENSURE(cold.executed == configs.size() && warm.executed == 0);
+  return out;
 }
 
 struct KernelRow {
@@ -314,7 +359,8 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
                 const std::vector<double>& fig10_raw_s,
                 const std::vector<double>& fig10_delta_s,
                 const AsyncOverlap& overlap, double batch_serial_s,
-                double batch_concurrent_s, const ObsOverhead& obs_row) {
+                double batch_concurrent_s, const CampaignBench& camp,
+                const ObsOverhead& obs_row) {
   std::ofstream os(path);
   GREENVIS_REQUIRE_MSG(os.good(), "cannot open " + path);
   os.setf(std::ios::fixed);
@@ -354,6 +400,12 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
   os << "  \"fig10_batch\": {\"serial_seconds\": " << batch_serial_s
      << ", \"concurrent_seconds\": " << batch_concurrent_s
      << ", \"speedup\": " << batch_serial_s / batch_concurrent_s << "},\n";
+  os << "  \"campaign\": {\"configs\": " << camp.configs
+     << ", \"cold_seconds\": " << camp.cold_s
+     << ", \"warm_seconds\": " << camp.warm_s
+     << ", \"cold_configs_per_s\": " << camp.cold_rate()
+     << ", \"warm_configs_per_s\": " << camp.warm_rate()
+     << ", \"warm_speedup\": " << camp.warm_speedup() << "},\n";
   os << "  \"observability\": {\"uninstrumented_seconds\": "
      << obs_row.uninstrumented_s
      << ", \"instrumented_seconds\": " << obs_row.instrumented_s
@@ -521,6 +573,21 @@ int main(int argc, char** argv) try {
     batch_conc = std::min(batch_conc, fig10_batch_seconds(0));
   }
 
+  std::cerr << "[perf] campaign sweep, cold vs warm cache...\n";
+  CampaignBench camp;
+  camp.cold_s = 1e300;
+  camp.warm_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const CampaignBench b = campaign_throughput();
+    camp.configs = b.configs;
+    camp.cold_s = std::min(camp.cold_s, b.cold_s);
+    camp.warm_s = std::min(camp.warm_s, b.warm_s);
+  }
+  GREENVIS_REQUIRE_MSG(
+      camp.warm_speedup() >= 20.0,
+      "warm campaign repeat too slow: " + std::to_string(camp.warm_speedup()) +
+          "x < 20x over the cold run");
+
   // The same concurrent batch with the full observability stack recording:
   // spans from every pool worker, pipeline stage, solver step, and I/O call.
   // The delta against the uninstrumented run is the end-to-end tracing tax.
@@ -557,6 +624,9 @@ int main(int argc, char** argv) try {
   t.add_row({"fig10_batch", util::cell(batch_serial, 2),
              util::cell(batch_conc, 2),
              util::cell(batch_serial / batch_conc, 2), "seconds (lower=better)"});
+  t.add_row({"campaign (" + std::to_string(camp.configs) + " configs)",
+             util::cell(camp.cold_s, 3), util::cell(camp.warm_s, 5),
+             util::cell(camp.warm_speedup(), 0), "cold/warm s"});
   std::cout << t.render();
   std::cout << "codec ratios: case1 " << util::cell(case_ratios[0], 2)
             << ", case2 " << util::cell(case_ratios[1], 2) << ", case3 "
@@ -573,9 +643,13 @@ int main(int argc, char** argv) try {
             << " s (" << util::cell(obs_row.overhead_pct(), 2) << "% overhead, "
             << obs_row.spans_captured << " spans)\n";
 
+  std::cout << "campaign: " << camp.configs << " configs, cold "
+            << util::cell(camp.cold_rate(), 1) << " configs/s -> warm "
+            << util::cell(camp.warm_rate(), 0) << " configs/s ("
+            << util::cell(camp.warm_speedup(), 0) << "x)\n";
   write_json(out, rows, p1_serial, p1_degen, cdc, encode_pool_mbps,
              case_ratios, fig10_raw_s, fig10_delta_s, overlap, batch_serial,
-             batch_conc, obs_row);
+             batch_conc, camp, obs_row);
   std::cout << "\nwrote " << out << '\n';
   return 0;
 } catch (const std::exception& e) {

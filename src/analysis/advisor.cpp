@@ -20,6 +20,20 @@ const char* strategy_name(Strategy strategy) {
   return "?";
 }
 
+AccessPattern snapshot_access_pattern(util::Bytes written, util::Bytes read,
+                                      std::uint64_t accesses,
+                                      bool exploratory_analysis_required) {
+  AccessPattern p;
+  p.accesses = accesses;
+  const std::uint64_t total = written.value() + read.value();
+  p.bytes_per_access = util::Bytes{accesses > 0 ? total / accesses : 0};
+  p.random_fraction = 0.0;  // whole-file snapshot streams
+  p.read_fraction =
+      total > 0 ? read.as_double() / static_cast<double>(total) : 0.5;
+  p.exploratory_analysis_required = exploratory_analysis_required;
+  return p;
+}
+
 Advisor::Advisor(const machine::NodeSpec& node,
                  const power::DiskPowerParams& disk_power,
                  util::Watts idle_system_power)

@@ -29,6 +29,14 @@ struct AccessPattern {
   bool exploratory_analysis_required{true};
 };
 
+/// Characterize a pipeline's snapshot traffic (totals a campaign result
+/// records) as an AccessPattern the advisor can price. Snapshot I/O is
+/// streamed whole-file, so the pattern is sequential; `accesses` is the
+/// number of snapshot writes + reads.
+[[nodiscard]] AccessPattern snapshot_access_pattern(
+    util::Bytes written, util::Bytes read, std::uint64_t accesses,
+    bool exploratory_analysis_required);
+
 enum class Strategy {
   kKeepPostProcessing,
   kInSitu,

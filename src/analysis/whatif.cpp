@@ -15,4 +15,16 @@ ReorganizationWhatIf reorganization_whatif(const fio::FioResult& seq_read,
   return w;
 }
 
+PipelineSwitchWhatIf pipeline_switch_whatif(util::Joules post_energy,
+                                            util::Seconds post_time,
+                                            util::Joules insitu_energy,
+                                            util::Seconds insitu_time) {
+  PipelineSwitchWhatIf w;
+  w.post_energy = post_energy;
+  w.post_time = post_time;
+  w.insitu_energy = insitu_energy;
+  w.insitu_time = insitu_time;
+  return w;
+}
+
 }  // namespace greenvis::analysis

@@ -40,4 +40,29 @@ struct ReorganizationWhatIf {
     const fio::FioResult& seq_read, const fio::FioResult& rand_read,
     const fio::FioResult& seq_write, const fio::FioResult& rand_write);
 
+/// Sec. V-A/V-B priced from measured pipelines: what switching one workload
+/// from post-processing to in-situ buys (the campaign engine's warm cache
+/// supplies both sides of every pair — see campaign/query.hpp).
+struct PipelineSwitchWhatIf {
+  util::Joules post_energy{0.0};
+  util::Joules insitu_energy{0.0};
+  util::Seconds post_time{0.0};
+  util::Seconds insitu_time{0.0};
+
+  [[nodiscard]] util::Joules energy_savings() const {
+    return post_energy - insitu_energy;
+  }
+  [[nodiscard]] util::Seconds time_savings() const {
+    return post_time - insitu_time;
+  }
+  /// Post-processing energy per in-situ joule (Fig. 9's ratio view).
+  [[nodiscard]] double energy_ratio() const {
+    return insitu_energy.value() > 0.0 ? post_energy / insitu_energy : 0.0;
+  }
+};
+
+[[nodiscard]] PipelineSwitchWhatIf pipeline_switch_whatif(
+    util::Joules post_energy, util::Seconds post_time,
+    util::Joules insitu_energy, util::Seconds insitu_time);
+
 }  // namespace greenvis::analysis

@@ -1,0 +1,174 @@
+#include "src/campaign/cache.hpp"
+
+#include <bit>
+#include <charconv>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "src/util/checksum.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::campaign {
+
+namespace {
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(v >> shift) & 0xF]);
+  }
+}
+
+void append_double_bits(std::string& out, double v) {
+  append_hex64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t line_checksum(std::string_view payload) {
+  return util::fnv1a64(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()));
+}
+
+bool parse_hex64(std::string_view token, std::uint64_t* out) {
+  if (token.size() != 16) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out, 16);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_dec64(std::string_view token, std::uint64_t* out) {
+  if (token.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out, 10);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_double_bits(std::string_view token, double* out) {
+  std::uint64_t bits = 0;
+  if (!parse_hex64(token, &bits)) {
+    return false;
+  }
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t next = line.find(' ', pos);
+    if (next == std::string_view::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string encode_line(const ConfigResult& result) {
+  std::string line = "C1 ";
+  line += result.key;
+  line += ' ';
+  append_double_bits(line, result.duration_s);
+  line += ' ';
+  append_double_bits(line, result.energy_j);
+  line += ' ';
+  append_double_bits(line, result.average_power_w);
+  line += ' ';
+  append_double_bits(line, result.peak_power_w);
+  line += ' ';
+  append_double_bits(line, result.efficiency);
+  line += ' ';
+  append_hex64(line, result.image_digest);
+  line += ' ';
+  append_hex64(line, result.field_digest);
+  line += ' ' + std::to_string(result.steps);
+  line += ' ' + std::to_string(result.visualized_steps);
+  line += ' ' + std::to_string(result.snapshot_bytes_written);
+  line += ' ' + std::to_string(result.snapshot_bytes_read);
+  line += ' ' + std::to_string(result.snapshot_bytes_raw);
+  line += ' ';
+  append_hex64(line, line_checksum(
+                         std::string_view(line).substr(0, line.size() - 1)));
+  return line;
+}
+
+std::optional<ConfigResult> decode_line(const std::string& line) {
+  const auto fields = split_fields(line);
+  if (fields.size() != 15 || fields[0] != "C1" || fields[1].size() != 16) {
+    return std::nullopt;
+  }
+  // The checksum covers the payload, excluding its own separator space.
+  const std::size_t payload_len = line.size() - fields.back().size() - 1;
+  std::uint64_t stored_sum = 0;
+  if (!parse_hex64(fields.back(), &stored_sum) ||
+      line_checksum(std::string_view(line).substr(0, payload_len)) !=
+          stored_sum) {
+    return std::nullopt;
+  }
+  ConfigResult r;
+  r.key = std::string(fields[1]);
+  std::uint64_t steps = 0;
+  std::uint64_t visualized = 0;
+  if (!parse_double_bits(fields[2], &r.duration_s) ||
+      !parse_double_bits(fields[3], &r.energy_j) ||
+      !parse_double_bits(fields[4], &r.average_power_w) ||
+      !parse_double_bits(fields[5], &r.peak_power_w) ||
+      !parse_double_bits(fields[6], &r.efficiency) ||
+      !parse_hex64(fields[7], &r.image_digest) ||
+      !parse_hex64(fields[8], &r.field_digest) ||
+      !parse_dec64(fields[9], &steps) || !parse_dec64(fields[10], &visualized) ||
+      !parse_dec64(fields[11], &r.snapshot_bytes_written) ||
+      !parse_dec64(fields[12], &r.snapshot_bytes_read) ||
+      !parse_dec64(fields[13], &r.snapshot_bytes_raw)) {
+    return std::nullopt;
+  }
+  r.steps = static_cast<int>(steps);
+  r.visualized_steps = static_cast<int>(visualized);
+  return r;
+}
+
+bool ResultCache::insert(const ConfigResult& result) {
+  GREENVIS_REQUIRE(result.key.size() == 16);
+  return entries_.emplace(result.key, result).second;
+}
+
+const ConfigResult* ResultCache::find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::size_t ResultCache::load_journal(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::size_t loaded = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      break;  // unterminated fragment: a torn append, ignore
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    const auto result = decode_line(line);
+    GREENVIS_REQUIRE_MSG(result.has_value(),
+                         "corrupt campaign journal line: " + line);
+    insert(*result);
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace greenvis::campaign

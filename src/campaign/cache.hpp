@@ -1,0 +1,74 @@
+// Deduplicating result cache with an append-only journal.
+//
+// A ConfigResult is the compact, exact record of one executed config: the
+// paper's headline metrics (duration, energy, average/peak power,
+// efficiency) plus correctness digests (images, final field) and snapshot
+// byte accounting. Doubles are journaled as IEEE-754 bit patterns, so a
+// result replayed from the journal is bit-identical to the freshly-executed
+// one — which is what lets cold, warm, and resumed campaigns render
+// byte-identical JSON.
+//
+// The journal is a line-oriented append-only file; each line carries its own
+// FNV-1a checksum. Loading tolerates a torn *trailing* line (a crash mid
+// append) but treats any corrupt *complete* line as cache poisoning and
+// throws ContractViolation: a damaged journal must never turn into a wrong
+// cached result.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace greenvis::campaign {
+
+/// One executed config, keyed by its canonical hash (hash.hpp).
+struct ConfigResult {
+  std::string key;
+  double duration_s{0.0};
+  double energy_j{0.0};
+  double average_power_w{0.0};
+  double peak_power_w{0.0};
+  double efficiency{0.0};
+  /// FNV-1a over the per-step image digests (order-sensitive).
+  std::uint64_t image_digest{0};
+  /// FNV-1a over the final temperature field (dims + raw doubles).
+  std::uint64_t field_digest{0};
+  int steps{0};
+  int visualized_steps{0};
+  std::uint64_t snapshot_bytes_written{0};
+  std::uint64_t snapshot_bytes_read{0};
+  std::uint64_t snapshot_bytes_raw{0};
+
+  friend bool operator==(const ConfigResult&, const ConfigResult&) = default;
+};
+
+/// Render one journal line (no trailing newline): "C1 <key> <fields> <sum>".
+[[nodiscard]] std::string encode_line(const ConfigResult& result);
+
+/// Parse one complete journal line; nullopt when malformed or the checksum
+/// does not match.
+[[nodiscard]] std::optional<ConfigResult> decode_line(const std::string& line);
+
+/// In-memory key -> result map. Insertion is first-writer-wins (a config's
+/// result is deterministic, so any writer would store the same bytes).
+class ResultCache {
+ public:
+  /// Returns true when `result` was newly inserted.
+  bool insert(const ConfigResult& result);
+
+  [[nodiscard]] const ConfigResult* find(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Load a journal stream. Complete lines must decode — a corrupt one
+  /// throws util::ContractViolation (poisoned cache); an unterminated final
+  /// fragment (torn append) is ignored. Returns the number of results
+  /// loaded (duplicates re-inserted count as loaded).
+  std::size_t load_journal(std::istream& in);
+
+ private:
+  std::unordered_map<std::string, ConfigResult> entries_;
+};
+
+}  // namespace greenvis::campaign

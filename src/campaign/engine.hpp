@@ -1,0 +1,86 @@
+// The campaign engine: execute a config list against the cache.
+//
+// run() canonicalizes and hashes every config, drops intra-run duplicates,
+// serves cache hits without touching a testbed, and fans the misses out over
+// work-stealing shards (util/sharded.hpp). Each completed miss is inserted
+// into the cache and appended to the journal (one flushed line per result)
+// before the engine moves on, so an interrupted campaign — crash or
+// deliberate job limit — resumes exactly where it stopped: the journal *is*
+// the persistence format. Because pipeline results are byte-identical
+// regardless of host threading and journal doubles round-trip bit-exactly,
+// cold, warm, and interrupted-then-resumed campaigns all render the same
+// JSON bytes (write_campaign_json), a property pinned by the
+// `campaign.replay_identical` generative check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/campaign/cache.hpp"
+#include "src/campaign/config.hpp"
+
+namespace greenvis::campaign {
+
+struct CampaignOptions {
+  /// Executor threads for the miss fan-out; 0 = hardware concurrency.
+  std::size_t threads{0};
+  /// Work-stealing shard count; 0 = one per executing thread.
+  std::size_t shards{0};
+  /// Execute at most this many cache misses, then stop (0 = unlimited).
+  /// Hits are always served; a truncated run reports `interrupted`.
+  std::size_t job_limit{0};
+};
+
+/// What a campaign run did. `results[i]` pairs with `configs[i]` (canonical
+/// form) and is valid iff `completed[i]`; only an interrupted run leaves
+/// gaps. Host-side stats (hits, steals, seconds) describe *this* run and are
+/// deliberately excluded from the result JSON.
+struct CampaignReport {
+  std::vector<CampaignConfig> configs;
+  std::vector<std::string> keys;
+  std::vector<ConfigResult> results;
+  std::vector<char> completed;
+  std::size_t unique_configs{0};
+  std::size_t duplicates{0};
+  std::size_t cache_hits{0};
+  std::size_t executed{0};
+  std::uint64_t steals{0};
+  bool interrupted{false};
+  double host_seconds{0.0};
+
+  [[nodiscard]] double configs_per_second() const {
+    return host_seconds > 0.0
+               ? static_cast<double>(executed) / host_seconds
+               : 0.0;
+  }
+};
+
+class CampaignEngine {
+ public:
+  /// `journal`, when given, receives one encode_line() per fresh result
+  /// (appended + flushed as each config completes).
+  explicit CampaignEngine(ResultCache& cache, std::ostream* journal = nullptr)
+      : cache_(cache), journal_(journal) {}
+
+  [[nodiscard]] CampaignReport run(const std::vector<CampaignConfig>& configs,
+                                   const CampaignOptions& options = {}) const;
+
+ private:
+  ResultCache& cache_;
+  std::ostream* journal_;
+};
+
+/// Collapse a pipeline run into its cacheable record.
+[[nodiscard]] ConfigResult result_from_metrics(
+    const std::string& key, const core::PipelineMetrics& metrics);
+
+/// Deterministic campaign JSON: configs in order with their results. The
+/// report must not be interrupted. Identical result sets produce identical
+/// bytes regardless of how (cold / warm / resumed / shard count) they were
+/// obtained.
+void write_campaign_json(std::ostream& os, const CampaignReport& report);
+
+}  // namespace greenvis::campaign

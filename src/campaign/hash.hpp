@@ -1,0 +1,34 @@
+// Canonical config hashing — the identity of a campaign point.
+//
+// A config's hash must be stable across field-initialization order, across
+// default-vs-explicit values, across processes, and across runs, because it
+// keys the deduplicating result cache and the on-disk resume journal: a hash
+// that drifted would silently re-run (or worse, mis-attribute) work. The
+// scheme is therefore boring on purpose: canonicalize the config
+// (config.hpp), render it to a versioned fixed-field-order text line with
+// doubles as IEEE-754 bit patterns (no decimal round-trip), and FNV-1a the
+// bytes. Golden hashes are pinned in tests/campaign_test.cpp; bump the
+// version tag in canonical_text() whenever the meaning of any knob changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/campaign/config.hpp"
+
+namespace greenvis::campaign {
+
+/// The canonical serialization that is hashed, e.g.
+/// "greenvis.campaign.v1|pipeline=insitu|iters=50|...|freq=4003333333333333".
+/// Doubles appear as 16 lowercase hex digits of their bit pattern.
+[[nodiscard]] std::string canonical_text(const CampaignConfig& config);
+
+/// FNV-1a 64 over canonical_text().
+[[nodiscard]] std::uint64_t config_hash(const CampaignConfig& config);
+
+/// The hash as a 16-char lowercase hex key (journal/cache/JSON identity).
+[[nodiscard]] std::string config_key(const CampaignConfig& config);
+
+[[nodiscard]] std::string key_from_hash(std::uint64_t hash);
+
+}  // namespace greenvis::campaign

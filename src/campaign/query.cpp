@@ -1,0 +1,54 @@
+#include "src/campaign/query.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "src/campaign/hash.hpp"
+
+namespace greenvis::campaign {
+
+std::vector<PipelineSwitchCase> pipeline_switch_cases(
+    const CampaignReport& report) {
+  std::unordered_map<std::string, std::size_t> first_index;
+  for (std::size_t i = 0; i < report.keys.size(); ++i) {
+    first_index.emplace(report.keys[i], i);
+  }
+  std::vector<PipelineSwitchCase> cases;
+  for (std::size_t i = 0; i < report.configs.size(); ++i) {
+    if (report.configs[i].kind != core::PipelineKind::kPostProcessing ||
+        report.completed[i] == 0) {
+      continue;
+    }
+    if (first_index.at(report.keys[i]) != i) {
+      continue;  // duplicate of an earlier config: already paired
+    }
+    CampaignConfig twin = report.configs[i];
+    twin.kind = core::PipelineKind::kInSitu;
+    const auto it = first_index.find(config_key(twin));
+    if (it == first_index.end() || report.completed[it->second] == 0) {
+      continue;
+    }
+    const ConfigResult& post = report.results[i];
+    const ConfigResult& insitu = report.results[it->second];
+    PipelineSwitchCase sc;
+    sc.post_index = i;
+    sc.insitu_index = it->second;
+    sc.whatif = analysis::pipeline_switch_whatif(
+        util::Joules{post.energy_j}, util::Seconds{post.duration_s},
+        util::Joules{insitu.energy_j}, util::Seconds{insitu.duration_s});
+    cases.push_back(sc);
+  }
+  return cases;
+}
+
+analysis::AccessPattern access_pattern_for(
+    const ConfigResult& result, bool exploratory_analysis_required) {
+  const auto accesses =
+      static_cast<std::uint64_t>(result.visualized_steps) * 2ULL;
+  return analysis::snapshot_access_pattern(
+      util::Bytes{result.snapshot_bytes_written},
+      util::Bytes{result.snapshot_bytes_read}, accesses,
+      exploratory_analysis_required);
+}
+
+}  // namespace greenvis::campaign

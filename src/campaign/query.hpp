@@ -1,0 +1,38 @@
+// Feeding the analysis layer from a warm campaign.
+//
+// A campaign that sweeps the pipeline axis contains, for every
+// post-processing config, its in-situ twin (same knobs, kind swapped — and
+// hashes are canonical, so the twin is found by hashing the swapped config,
+// never by scanning knobs). These helpers pair them into the Sec. V
+// pipeline-switch what-if and translate a result's snapshot traffic into
+// the advisor's AccessPattern, all without re-running anything.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analysis/advisor.hpp"
+#include "src/analysis/whatif.hpp"
+#include "src/campaign/engine.hpp"
+
+namespace greenvis::campaign {
+
+/// One matched post-processing / in-situ pair (indices into the report).
+struct PipelineSwitchCase {
+  std::size_t post_index{0};
+  std::size_t insitu_index{0};
+  analysis::PipelineSwitchWhatIf whatif;
+};
+
+/// Every (kPostProcessing, kInSitu) twin pair present and completed in the
+/// report, in post-config order. The async variant is not paired (its
+/// science equals post-processing; the interesting switch is disk vs none).
+[[nodiscard]] std::vector<PipelineSwitchCase> pipeline_switch_cases(
+    const CampaignReport& report);
+
+/// The advisor input for one completed result (2 accesses per visualized
+/// step: one snapshot write + one read-back).
+[[nodiscard]] analysis::AccessPattern access_pattern_for(
+    const ConfigResult& result, bool exploratory_analysis_required = true);
+
+}  // namespace greenvis::campaign

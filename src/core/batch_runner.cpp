@@ -1,11 +1,13 @@
 #include "src/core/batch_runner.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "src/obs/tracer.hpp"
+#include "src/util/sharded.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace greenvis::core {
 
@@ -14,6 +16,17 @@ BatchRunner::BatchRunner(std::size_t concurrency) : concurrency_(concurrency) {
     concurrency_ =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+}
+
+std::size_t BatchRunner::host_threads_per_job(std::size_t batch_jobs) const {
+  const std::size_t in_flight =
+      batch_jobs == 0 ? concurrency_ : std::min(concurrency_, batch_jobs);
+  if (in_flight <= 1) {
+    return 0;  // serial batch: each job gets the pipeline default (all cores)
+  }
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(1, cores / in_flight);
 }
 
 std::vector<PipelineMetrics> BatchRunner::run(
@@ -46,35 +59,27 @@ std::vector<PipelineMetrics> BatchRunner::run(
     return results;
   }
 
-  std::atomic<std::size_t> next{0};
   std::exception_ptr error;
   std::mutex error_mutex;
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) {
-        return;
-      }
-      try {
-        run_job(i);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!error) {
-          error = std::current_exception();
+  util::ThreadPool pool(fan_out);
+  util::ShardedOptions options;
+  options.span_name = "batch.shard";
+  options.steal_counter =
+      obs::enabled() ? &obs::Registry::global().counter("batch.steals")
+                     : nullptr;
+  util::run_sharded(
+      pool, jobs.size(),
+      [&](std::size_t i) {
+        try {
+          run_job(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!error) {
+            error = std::current_exception();
+          }
         }
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(fan_out - 1);
-  for (std::size_t t = 0; t + 1 < fan_out; ++t) {
-    threads.emplace_back(drain);
-  }
-  drain();  // the calling thread works too
-  for (auto& t : threads) {
-    t.join();
-  }
+      },
+      options);
   if (error) {
     std::rethrow_exception(error);
   }

@@ -3,11 +3,14 @@
 // Every Experiment::run builds a fresh Testbed (its own virtual clock,
 // storage stack, and power profiler), so independent pipeline runs share no
 // mutable state and are embarrassingly parallel across host threads. The
-// figure benches sweep case studies x pipeline kinds (and the ablations
-// sweep far wider grids); BatchRunner executes such a sweep with one host
-// thread per in-flight job while preserving the exact per-job results:
-// virtual-clock durations, joules, and watts are byte-identical to a serial
-// loop — only host wall-clock improves.
+// figure benches sweep case studies x pipeline kinds, the ablations sweep
+// far wider grids, and the campaign engine sweeps tens of thousands of
+// configurations; BatchRunner executes such a sweep with work-stealing
+// shards over a util::ThreadPool (util/sharded.hpp) while preserving the
+// exact per-job results: virtual-clock durations, joules, and watts are
+// byte-identical to a serial loop, in job order — only host wall-clock
+// improves. The `batch.sharded_vs_serial` differential oracle pins that
+// contract.
 #pragma once
 
 #include <cstddef>
@@ -35,18 +38,21 @@ class BatchRunner {
 
   [[nodiscard]] std::size_t concurrency() const { return concurrency_; }
 
-  /// Run every job (in-flight count capped at `concurrency`) and return the
-  /// metrics in job order. A throwing job does not abandon the others; the
-  /// first exception is rethrown after the batch drains.
+  /// Run every job across work-stealing shards (at most `concurrency`
+  /// executing threads) and return the metrics in job order. A throwing job
+  /// does not abandon the others; the first exception is rethrown after the
+  /// batch drains.
   [[nodiscard]] std::vector<PipelineMetrics> run(
       const Experiment& experiment, const std::vector<BatchJob>& jobs) const;
 
-  /// Per-job host threads that avoid oversubscribing the machine when the
-  /// batch itself fans out: 1 while the batch saturates the cores, the full
-  /// machine when the batch is serial.
-  [[nodiscard]] std::size_t host_threads_per_job() const {
-    return concurrency_ > 1 ? 1 : 0;
-  }
+  /// Per-job host threads that keep the machine fully used without
+  /// oversubscribing it: the cores are divided among the jobs actually in
+  /// flight — min(concurrency, batch_jobs) — not among the in-flight *cap*.
+  /// A batch of 2 jobs on 16 cores therefore gets 8 threads per job instead
+  /// of 1. `batch_jobs == 0` (unknown batch size) assumes a saturating
+  /// batch; a serial batch returns 0 (= the pipeline default, full machine).
+  [[nodiscard]] std::size_t host_threads_per_job(
+      std::size_t batch_jobs = 0) const;
 
  private:
   std::size_t concurrency_;

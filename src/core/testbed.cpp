@@ -4,15 +4,59 @@
 
 #include "src/obs/tracer.hpp"
 #include "src/storage/hdd.hpp"
+#include "src/storage/solid_state.hpp"
 #include "src/util/error.hpp"
 
 namespace greenvis::core {
 
+const char* storage_device_name(StorageDeviceKind kind) {
+  switch (kind) {
+    case StorageDeviceKind::kHdd:
+      return "hdd";
+    case StorageDeviceKind::kSsd:
+      return "ssd";
+    case StorageDeviceKind::kNvram:
+      return "nvram";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<storage::BlockDevice> make_device(
+    const TestbedConfig& config) {
+  switch (config.device) {
+    case StorageDeviceKind::kSsd:
+      return std::make_unique<storage::SolidStateModel>(
+          storage::sata_ssd_params());
+    case StorageDeviceKind::kNvram:
+      return std::make_unique<storage::SolidStateModel>(
+          storage::nvram_params());
+    case StorageDeviceKind::kHdd:
+      break;
+  }
+  storage::HddParams hdd;
+  hdd.spec = config.node.disk;
+  return std::make_unique<storage::HddModel>(hdd);
+}
+
+power::DiskPowerParams disk_power_params_for(StorageDeviceKind kind) {
+  switch (kind) {
+    case StorageDeviceKind::kSsd:
+      return power::ssd_power_params();
+    case StorageDeviceKind::kNvram:
+      return power::nvram_power_params();
+    case StorageDeviceKind::kHdd:
+      break;
+  }
+  return power::hdd_power_params();
+}
+
+}  // namespace
+
 Testbed::Testbed(const TestbedConfig& config)
     : config_(config), cost_(config.node, config.cost) {
-  storage::HddParams hdd;
-  hdd.spec = config_.node.disk;
-  device_ = std::make_unique<storage::HddModel>(hdd);
+  device_ = make_device(config_);
   fs_ = std::make_unique<storage::Filesystem>(*device_, clock_, config_.fs);
 }
 
@@ -118,7 +162,8 @@ void Testbed::record_stall(const std::string& phase, util::Seconds begin,
 void Testbed::idle(util::Seconds duration) { clock_.advance(duration); }
 
 power::PowerModel Testbed::power_model() const {
-  return power::PowerModel(config_.calibration, power::hdd_power_params());
+  return power::PowerModel(config_.calibration,
+                           disk_power_params_for(config_.device));
 }
 
 power::PowerTrace Testbed::profile() const {

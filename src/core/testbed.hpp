@@ -29,6 +29,14 @@
 
 namespace greenvis::core {
 
+/// Which storage model backs the testbed's filesystem. The paper's node has
+/// the 7200 rpm HDD; the SSD/NVRAM substitutions are its future-work
+/// "flash-based devices" direction, and the campaign engine sweeps them as
+/// a first-class axis.
+enum class StorageDeviceKind { kHdd, kSsd, kNvram };
+
+[[nodiscard]] const char* storage_device_name(StorageDeviceKind kind);
+
 struct TestbedConfig {
   machine::NodeSpec node{machine::sandy_bridge_testbed()};
   machine::CostModelParams cost{};
@@ -42,6 +50,9 @@ struct TestbedConfig {
   /// disk-bound — the selective frequency scaling Sec. V-C motivates.
   /// 0 means "same as frequency_ghz".
   double io_frequency_ghz{0.0};
+  /// Storage device under the filesystem (HDD by default — Table I's
+  /// drive; every seed figure is unchanged unless this is varied).
+  StorageDeviceKind device{StorageDeviceKind::kHdd};
   /// RAPL package power limit (both sockets together). When > 0, compute
   /// stages are throttled to the fastest P-state whose package power fits
   /// under the cap — the enforcement mechanism RAPL's power-limiting half

@@ -36,5 +36,6 @@ inline constexpr const char* kCatVis = "vis";
 inline constexpr const char* kCatStage = "stage";
 inline constexpr const char* kCatCore = "core";
 inline constexpr const char* kCatIo = "io";
+inline constexpr const char* kCatCampaign = "campaign";
 
 }  // namespace greenvis::obs

@@ -134,7 +134,7 @@ ConformanceReport run_conformance(const ConformanceOptions& options) {
     core::BatchJob job;
     job.config = core::case_study(n);
     job.config.snapshot_codec = options.snapshot_codec;
-    job.options.host_threads = runner.host_threads_per_job();
+    job.options.host_threads = runner.host_threads_per_job(6);
     job.kind = core::PipelineKind::kPostProcessing;
     jobs.push_back(job);
     job.kind = core::PipelineKind::kInSitu;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/codec/field_codec.hpp"
+#include "src/core/batch_runner.hpp"
 #include "src/core/experiment.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/testbed.hpp"
@@ -198,6 +199,67 @@ OracleResult pipeline_sync_vs_async() {
               " written steps: on-disk checksums, image digests, final field "
               "bits, and snapshot accounting identical for sync vs async "
               "staging (2 buffers)");
+}
+
+// ---- batch: work-stealing shards must equal the serial loop exactly ----
+//
+// BatchRunner fans jobs out over work-stealing shards; whichever thread a
+// job lands on, its metrics — virtual durations, joules, digests, field
+// bits — must match a plain serial loop over the same jobs, in job order.
+
+OracleResult batch_sharded_vs_serial() {
+  const core::CaseStudyConfig base = small_pipeline_config();
+  std::vector<core::BatchJob> jobs;
+  for (const int period : {1, 2, 3}) {
+    for (const auto kind : {core::PipelineKind::kPostProcessing,
+                            core::PipelineKind::kInSitu}) {
+      core::BatchJob job;
+      job.kind = kind;
+      job.config = base;
+      job.config.io_period = period;
+      jobs.push_back(job);
+    }
+  }
+  core::TestbedConfig slow;  // one job on a different machine state
+  slow.frequency_ghz = 1.6;
+  jobs[1].testbed = slow;
+
+  const core::Experiment experiment;
+  std::vector<core::PipelineMetrics> serial;
+  serial.reserve(jobs.size());
+  for (const core::BatchJob& job : jobs) {
+    serial.push_back(job.testbed
+                         ? core::Experiment(*job.testbed)
+                               .run(job.kind, job.config, job.options)
+                         : experiment.run(job.kind, job.config, job.options));
+  }
+  const std::vector<core::PipelineMetrics> sharded =
+      core::BatchRunner(4).run(experiment, jobs);
+  if (sharded.size() != serial.size()) {
+    return fail("result count differs from job count");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const core::PipelineMetrics& a = serial[i];
+    const core::PipelineMetrics& b = sharded[i];
+    if (a.duration.value() != b.duration.value() ||
+        a.energy.value() != b.energy.value() ||
+        a.average_power.value() != b.average_power.value() ||
+        a.peak_power.value() != b.peak_power.value() ||
+        a.efficiency != b.efficiency) {
+      return fail("job " + std::to_string(i) +
+                  ": headline metrics differ between serial and sharded");
+    }
+    if (a.output.image_digests != b.output.image_digests ||
+        !bits_equal(a.output.final_field.values(),
+                    b.output.final_field.values())) {
+      return fail("job " + std::to_string(i) +
+                  ": science outputs differ between serial and sharded");
+    }
+  }
+  return pass(std::to_string(jobs.size()) +
+              " jobs (2 pipelines x 3 periods, one DVFS override): metrics, "
+              "digests, and field bits identical for serial vs 4-way "
+              "work-stealing shards");
 }
 
 // ---- codec: raw is the identity, delta honors its bound and its books ----
@@ -398,6 +460,7 @@ void register_builtin_oracles() {
   registry.add("solver.serial_vs_pool", solver_serial_vs_pool);
   registry.add("pipeline.serial_vs_pool", pipeline_serial_vs_pool);
   registry.add("pipeline.sync_vs_async", pipeline_sync_vs_async);
+  registry.add("batch.sharded_vs_serial", batch_sharded_vs_serial);
   registry.add("codec.raw_vs_delta", codec_raw_vs_delta);
   registry.add("storage.cache_on_vs_off", cache_on_vs_off);
   registry.add("obs.on_vs_off", obs_on_vs_off);

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/campaign/engine.hpp"
 #include "src/codec/field_codec.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/testbed.hpp"
@@ -300,6 +301,118 @@ void register_pipeline_properties() {
       });
 }
 
+// ---- campaign: one result set, however you obtain it ----
+//
+// For any small sweep spec, running the campaign cold, replaying it warm,
+// interrupting it with a job limit and resuming through the journal, and
+// varying the work-stealing shard count must all render byte-identical
+// campaign JSON. This is the engine's whole contract: the cache and journal
+// are invisible to the results.
+
+void register_campaign_properties() {
+  struct ReplayCase {
+    campaign::CampaignSpec spec;
+    std::size_t shards_cold{1};
+    std::size_t shards_resume{1};
+    std::size_t limit{1};
+  };
+  const Gen<ReplayCase> gen = [](Choices& c) {
+    ReplayCase rc;
+    rc.spec.pipelines = {core::PipelineKind::kPostProcessing,
+                         core::PipelineKind::kInSitu};
+    if (c.draw_bool()) {
+      rc.spec.pipelines.push_back(core::PipelineKind::kPostProcessingAsync);
+    }
+    rc.spec.grids = {16 + 4 * static_cast<std::size_t>(c.draw_below(3))};
+    rc.spec.iterations = {static_cast<int>(c.draw_range(1, 3))};
+    rc.spec.io_periods = {static_cast<int>(c.draw_range(1, 2))};
+    rc.spec.codecs = {static_cast<codec::Kind>(c.draw_below(3))};
+    rc.shards_cold = 1 + static_cast<std::size_t>(c.draw_below(4));
+    rc.shards_resume = 1 + static_cast<std::size_t>(c.draw_below(4));
+    rc.limit = 1 + static_cast<std::size_t>(c.draw_below(3));
+    return rc;
+  };
+  add_property<ReplayCase>(
+      "campaign.replay_identical", gen,
+      [](const ReplayCase& rc) {
+        std::vector<campaign::CampaignConfig> configs = rc.spec.expand();
+        for (campaign::CampaignConfig& c : configs) {
+          c.frame = 32;  // keep host render cost out of the sweep
+          c.sweeps = 8;
+        }
+        const auto render = [](const campaign::CampaignReport& report) {
+          std::ostringstream os;
+          campaign::write_campaign_json(os, report);
+          return os.str();
+        };
+        campaign::CampaignOptions options;
+        options.threads = 2;
+        options.shards = rc.shards_cold;
+
+        campaign::ResultCache cold_cache;
+        const campaign::CampaignEngine cold(cold_cache);
+        const auto cold_report = cold.run(configs, options);
+        const std::string cold_json = render(cold_report);
+
+        const auto warm_report = cold.run(configs, options);
+        if (warm_report.executed != 0) {
+          return std::string("warm replay re-executed ") +
+                 std::to_string(warm_report.executed) + " configs";
+        }
+        if (render(warm_report) != cold_json) {
+          return std::string("warm JSON differs from cold");
+        }
+
+        // Interrupt a fresh campaign after `limit` fresh configs, then
+        // resume from its journal with a different shard count.
+        std::ostringstream journal;
+        campaign::ResultCache partial_cache;
+        const campaign::CampaignEngine partial(partial_cache, &journal);
+        campaign::CampaignOptions limited = options;
+        limited.job_limit = rc.limit;
+        const auto partial_report = partial.run(configs, limited);
+        if (partial_report.interrupted &&
+            partial_report.executed != rc.limit) {
+          return std::string("interrupted run executed ") +
+                 std::to_string(partial_report.executed) + " != limit " +
+                 std::to_string(rc.limit);
+        }
+
+        campaign::ResultCache resumed_cache;
+        std::istringstream replayed(journal.str());
+        if (resumed_cache.load_journal(replayed) !=
+            partial_report.executed) {
+          return std::string("journal did not round-trip every result");
+        }
+        const campaign::CampaignEngine resumed(resumed_cache);
+        campaign::CampaignOptions resume_options = options;
+        resume_options.shards = rc.shards_resume;
+        const auto resumed_report = resumed.run(configs, resume_options);
+        if (resumed_report.interrupted) {
+          return std::string("resumed run still interrupted");
+        }
+        if (resumed_report.executed + partial_report.executed !=
+            cold_report.executed) {
+          return std::string("resume re-ran journaled configs");
+        }
+        if (render(resumed_report) != cold_json) {
+          return std::string("resumed JSON differs from cold");
+        }
+        return ok();
+      },
+      [](const ReplayCase& rc) {
+        std::ostringstream os;
+        os << "pipelines=" << rc.spec.pipelines.size()
+           << " grid=" << rc.spec.grids.front()
+           << " iters=" << rc.spec.iterations.front()
+           << " period=" << rc.spec.io_periods.front()
+           << " codec=" << static_cast<int>(rc.spec.codecs.front())
+           << " shards=" << rc.shards_cold << "/" << rc.shards_resume
+           << " limit=" << rc.limit;
+        return os.str();
+      });
+}
+
 }  // namespace
 
 void register_builtin_properties() {
@@ -307,6 +420,7 @@ void register_builtin_properties() {
   register_compress_properties();
   register_replay_properties();
   register_pipeline_properties();
+  register_campaign_properties();
 }
 
 }  // namespace greenvis::qa

@@ -1,0 +1,104 @@
+#include "src/util/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/obs/tracer.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::util {
+
+namespace {
+
+/// One shard: a claim cursor over a contiguous job range. Owned fields sit
+/// on their own cache line so cross-shard steal probes do not false-share
+/// with the owner's claim traffic.
+struct alignas(64) Shard {
+  std::atomic<std::size_t> next{0};
+  std::size_t end{0};
+};
+
+}  // namespace
+
+ShardedRunStats run_sharded(ThreadPool& pool, std::size_t jobs,
+                            const std::function<void(std::size_t)>& job,
+                            const ShardedOptions& options) {
+  ShardedRunStats stats;
+  if (jobs == 0) {
+    return stats;
+  }
+  std::size_t shard_count =
+      options.shards == 0 ? pool.size() : options.shards;
+  shard_count = std::clamp<std::size_t>(shard_count, 1, jobs);
+  stats.shards = shard_count;
+
+  std::vector<Shard> shards(shard_count);
+  const std::size_t base = jobs / shard_count;
+  const std::size_t extra = jobs % shard_count;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards[s].next.store(cursor, std::memory_order_relaxed);
+    cursor += base + (s < extra ? 1 : 0);
+    shards[s].end = cursor;
+  }
+  GREENVIS_ENSURE(cursor == jobs);
+
+  std::atomic<std::uint64_t> steals{0};
+  // An executor drains the shards parallel_for assigned it, then turns
+  // thief: it rescans for the fullest remaining shard and claims one job at
+  // a time until every cursor is exhausted.
+  pool.parallel_for(0, shard_count, [&](std::size_t lo, std::size_t hi) {
+    obs::ScopedSpan span(options.span_name != nullptr ? options.span_name
+                                                      : "sharded.drain",
+                         obs::kCatPool);
+    for (std::size_t s = lo; s < hi; ++s) {
+      for (;;) {
+        const std::size_t i =
+            shards[s].next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards[s].end) {
+          break;
+        }
+        job(i);
+      }
+    }
+    std::uint64_t stolen = 0;
+    for (;;) {
+      // Fullest victim first: steal pressure goes where the backlog is.
+      std::size_t victim = shard_count;
+      std::size_t victim_remaining = 0;
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        const std::size_t next = shards[s].next.load(std::memory_order_relaxed);
+        const std::size_t remaining = next < shards[s].end
+                                          ? shards[s].end - next
+                                          : 0;
+        if (remaining > victim_remaining) {
+          victim = s;
+          victim_remaining = remaining;
+        }
+      }
+      if (victim == shard_count) {
+        break;
+      }
+      const std::size_t i =
+          shards[victim].next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shards[victim].end) {
+        continue;  // lost the race; rescan
+      }
+      job(i);
+      ++stolen;
+    }
+    if (stolen > 0) {
+      steals.fetch_add(stolen, std::memory_order_relaxed);
+    }
+  });
+
+  stats.steals = steals.load(std::memory_order_relaxed);
+  if (options.steal_counter != nullptr && obs::enabled() && stats.steals > 0) {
+    options.steal_counter->add(stats.steals);
+  }
+  return stats;
+}
+
+}  // namespace greenvis::util

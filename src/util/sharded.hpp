@@ -1,0 +1,55 @@
+// Work-stealing sharded job execution on top of ThreadPool.
+//
+// `parallel_for` balances fine-grained index ranges; batch/campaign jobs are
+// the opposite shape: few-to-tens-of-thousands of *heavy, uneven* jobs (a
+// whole pipeline run each). run_sharded partitions the job index space into
+// contiguous shards, hands whole shards to pool executors through one
+// parallel_for dispatch, and lets an executor that drains its shards steal
+// remaining jobs one at a time from the fullest victim shard. Placement is
+// therefore dynamic, but since every job writes only its own output slot the
+// caller's results are independent of which thread ran what — byte-identical
+// to a serial loop over [0, jobs).
+//
+// Exceptions: `job` must not throw. Callers that can fail per job (the batch
+// runner, the campaign engine) catch inside the callback and rethrow the
+// first error after the dispatch drains, so one bad job never abandons the
+// rest of the batch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/obs/registry.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace greenvis::util {
+
+struct ShardedOptions {
+  /// Shard count; 0 = one shard per executing thread (capped at the job
+  /// count). More shards than threads smooths very uneven job mixes at the
+  /// cost of more steal traffic.
+  std::size_t shards{0};
+  /// When non-null and observability is enabled, each executor records one
+  /// span with this (static-storage) name around its drain participation.
+  const char* span_name{nullptr};
+  /// When non-null and observability is enabled, receives the number of
+  /// jobs executed by a thread other than the shard's initial owner.
+  obs::Counter* steal_counter{nullptr};
+};
+
+struct ShardedRunStats {
+  std::size_t shards{0};
+  /// Jobs claimed from a shard after its initial owner moved on (work the
+  /// stealing actually re-balanced).
+  std::uint64_t steals{0};
+};
+
+/// Run `job(i)` for every i in [0, jobs) across `pool` with work-stealing
+/// shards. Returns when all jobs completed. Deterministic output contract:
+/// see file comment.
+ShardedRunStats run_sharded(ThreadPool& pool, std::size_t jobs,
+                            const std::function<void(std::size_t)>& job,
+                            const ShardedOptions& options = {});
+
+}  // namespace greenvis::util

@@ -44,7 +44,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "compress.lossy_round_trip",
                       "codec.container_round_trip",
                       "replay.trace_flip_robust",
-                      "pipeline.async_matches_sync"),
+                      "pipeline.async_matches_sync",
+                      "campaign.replay_identical"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       std::string name = param_info.param;
       for (char& c : name) {

@@ -329,6 +329,7 @@ class Oracles : public ::testing::Test {
 TEST_F(Oracles, SolverSerialVsPool) { expect_ok("solver.serial_vs_pool"); }
 TEST_F(Oracles, PipelineSerialVsPool) { expect_ok("pipeline.serial_vs_pool"); }
 TEST_F(Oracles, PipelineSyncVsAsync) { expect_ok("pipeline.sync_vs_async"); }
+TEST_F(Oracles, BatchShardedVsSerial) { expect_ok("batch.sharded_vs_serial"); }
 TEST_F(Oracles, CodecRawVsDelta) { expect_ok("codec.raw_vs_delta"); }
 TEST_F(Oracles, CacheOnVsOff) {
   // Run the oracle with obs on: the buffered leg must surface page-cache

@@ -2,7 +2,8 @@
 # CI-style gate: configure + build, run the full test suite, and (when
 # clang-format is available) verify formatting of everything under src/.
 #
-# Usage: tools/check.sh [--asan] [--bench-smoke] [--conformance] [build-dir]
+# Usage: tools/check.sh [--asan] [--bench-smoke] [--campaign-smoke]
+#                       [--conformance] [build-dir]
 #   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
 #                 (RelWithDebInfo, default build dir: build-asan) and run the
 #                 full suite under them — including the obs/pool concurrency
@@ -10,6 +11,11 @@
 #   --bench-smoke after the suite, run the ~5 s perf-harness subset and fail
 #                 on a >10% regression vs the committed BENCH_perf.json
 #                 (heat2d_512 serial MCUPS and codec MB/s).
+#   --campaign-smoke after the suite, exercise the campaign engine end to
+#                 end: run a small sweep truncated by --limit (expects the
+#                 "interrupted" exit code 3), resume it from the journal, and
+#                 require the resumed JSON to be byte-identical to an
+#                 uninterrupted reference run.
 #   --conformance after the suite, run `greenvis verify`: the differential
 #                 oracles plus the paper-conformance invariants (Fig. 5/8/9/
 #                 10, Table II bands), emitting QA_conformance.json into the
@@ -20,11 +26,13 @@ cd "$(dirname "$0")/.."
 
 ASAN=0
 BENCH_SMOKE=0
+CAMPAIGN_SMOKE=0
 CONFORMANCE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --asan) ASAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --campaign-smoke) CAMPAIGN_SMOKE=1 ;;
     --conformance) CONFORMANCE=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
@@ -65,6 +73,33 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
     "$BUILD_DIR"/tools/greenvis compare --case 1 --pipeline=async \
       --stage-buffers=2 >/dev/null
   fi
+fi
+
+if [[ "$CAMPAIGN_SMOKE" == 1 ]]; then
+  echo "== campaign smoke =="
+  CLI="$BUILD_DIR"/tools/greenvis
+  SMOKE_DIR="$BUILD_DIR"/campaign-smoke
+  rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+  SWEEP=(campaign --pipelines=post,insitu --grids=16,24 --periods=1,2
+         --iterations=2 --threads=4)
+
+  # Reference: one uninterrupted run.
+  "$CLI" "${SWEEP[@]}" --journal="$SMOKE_DIR/ref.journal" \
+    --out="$SMOKE_DIR/ref.json"
+
+  # Interrupt after 3 executed configs (exit code 3 = interrupted) ...
+  rc=0
+  "$CLI" "${SWEEP[@]}" --journal="$SMOKE_DIR/resume.journal" --limit=3 \
+    --out="$SMOKE_DIR/partial.json" || rc=$?
+  if [[ "$rc" != 3 ]]; then
+    echo "campaign smoke: expected interrupted exit code 3, got $rc" >&2
+    exit 1
+  fi
+  # ... then resume from the journal and demand byte-identical output.
+  "$CLI" "${SWEEP[@]}" --journal="$SMOKE_DIR/resume.journal" --resume \
+    --out="$SMOKE_DIR/resumed.json"
+  cmp "$SMOKE_DIR/ref.json" "$SMOKE_DIR/resumed.json"
+  echo "campaign smoke: resumed JSON byte-identical to the reference"
 fi
 
 if [[ "$CONFORMANCE" == 1 ]]; then

@@ -9,6 +9,8 @@
 //                   [--no-exploration]
 //   greenvis replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
 //   greenvis cluster [--nodes N] [--staging S] [--targets T]
+//   greenvis campaign [--pipelines ...] [--grids ...] [--journal FILE]
+//                     [--resume] [--limit N] [--whatif]
 //   greenvis trace-template            # print a starter trace to stdout
 //
 // Any command also accepts the global observability flags
@@ -16,6 +18,7 @@
 //   --metrics-out=FILE   write the metrics snapshot (.csv suffix → CSV,
 //                        anything else → JSON)
 // Either flag switches the obs subsystem on for the whole process.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -26,6 +29,8 @@
 
 #include "src/analysis/advisor.hpp"
 #include "src/analysis/metrics.hpp"
+#include "src/campaign/engine.hpp"
+#include "src/campaign/query.hpp"
 #include "src/codec/field_codec.hpp"
 #include "src/core/experiment.hpp"
 #include "src/fio/runner.hpp"
@@ -266,6 +271,173 @@ int cmd_trace_template() {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+    if (next == std::string::npos) {
+      break;
+    }
+    pos = next + 1;
+  }
+  return out;
+}
+
+int cmd_campaign(const Args& args) {
+  campaign::CampaignSpec spec;
+  for (const std::string& name :
+       split_csv(opt_string(args, "pipelines", "post,insitu"))) {
+    if (name == "post") {
+      spec.pipelines.push_back(core::PipelineKind::kPostProcessing);
+    } else if (name == "async") {
+      spec.pipelines.push_back(core::PipelineKind::kPostProcessingAsync);
+    } else if (name == "insitu") {
+      spec.pipelines.push_back(core::PipelineKind::kInSitu);
+    } else {
+      std::cerr << "unknown pipeline '" << name
+                << "' (expected post|async|insitu)\n";
+      return 2;
+    }
+  }
+  for (const std::string& g : split_csv(opt_string(args, "grids", "128"))) {
+    spec.grids.push_back(static_cast<std::size_t>(std::stoul(g)));
+  }
+  for (const std::string& p : split_csv(opt_string(args, "periods", "1,2,8"))) {
+    spec.io_periods.push_back(std::stoi(p));
+  }
+  for (const std::string& i :
+       split_csv(opt_string(args, "iterations", "50"))) {
+    spec.iterations.push_back(std::stoi(i));
+  }
+  for (const std::string& c : split_csv(opt_string(args, "codecs", "raw"))) {
+    spec.codecs.push_back(codec::parse_kind(c));
+  }
+  for (const std::string& t : split_csv(opt_string(args, "tolerances", ""))) {
+    spec.tolerances.push_back(std::stod(t));
+  }
+  for (const std::string& d : split_csv(opt_string(args, "devices", "hdd"))) {
+    if (d == "hdd") {
+      spec.devices.push_back(core::StorageDeviceKind::kHdd);
+    } else if (d == "ssd") {
+      spec.devices.push_back(core::StorageDeviceKind::kSsd);
+    } else if (d == "nvram") {
+      spec.devices.push_back(core::StorageDeviceKind::kNvram);
+    } else {
+      std::cerr << "unknown device '" << d << "' (expected hdd|ssd|nvram)\n";
+      return 2;
+    }
+  }
+  for (const std::string& f : split_csv(opt_string(args, "freqs", ""))) {
+    spec.frequencies.push_back(std::stod(f));
+  }
+  for (const std::string& f : split_csv(opt_string(args, "io-freqs", ""))) {
+    spec.io_frequencies.push_back(std::stod(f));
+  }
+  for (const std::string& c : split_csv(opt_string(args, "caps", ""))) {
+    spec.package_caps.push_back(std::stod(c));
+  }
+  const std::vector<campaign::CampaignConfig> configs = spec.expand();
+
+  campaign::ResultCache cache;
+  const std::string journal_path = opt_string(args, "journal", "");
+  if (args.has("resume") && journal_path.empty()) {
+    std::cerr << "--resume requires --journal=FILE\n";
+    return 2;
+  }
+  std::optional<std::ofstream> journal_out;
+  if (!journal_path.empty()) {
+    if (args.has("resume")) {
+      std::ifstream in(journal_path);
+      if (in.good()) {
+        const std::size_t loaded = cache.load_journal(in);
+        std::cerr << "resumed " << loaded << " result(s) from "
+                  << journal_path << '\n';
+      }
+      journal_out.emplace(journal_path, std::ios::app);
+    } else {
+      journal_out.emplace(journal_path, std::ios::trunc);
+    }
+    if (!journal_out->good()) {
+      std::cerr << "error: cannot open journal " << journal_path << '\n';
+      return 1;
+    }
+  }
+
+  campaign::CampaignOptions options;
+  options.threads = static_cast<std::size_t>(opt_double(args, "threads", 0));
+  options.shards = static_cast<std::size_t>(opt_double(args, "shards", 0));
+  options.job_limit = static_cast<std::size_t>(opt_double(args, "limit", 0));
+
+  std::cerr << "campaign: " << configs.size() << " config(s)...\n";
+  const campaign::CampaignEngine engine(
+      cache, journal_out ? &*journal_out : nullptr);
+  const campaign::CampaignReport report = engine.run(configs, options);
+  std::cerr << "campaign: " << report.unique_configs << " unique ("
+            << report.duplicates << " duplicate(s)), " << report.cache_hits
+            << " cache hit(s), " << report.executed << " executed in "
+            << util::cell(report.host_seconds) << " s host ("
+            << util::cell(report.configs_per_second()) << " configs/s, "
+            << report.steals << " steal(s))\n";
+  if (report.interrupted) {
+    std::cerr << "campaign interrupted by --limit " << options.job_limit
+              << "; rerun with --resume to continue\n";
+    return 3;
+  }
+
+  const std::string out = opt_string(args, "out", "CAMPAIGN_results.json");
+  std::ofstream file(out);
+  if (file.good()) {
+    campaign::write_campaign_json(file, report);
+  }
+  if (!file.good()) {
+    std::cerr << "error: cannot write " << out << '\n';
+    return 1;
+  }
+  std::cerr << "wrote " << out << '\n';
+
+  if (args.has("whatif")) {
+    const auto cases = campaign::pipeline_switch_cases(report);
+    if (cases.empty()) {
+      std::cout << "no post-processing/in-situ pairs in this sweep "
+                   "(add both to --pipelines)\n";
+    } else {
+      util::TextTable t({"Config", "Post (kJ)", "In-situ (kJ)",
+                         "Savings (kJ)", "Ratio"});
+      for (const auto& sc : cases) {
+        t.add_row({campaign::describe(report.configs[sc.post_index]),
+                   util::cell(sc.whatif.post_energy.value() / 1000.0),
+                   util::cell(sc.whatif.insitu_energy.value() / 1000.0),
+                   util::cell(sc.whatif.energy_savings().value() / 1000.0),
+                   util::cell(sc.whatif.energy_ratio())});
+      }
+      std::cout << t.render();
+      // Advise on the heaviest post-processing config's snapshot traffic.
+      const auto heaviest = std::max_element(
+          cases.begin(), cases.end(), [](const auto& a, const auto& b) {
+            return a.whatif.energy_savings().value() <
+                   b.whatif.energy_savings().value();
+          });
+      const analysis::AccessPattern pattern = campaign::access_pattern_for(
+          report.results[heaviest->post_index]);
+      const analysis::Advisor advisor(machine::sandy_bridge_testbed(),
+                                      power::hdd_power_params(),
+                                      util::Watts{103.0});
+      const auto rec = advisor.recommend(pattern);
+      std::cout << "\nAdvisor ("
+                << campaign::describe(report.configs[heaviest->post_index])
+                << "): " << analysis::strategy_name(rec.chosen.strategy)
+                << " — " << rec.chosen.rationale << '\n';
+    }
+  }
+  return 0;
+}
+
 int cmd_verify(const Args& args) {
   // Replay path: re-run one shrunk property counterexample from a
   // reproducer file written by a failing property check.
@@ -337,6 +509,14 @@ commands:
       [--no-exploration]                              optimization advisor
   replay (<trace-file>|--builtin mpas|xrage) [--in-situ]
   cluster [--nodes N] [--staging S] [--targets T]     multi-node study
+  campaign [--pipelines post,async,insitu] [--grids G,..] [--periods P,..]
+      [--iterations N,..] [--codecs raw,delta,rle] [--tolerances T,..]
+      [--devices hdd,ssd,nvram] [--freqs F,..] [--io-freqs F,..]
+      [--caps W,..] [--out FILE] [--journal FILE] [--resume]
+      [--limit N] [--shards N] [--threads N] [--whatif]
+                                                      parameter sweep with a
+                                                      deduplicating cache and
+                                                      resumable journal
   trace-template                                      starter replay trace
   verify [--out FILE] [--codec raw|delta|rle] [--tolerance T] [--label L]
          [--qa-repro=FILE]                            qa conformance suite
@@ -414,6 +594,8 @@ int main(int argc, char** argv) {
       rc = cmd_replay(args);
     } else if (command == "cluster") {
       rc = cmd_cluster(args);
+    } else if (command == "campaign") {
+      rc = cmd_campaign(args);
     } else if (command == "trace-template") {
       rc = cmd_trace_template();
     } else if (command == "verify") {
