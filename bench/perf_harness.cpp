@@ -304,6 +304,43 @@ struct ObsOverhead {
   }
 };
 
+struct ProfilerOverhead {
+  double experiment_s{0.0};   // host wall time of the case-1 post run
+  double attribute_ms{0.0};   // host cost of one attribution pass
+
+  [[nodiscard]] double overhead_pct() const {
+    return attribute_ms / 1e3 / experiment_s * 100.0;
+  }
+};
+
+/// Host cost of the energy attributor relative to the case-1 run it
+/// accounts for. Attribution is always computed (campaign columns depend on
+/// it), so its price must stay a rounding error on every Experiment::run.
+ProfilerOverhead profiler_overhead(int reps) {
+  ProfilerOverhead out;
+  core::Testbed bed;
+  const core::CaseStudyConfig workload = core::case_study(1);
+  auto t0 = Clock::now();
+  (void)core::run_post_processing(bed, workload, {});
+  out.experiment_s = seconds_since(t0);
+
+  const obs::EnergyAttributor attributor(bed.power_model());
+  const trace::Timeline phases = bed.phases();
+  const int iters = 16 * reps;  // one pass is sub-ms; amortize the clock
+  double checksum = 0.0;
+  t0 = Clock::now();
+  for (int k = 0; k < iters; ++k) {
+    checksum += attributor
+                    .attribute(phases, bed.loads(), bed.device().activity(),
+                               bed.clock().now())
+                    .total()
+                    .value();
+  }
+  out.attribute_ms = seconds_since(t0) / iters * 1e3;
+  GREENVIS_ENSURE(checksum > 0.0);
+  return out;
+}
+
 std::string compiler_string() {
 #if defined(__clang__)
   return std::string{"clang "} + __clang_version__;
@@ -360,7 +397,7 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
                 const std::vector<double>& fig10_delta_s,
                 const AsyncOverlap& overlap, double batch_serial_s,
                 double batch_concurrent_s, const CampaignBench& camp,
-                const ObsOverhead& obs_row) {
+                const ObsOverhead& obs_row, const ProfilerOverhead& prof) {
   std::ofstream os(path);
   GREENVIS_REQUIRE_MSG(os.good(), "cannot open " + path);
   os.setf(std::ios::fixed);
@@ -410,7 +447,13 @@ void write_json(const std::string& path, const std::vector<KernelRow>& rows,
      << obs_row.uninstrumented_s
      << ", \"instrumented_seconds\": " << obs_row.instrumented_s
      << ", \"overhead_pct\": " << obs_row.overhead_pct()
-     << ", \"spans_captured\": " << obs_row.spans_captured << "}\n";
+     << ", \"spans_captured\": " << obs_row.spans_captured << "},\n";
+  os << "  \"energy_profiler\": {\"case1_experiment_seconds\": "
+     << prof.experiment_s;
+  os.precision(4);
+  os << ", \"attribute_ms\": " << prof.attribute_ms
+     << ", \"overhead_pct\": " << prof.overhead_pct() << "}\n";
+  os.precision(3);
   os << "}\n";
 }
 
@@ -604,6 +647,23 @@ int main(int argc, char** argv) try {
   obs_row.spans_captured = obs::Tracer::global().events().size();
   obs::set_enabled(false);
 
+  // Energy attribution runs on every Experiment::run; its host cost must
+  // stay under 1% of the experiment it profiles.
+  std::cerr << "[perf] energy attribution overhead, case 1...\n";
+  ProfilerOverhead prof;
+  prof.experiment_s = 0.0;
+  prof.attribute_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const ProfilerOverhead p = profiler_overhead(reps);
+    prof.experiment_s = std::max(prof.experiment_s, p.experiment_s);
+    prof.attribute_ms = std::min(prof.attribute_ms, p.attribute_ms);
+  }
+  GREENVIS_REQUIRE_MSG(
+      prof.overhead_pct() < 1.0,
+      "energy attribution too expensive: " +
+          std::to_string(prof.overhead_pct()) +
+          "% of the case-1 experiment (gate: <1%)");
+
   util::TextTable t({"Kernel", "Serial", "Parallel", "Speedup", "Unit"});
   for (const auto& row : rows) {
     t.add_row({row.name, util::cell(row.serial, 1), util::cell(row.parallel, 1),
@@ -642,6 +702,10 @@ int main(int argc, char** argv) try {
             << " s instrumented vs " << util::cell(obs_row.uninstrumented_s, 2)
             << " s (" << util::cell(obs_row.overhead_pct(), 2) << "% overhead, "
             << obs_row.spans_captured << " spans)\n";
+  std::cout << "energy attribution: " << util::cell(prof.attribute_ms, 3)
+            << " ms per pass vs " << util::cell(prof.experiment_s, 2)
+            << " s case-1 experiment ("
+            << util::cell(prof.overhead_pct(), 4) << "% overhead)\n";
 
   std::cout << "campaign: " << camp.configs << " configs, cold "
             << util::cell(camp.cold_rate(), 1) << " configs/s -> warm "
@@ -649,7 +713,7 @@ int main(int argc, char** argv) try {
             << util::cell(camp.warm_speedup(), 0) << "x)\n";
   write_json(out, rows, p1_serial, p1_degen, cdc, encode_pool_mbps,
              case_ratios, fig10_raw_s, fig10_delta_s, overlap, batch_serial,
-             batch_conc, camp, obs_row);
+             batch_conc, camp, obs_row, prof);
   std::cout << "\nwrote " << out << '\n';
   return 0;
 } catch (const std::exception& e) {

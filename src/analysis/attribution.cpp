@@ -1,0 +1,112 @@
+#include "src/analysis/attribution.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "src/obs/json.hpp"
+
+namespace greenvis::analysis {
+
+namespace {
+
+void json_double(std::ostream& os, double v) {
+  os << std::setprecision(17) << v;
+}
+
+void json_rails(std::ostream& os, const obs::RailEnergy& rails) {
+  os << "{\"cpu_j\": ";
+  json_double(os, rails.cpu.value());
+  os << ", \"dram_j\": ";
+  json_double(os, rails.dram.value());
+  os << ", \"disk_j\": ";
+  json_double(os, rails.disk.value());
+  os << ", \"rest_j\": ";
+  json_double(os, rails.rest.value());
+  os << ", \"total_j\": ";
+  json_double(os, rails.total().value());
+  os << "}";
+}
+
+}  // namespace
+
+std::vector<EnergyConsumer> top_consumers(const obs::EnergyReport& report,
+                                          std::size_t n) {
+  const double total = report.total().value();
+  std::vector<EnergyConsumer> ranked;
+  ranked.reserve(report.stages.size());
+  for (const obs::StageEnergy& s : report.stages) {
+    const util::Joules j = s.total();
+    if (j.value() <= 0.0) {
+      continue;
+    }
+    ranked.push_back(
+        EnergyConsumer{s.name, j, total > 0.0 ? j.value() / total : 0.0});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const EnergyConsumer& a, const EnergyConsumer& b) {
+              if (a.joules != b.joules) {
+                return a.joules > b.joules;
+              }
+              return a.stage < b.stage;
+            });
+  if (ranked.size() > n) {
+    ranked.resize(n);
+  }
+  return ranked;
+}
+
+void write_energy_profile_json(std::ostream& os,
+                               const obs::EnergyReport& report,
+                               const std::string& pipeline,
+                               const std::string& case_name,
+                               std::size_t top_n) {
+  os << "{\n  \"schema\": \"greenvis.energy_profile.v1\",\n  \"pipeline\": ";
+  obs::detail::write_json_string(os, pipeline);
+  os << ",\n  \"case\": ";
+  obs::detail::write_json_string(os, case_name);
+  os << ",\n  \"duration_s\": ";
+  json_double(os, report.duration.value());
+  os << ",\n  \"total_j\": ";
+  json_double(os, report.total().value());
+  os << ",\n  \"static_j\": ";
+  json_double(os, report.static_total().value());
+  os << ",\n  \"dynamic_j\": ";
+  json_double(os, report.dynamic_total().value());
+  os << ",\n  \"static_share\": ";
+  json_double(os, report.static_share());
+  os << ",\n  \"conservation_error\": ";
+  json_double(os, report.conservation_error);
+  os << ",\n  \"rails\": {\"static\": ";
+  json_rails(os, report.static_rails);
+  os << ", \"dynamic\": ";
+  json_rails(os, report.dynamic_rails);
+  os << "},\n  \"stages\": [";
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const obs::StageEnergy& s = report.stages[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    obs::detail::write_json_string(os, s.name);
+    os << ", \"busy_s\": ";
+    json_double(os, s.busy.value());
+    os << ", \"total_j\": ";
+    json_double(os, s.total().value());
+    os << ", \"static\": ";
+    json_rails(os, s.static_rails);
+    os << ", \"dynamic\": ";
+    json_rails(os, s.dynamic_rails);
+    os << "}";
+  }
+  os << "\n  ],\n  \"top_consumers\": [";
+  const std::vector<EnergyConsumer> ranked = top_consumers(report, top_n);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"stage\": ";
+    obs::detail::write_json_string(os, ranked[i].stage);
+    os << ", \"joules\": ";
+    json_double(os, ranked[i].joules.value());
+    os << ", \"share\": ";
+    json_double(os, ranked[i].share);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace greenvis::analysis

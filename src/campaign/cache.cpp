@@ -74,7 +74,7 @@ std::vector<std::string_view> split_fields(std::string_view line) {
 }  // namespace
 
 std::string encode_line(const ConfigResult& result) {
-  std::string line = "C1 ";
+  std::string line = "C2 ";
   line += result.key;
   line += ' ';
   append_double_bits(line, result.duration_s);
@@ -96,6 +96,20 @@ std::string encode_line(const ConfigResult& result) {
   line += ' ' + std::to_string(result.snapshot_bytes_read);
   line += ' ' + std::to_string(result.snapshot_bytes_raw);
   line += ' ';
+  append_double_bits(line, result.energy_sim_j);
+  line += ' ';
+  append_double_bits(line, result.energy_write_j);
+  line += ' ';
+  append_double_bits(line, result.energy_read_j);
+  line += ' ';
+  append_double_bits(line, result.energy_vis_j);
+  line += ' ';
+  append_double_bits(line, result.energy_idle_j);
+  line += ' ';
+  append_double_bits(line, result.energy_other_j);
+  line += ' ';
+  append_double_bits(line, result.energy_static_j);
+  line += ' ';
   append_hex64(line, line_checksum(
                          std::string_view(line).substr(0, line.size() - 1)));
   return line;
@@ -103,7 +117,7 @@ std::string encode_line(const ConfigResult& result) {
 
 std::optional<ConfigResult> decode_line(const std::string& line) {
   const auto fields = split_fields(line);
-  if (fields.size() != 15 || fields[0] != "C1" || fields[1].size() != 16) {
+  if (fields.size() != 22 || fields[0] != "C2" || fields[1].size() != 16) {
     return std::nullopt;
   }
   // The checksum covers the payload, excluding its own separator space.
@@ -128,7 +142,14 @@ std::optional<ConfigResult> decode_line(const std::string& line) {
       !parse_dec64(fields[9], &steps) || !parse_dec64(fields[10], &visualized) ||
       !parse_dec64(fields[11], &r.snapshot_bytes_written) ||
       !parse_dec64(fields[12], &r.snapshot_bytes_read) ||
-      !parse_dec64(fields[13], &r.snapshot_bytes_raw)) {
+      !parse_dec64(fields[13], &r.snapshot_bytes_raw) ||
+      !parse_double_bits(fields[14], &r.energy_sim_j) ||
+      !parse_double_bits(fields[15], &r.energy_write_j) ||
+      !parse_double_bits(fields[16], &r.energy_read_j) ||
+      !parse_double_bits(fields[17], &r.energy_vis_j) ||
+      !parse_double_bits(fields[18], &r.energy_idle_j) ||
+      !parse_double_bits(fields[19], &r.energy_other_j) ||
+      !parse_double_bits(fields[20], &r.energy_static_j)) {
     return std::nullopt;
   }
   r.steps = static_cast<int>(steps);

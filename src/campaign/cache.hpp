@@ -40,11 +40,27 @@ struct ConfigResult {
   std::uint64_t snapshot_bytes_written{0};
   std::uint64_t snapshot_bytes_read{0};
   std::uint64_t snapshot_bytes_raw{0};
+  /// Attributed per-stage energy (obs::EnergyAttributor): stage totals
+  /// (static + dynamic share) for the paper's four canonical stages, the
+  /// "(idle)" bucket, and "other" for anything else — the six sum to the
+  /// attributor's conservation-checked total (exact model integral, which
+  /// the sampled energy_j approximates). energy_static_j is the static-floor
+  /// slice of that same total, reported separately (Table II split).
+  double energy_sim_j{0.0};
+  double energy_write_j{0.0};
+  double energy_read_j{0.0};
+  double energy_vis_j{0.0};
+  double energy_idle_j{0.0};
+  double energy_other_j{0.0};
+  double energy_static_j{0.0};
 
   friend bool operator==(const ConfigResult&, const ConfigResult&) = default;
 };
 
-/// Render one journal line (no trailing newline): "C1 <key> <fields> <sum>".
+/// Render one journal line (no trailing newline): "C2 <key> <fields> <sum>".
+/// The version tag changed C1 -> C2 when the attributed-energy columns were
+/// added; a C1 journal fails the version check and is rejected loudly
+/// (better a re-run than a silently half-populated cache).
 [[nodiscard]] std::string encode_line(const ConfigResult& result);
 
 /// Parse one complete journal line; nullopt when malformed or the checksum

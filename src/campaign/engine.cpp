@@ -51,6 +51,23 @@ ConfigResult result_from_metrics(const std::string& key,
   r.snapshot_bytes_written = metrics.output.snapshot_bytes_written.value();
   r.snapshot_bytes_read = metrics.output.snapshot_bytes_read.value();
   r.snapshot_bytes_raw = metrics.output.snapshot_bytes_raw.value();
+  for (const obs::StageEnergy& s : metrics.attribution.stages) {
+    const double j = s.total().value();
+    if (s.name == core::stage::kSimulation) {
+      r.energy_sim_j += j;
+    } else if (s.name == core::stage::kWrite) {
+      r.energy_write_j += j;
+    } else if (s.name == core::stage::kRead) {
+      r.energy_read_j += j;
+    } else if (s.name == core::stage::kVisualization) {
+      r.energy_vis_j += j;
+    } else if (s.name == obs::kEnergyIdle) {
+      r.energy_idle_j += j;
+    } else {
+      r.energy_other_j += j;
+    }
+  }
+  r.energy_static_j = metrics.attribution.static_total().value();
   return r;
 }
 
@@ -229,7 +246,22 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
        << ", \"visualized_steps\": " << r.visualized_steps
        << ", \"snapshot_bytes_written\": " << r.snapshot_bytes_written
        << ", \"snapshot_bytes_read\": " << r.snapshot_bytes_read
-       << ", \"snapshot_bytes_raw\": " << r.snapshot_bytes_raw << "}";
+       << ", \"snapshot_bytes_raw\": " << r.snapshot_bytes_raw
+       << ",\n     \"energy_sim_j\": ";
+    json_double(os, r.energy_sim_j);
+    os << ", \"energy_write_j\": ";
+    json_double(os, r.energy_write_j);
+    os << ", \"energy_read_j\": ";
+    json_double(os, r.energy_read_j);
+    os << ", \"energy_vis_j\": ";
+    json_double(os, r.energy_vis_j);
+    os << ", \"energy_idle_j\": ";
+    json_double(os, r.energy_idle_j);
+    os << ", \"energy_other_j\": ";
+    json_double(os, r.energy_other_j);
+    os << ", \"energy_static_j\": ";
+    json_double(os, r.energy_static_j);
+    os << "}";
   }
   os << "\n  ]\n}\n";
 }

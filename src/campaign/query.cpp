@@ -1,5 +1,6 @@
 #include "src/campaign/query.hpp"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 
@@ -49,6 +50,35 @@ analysis::AccessPattern access_pattern_for(
       util::Bytes{result.snapshot_bytes_written},
       util::Bytes{result.snapshot_bytes_read}, accesses,
       exploratory_analysis_required);
+}
+
+std::vector<StageConsumer> top_stage_consumers(const ConfigResult& result,
+                                               std::size_t n) {
+  std::vector<StageConsumer> ranked;
+  const std::pair<const char*, double> columns[] = {
+      {core::stage::kSimulation, result.energy_sim_j},
+      {core::stage::kWrite, result.energy_write_j},
+      {core::stage::kRead, result.energy_read_j},
+      {core::stage::kVisualization, result.energy_vis_j},
+      {obs::kEnergyIdle, result.energy_idle_j},
+      {"Other", result.energy_other_j},
+  };
+  for (const auto& [name, joules] : columns) {
+    if (joules > 0.0) {
+      ranked.push_back(StageConsumer{name, joules});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const StageConsumer& a, const StageConsumer& b) {
+              if (a.joules != b.joules) {
+                return a.joules > b.joules;
+              }
+              return a.stage < b.stage;
+            });
+  if (ranked.size() > n) {
+    ranked.resize(n);
+  }
+  return ranked;
 }
 
 }  // namespace greenvis::campaign

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "src/analysis/advisor.hpp"
@@ -34,5 +35,18 @@ struct PipelineSwitchCase {
 /// step: one snapshot write + one read-back).
 [[nodiscard]] analysis::AccessPattern access_pattern_for(
     const ConfigResult& result, bool exploratory_analysis_required = true);
+
+/// One attributed-energy column of a ConfigResult, named.
+struct StageConsumer {
+  std::string stage;
+  double joules{0.0};
+};
+
+/// The result's attributed-energy columns ranked descending (ties by name),
+/// at most `n` entries, zero columns skipped — the "why" behind a
+/// pipeline-switch recommendation ("post-processing loses 14.2 kJ to Write
+/// spans").
+[[nodiscard]] std::vector<StageConsumer> top_stage_consumers(
+    const ConfigResult& result, std::size_t n = 3);
 
 }  // namespace greenvis::campaign

@@ -57,6 +57,15 @@ PipelineMetrics Experiment::run(PipelineKind kind,
   const double work = cells * static_cast<double>(config.iterations);
   m.efficiency = work / m.energy.value();
   m.output = std::move(out);
+  m.attribution = obs::EnergyAttributor(bed.power_model())
+                      .attribute(m.timeline, bed.loads(),
+                                 bed.device().activity(), m.duration);
+  if (obs::energy_profiler_enabled()) {
+    obs::publish_energy_profile(
+        m.attribution,
+        obs::rail_power_series(bed.loads(), bed.device().activity(),
+                               bed.power_model(), m.duration));
+  }
   return m;
 }
 

@@ -9,6 +9,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/core/testbed.hpp"
 #include "src/core/workload.hpp"
+#include "src/obs/energy.hpp"
 #include "src/power/trace.hpp"
 
 namespace greenvis::core {
@@ -30,6 +31,10 @@ struct PipelineMetrics {
   double efficiency{0.0};
   trace::Timeline timeline;
   power::PowerTrace trace{util::Seconds{1.0}};
+  /// Per-stage joule attribution (conservation-checked; deterministic, so
+  /// it is always computed — downstream consumers like campaign sweep
+  /// columns must not depend on the profiler flag).
+  obs::EnergyReport attribution;
   PipelineOutput output;
 };
 

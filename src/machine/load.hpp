@@ -67,6 +67,18 @@ class LoadTimeline {
   [[nodiscard]] Seconds end_time() const;
   [[nodiscard]] bool empty() const { return begins_.empty(); }
 
+  /// Read-only view of one recorded segment, in storage (begin-sorted)
+  /// order. The energy attributor integrates per segment instead of
+  /// sampling, so totals are exact rather than window-quantized.
+  struct SegmentView {
+    Seconds begin{0.0};
+    Seconds end{0.0};
+    const ComponentLoad* load{nullptr};
+  };
+  [[nodiscard]] SegmentView segment(std::size_t i) const {
+    return SegmentView{begins_[i], ends_[i], &loads_[i]};
+  }
+
  private:
   std::vector<Seconds> begins_;
   std::vector<Seconds> ends_;

@@ -1,0 +1,392 @@
+#include "src/obs/energy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/machine/dvfs.hpp"
+#include "src/obs/obs.hpp"
+#include "src/obs/registry.hpp"
+#include "src/obs/tracer.hpp"
+#include "src/util/error.hpp"
+
+namespace greenvis::obs {
+
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+double rel_error(double attributed, double reference) {
+  return std::abs(attributed - reference) /
+         std::max(1.0, std::abs(reference));
+}
+
+}  // namespace
+
+double EnergyReport::static_share() const {
+  const double t = total().value();
+  return t > 0.0 ? static_total().value() / t : 0.0;
+}
+
+const StageEnergy* EnergyReport::stage(std::string_view name) const {
+  for (const StageEnergy& s : stages) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+EnergyReport EnergyAttributor::attribute(
+    const trace::Timeline& phases, const machine::LoadTimeline& loads,
+    const storage::DiskActivityLog& disk_log, Seconds end) const {
+  const power::PowerCalibration& cal = model_.calibration();
+  const power::DiskPowerParams& dp = model_.disk_params();
+
+  // Accounted horizon: cover every recorded segment, not just `end`.
+  double horizon = std::max(0.0, end.value());
+  horizon = std::max(horizon, phases.span_end().value());
+  horizon = std::max(horizon, loads.end_time().value());
+  for (const storage::DiskSegment& seg : disk_log.segments()) {
+    horizon = std::max(horizon, seg.end.value());
+  }
+
+  // Stage table: one index per category, idle bucket last.
+  std::vector<std::string> names;
+  std::map<std::string, int, std::less<>> cat_index;
+  for (const trace::Interval& iv : phases.intervals()) {
+    if (!cat_index.contains(iv.category)) {
+      cat_index.emplace(iv.category, static_cast<int>(names.size()));
+      names.push_back(iv.category);
+    }
+  }
+  const int num_cats = static_cast<int>(names.size());
+  const int idle_idx = num_cats;
+
+  std::vector<char> is_io(static_cast<std::size_t>(num_cats), 0);
+  for (const std::string& io_cat : config_.disk_categories) {
+    auto it = cat_index.find(io_cat);
+    if (it != cat_index.end()) {
+      is_io[static_cast<std::size_t>(it->second)] = 1;
+    }
+  }
+
+  // Slice boundaries: every interval edge plus {0, horizon}.
+  std::vector<double> bounds;
+  bounds.reserve(2 * phases.intervals().size() + 2);
+  bounds.push_back(0.0);
+  bounds.push_back(horizon);
+  for (const trace::Interval& iv : phases.intervals()) {
+    bounds.push_back(std::clamp(iv.begin.value(), 0.0, horizon));
+    bounds.push_back(std::clamp(iv.end.value(), 0.0, horizon));
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  const std::size_t num_slices = bounds.empty() ? 0 : bounds.size() - 1;
+
+  auto slice_of = [&](double t) -> std::size_t {
+    // Boundaries were inserted from the same doubles, so an exact match
+    // exists for every interval edge.
+    auto it = std::lower_bound(bounds.begin(), bounds.end(), t);
+    return static_cast<std::size_t>(it - bounds.begin());
+  };
+
+  // Open-interval count per (category, slice) via edge diffs + prefix sum.
+  const std::size_t stride = num_slices + 1;
+  std::vector<int> open(static_cast<std::size_t>(num_cats) * stride, 0);
+  for (const trace::Interval& iv : phases.intervals()) {
+    const std::size_t b = slice_of(std::clamp(iv.begin.value(), 0.0, horizon));
+    const std::size_t e = slice_of(std::clamp(iv.end.value(), 0.0, horizon));
+    const std::size_t c =
+        static_cast<std::size_t>(cat_index.find(iv.category)->second);
+    open[c * stride + b] += 1;
+    open[c * stride + e] -= 1;
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+    int run = 0;
+    for (std::size_t s = 0; s < num_slices; ++s) {
+      run += open[c * stride + s];
+      open[c * stride + s] = run;
+    }
+  }
+  std::vector<int> open_total(num_slices, 0);
+  std::vector<int> open_io(num_slices, 0);
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+      open_total[s] += open[c * stride + s];
+      if (is_io[c] != 0) {
+        open_io[s] += open[c * stride + s];
+      }
+    }
+  }
+
+  // Accumulators, idle bucket last.
+  std::vector<RailEnergy> stat(static_cast<std::size_t>(num_cats) + 1);
+  std::vector<RailEnergy> dyn(static_cast<std::size_t>(num_cats) + 1);
+
+  // ---- Static rails: constant floor spread by open-interval weight.
+  const double p_cpu_idle = cal.cpu.package_idle.value();
+  const double p_dram_idle = cal.dram.idle.value();
+  const double p_disk_idle = dp.idle.value();
+  const double p_rest = cal.rest.constant.value();
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    const double dt = bounds[s + 1] - bounds[s];
+    if (dt <= 0.0) {
+      continue;
+    }
+    if (open_total[s] == 0) {
+      RailEnergy& a = stat[static_cast<std::size_t>(idle_idx)];
+      a.cpu += Joules{p_cpu_idle * dt};
+      a.dram += Joules{p_dram_idle * dt};
+      a.disk += Joules{p_disk_idle * dt};
+      a.rest += Joules{p_rest * dt};
+      continue;
+    }
+    const double inv = 1.0 / open_total[s];
+    for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+      const int n = open[c * stride + s];
+      if (n == 0) {
+        continue;
+      }
+      const double w = n * inv * dt;
+      stat[c].cpu += Joules{p_cpu_idle * w};
+      stat[c].dram += Joules{p_dram_idle * w};
+      stat[c].disk += Joules{p_disk_idle * w};
+      stat[c].rest += Joules{p_rest * w};
+    }
+  }
+
+  // ---- CPU/DRAM dynamic: exact-bounds pairing first, overlap spread as
+  // fallback. The Testbed records a load segment and a phase interval with
+  // bit-identical bounds for every compute/IO/stall call, so almost every
+  // segment pairs exactly — including the async writer's merged track.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<int>> exact;
+  for (const trace::Interval& iv : phases.intervals()) {
+    exact[{bits(iv.begin.value()), bits(iv.end.value())}].push_back(
+        cat_index.find(iv.category)->second);
+  }
+
+  double cpu_dyn_check = 0.0;
+  double dram_dyn_check = 0.0;
+  const double nominal = cal.cpu.nominal_ghz;
+  for (std::size_t i = 0; i < loads.segment_count(); ++i) {
+    const machine::LoadTimeline::SegmentView seg = loads.segment(i);
+    const double dur = seg.end.value() - seg.begin.value();
+    if (dur <= 0.0) {
+      continue;
+    }
+    const machine::ComponentLoad& load = *seg.load;
+    const double freq = load.frequency_ghz > 0.0 ? load.frequency_ghz : nominal;
+    const double scale = machine::dynamic_power_scale(freq, nominal);
+    const double p_cpu = cal.cpu.core_active.value() *
+                         (load.effective_cores() * scale);
+    const double p_dram =
+        cal.dram.watts_per_gbs * (load.dram_bandwidth.value() / 1e9);
+    cpu_dyn_check += p_cpu * dur;
+    dram_dyn_check += p_dram * dur;
+
+    auto it = exact.find({bits(seg.begin.value()), bits(seg.end.value())});
+    if (it != exact.end() && !it->second.empty()) {
+      const double share = dur / static_cast<double>(it->second.size());
+      for (int c : it->second) {
+        dyn[static_cast<std::size_t>(c)].cpu += Joules{p_cpu * share};
+        dyn[static_cast<std::size_t>(c)].dram += Joules{p_dram * share};
+      }
+      continue;
+    }
+    // Fallback: spread over open stages slice by slice.
+    const std::size_t first = slice_of(std::clamp(seg.begin.value(), 0.0,
+                                                  horizon));
+    for (std::size_t s = first; s < num_slices && bounds[s] < seg.end.value();
+         ++s) {
+      const double o0 = std::max(bounds[s], seg.begin.value());
+      const double o1 = std::min(bounds[s + 1], seg.end.value());
+      const double dt = o1 - o0;
+      if (dt <= 0.0) {
+        continue;
+      }
+      if (open_total[s] == 0) {
+        dyn[static_cast<std::size_t>(idle_idx)].cpu += Joules{p_cpu * dt};
+        dyn[static_cast<std::size_t>(idle_idx)].dram += Joules{p_dram * dt};
+        continue;
+      }
+      const double inv = dt / open_total[s];
+      for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+        const int n = open[c * stride + s];
+        if (n != 0) {
+          dyn[c].cpu += Joules{p_cpu * n * inv};
+          dyn[c].dram += Joules{p_dram * n * inv};
+        }
+      }
+    }
+  }
+
+  // ---- Disk dynamic: per-mechanical-phase power, I/O-stage affinity.
+  // Segments arrive begin-ordered (devices service serially), so the base
+  // slice cursor only ever moves forward — one monotone walk overall.
+  const double phase_power[storage::kDiskPhaseCount] = {
+      dp.seek.value(), dp.rotate_wait.value(), dp.read_transfer.value(),
+      dp.write_transfer.value(), dp.flush.value()};
+  double disk_dyn_check = 0.0;
+  std::size_t base = 0;
+  for (const storage::DiskSegment& seg : disk_log.segments()) {
+    const double b = seg.begin.value();
+    const double e = seg.end.value();
+    if (e <= b) {
+      continue;
+    }
+    const double p = phase_power[static_cast<std::size_t>(seg.phase)];
+    disk_dyn_check += p * (e - b);
+    while (base + 1 < bounds.size() && bounds[base + 1] <= b) {
+      ++base;
+    }
+    for (std::size_t s = base; s < num_slices && bounds[s] < e; ++s) {
+      const double o0 = std::max(bounds[s], b);
+      const double o1 = std::min(bounds[s + 1], e);
+      const double dt = o1 - o0;
+      if (dt <= 0.0) {
+        continue;
+      }
+      if (open_io[s] > 0) {
+        const double inv = dt / open_io[s];
+        for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+          if (is_io[c] != 0 && open[c * stride + s] != 0) {
+            dyn[c].disk += Joules{p * open[c * stride + s] * inv};
+          }
+        }
+      } else if (open_total[s] > 0) {
+        const double inv = dt / open_total[s];
+        for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+          if (open[c * stride + s] != 0) {
+            dyn[c].disk += Joules{p * open[c * stride + s] * inv};
+          }
+        }
+      } else {
+        dyn[static_cast<std::size_t>(idle_idx)].disk += Joules{p * dt};
+      }
+    }
+  }
+
+  // ---- Conservation: attributed rails vs independently integrated totals.
+  RailEnergy stat_total;
+  RailEnergy dyn_total;
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(num_cats); ++c) {
+    stat_total += stat[c];
+    dyn_total += dyn[c];
+  }
+  const double cpu_check = p_cpu_idle * horizon + cpu_dyn_check;
+  const double dram_check = p_dram_idle * horizon + dram_dyn_check;
+  const double disk_check = p_disk_idle * horizon + disk_dyn_check;
+  const double rest_check = p_rest * horizon;
+  double err = rel_error((stat_total.cpu + dyn_total.cpu).value(), cpu_check);
+  err = std::max(err, rel_error((stat_total.dram + dyn_total.dram).value(),
+                                dram_check));
+  err = std::max(err, rel_error((stat_total.disk + dyn_total.disk).value(),
+                                disk_check));
+  err = std::max(err, rel_error((stat_total.rest + dyn_total.rest).value(),
+                                rest_check));
+  GREENVIS_ENSURE(err < 1e-9);
+
+  // ---- Assemble, sorted by stage name ("(idle)" sorts first).
+  EnergyReport report;
+  report.duration = Seconds{horizon};
+  report.static_rails = stat_total;
+  report.dynamic_rails = dyn_total;
+  report.conservation_error = err;
+  report.stages.reserve(static_cast<std::size_t>(num_cats) + 1);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(num_cats); ++c) {
+    StageEnergy s;
+    s.name = names[c];
+    s.static_rails = stat[c];
+    s.dynamic_rails = dyn[c];
+    s.busy = phases.total(names[c]);
+    report.stages.push_back(std::move(s));
+  }
+  {
+    StageEnergy s;
+    s.name = kEnergyIdle;
+    s.static_rails = stat[static_cast<std::size_t>(idle_idx)];
+    s.dynamic_rails = dyn[static_cast<std::size_t>(idle_idx)];
+    double idle_time = 0.0;
+    for (std::size_t sl = 0; sl < num_slices; ++sl) {
+      if (open_total[sl] == 0) {
+        idle_time += bounds[sl + 1] - bounds[sl];
+      }
+    }
+    s.busy = Seconds{idle_time};
+    report.stages.push_back(std::move(s));
+  }
+  std::sort(report.stages.begin(), report.stages.end(),
+            [](const StageEnergy& a, const StageEnergy& b) {
+              return a.name < b.name;
+            });
+  return report;
+}
+
+std::vector<RailSample> rail_power_series(
+    const machine::LoadTimeline& loads,
+    const storage::DiskActivityLog& disk_log, const power::PowerModel& model,
+    Seconds end, std::size_t max_samples) {
+  double horizon = std::max(0.0, end.value());
+  horizon = std::max(horizon, loads.end_time().value());
+  for (const storage::DiskSegment& seg : disk_log.segments()) {
+    horizon = std::max(horizon, seg.end.value());
+  }
+  if (horizon <= 0.0 || max_samples == 0) {
+    return {};
+  }
+  const double width = horizon / static_cast<double>(max_samples);
+  std::vector<RailSample> series;
+  series.reserve(max_samples);
+  for (std::size_t i = 0; i < max_samples; ++i) {
+    const Seconds t0{static_cast<double>(i) * width};
+    const Seconds t1{static_cast<double>(i + 1) * width};
+    RailSample sample;
+    sample.t = t0;
+    const machine::ComponentLoad load = loads.average_in(t0, t1);
+    sample.cpu = model.package_power(load);
+    sample.dram = model.dram_power(load);
+    sample.disk = model.disk_power(disk_log.duty_in(t0, t1), t1 - t0);
+    sample.rest = model.rest_power();
+    series.push_back(sample);
+  }
+  return series;
+}
+
+void publish_energy_profile(const EnergyReport& report,
+                            const std::vector<RailSample>& series) {
+  if (!energy_profiler_enabled()) {
+    return;
+  }
+  Registry& reg = Registry::global();
+  reg.gauge("energy.total_j").set(report.total().value());
+  reg.gauge("energy.static_j").set(report.static_total().value());
+  reg.gauge("energy.dynamic_j").set(report.dynamic_total().value());
+  reg.gauge("energy.static_share").set(report.static_share());
+  reg.gauge("energy.conservation_error").set(report.conservation_error);
+  reg.gauge("energy.rail.cpu_j")
+      .set((report.static_rails.cpu + report.dynamic_rails.cpu).value());
+  reg.gauge("energy.rail.dram_j")
+      .set((report.static_rails.dram + report.dynamic_rails.dram).value());
+  reg.gauge("energy.rail.disk_j")
+      .set((report.static_rails.disk + report.dynamic_rails.disk).value());
+  reg.gauge("energy.rail.rest_j")
+      .set((report.static_rails.rest + report.dynamic_rails.rest).value());
+  for (const StageEnergy& s : report.stages) {
+    reg.gauge(std::string("energy.stage.") + s.name + ".joules")
+        .set(s.total().value());
+  }
+  Tracer& tracer = Tracer::global();
+  for (const RailSample& s : series) {
+    const double ts_us = s.t.value() * 1e6;
+    tracer.record_counter("power.cpu_w", ts_us, s.cpu.value());
+    tracer.record_counter("power.dram_w", ts_us, s.dram.value());
+    tracer.record_counter("power.disk_w", ts_us, s.disk.value());
+    tracer.record_counter("power.rest_w", ts_us, s.rest.value());
+  }
+}
+
+}  // namespace greenvis::obs

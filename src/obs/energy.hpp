@@ -1,0 +1,153 @@
+// Energy attribution: joining time spans with component power.
+//
+// The paper reports where the *time* goes (Fig. 4) and what the *system*
+// draws (Fig. 5), but "which stage burned the energy" needs a join: the
+// phase timeline says who was active, the load/disk logs say what the
+// hardware was doing, and the calibrated PowerModel prices it. The
+// EnergyAttributor integrates each component rail (cpu package, dram, disk,
+// rest-of-system) exactly — per recorded segment, not sampled — and
+// apportions every joule to a stage:
+//
+//  * Static rail power (the ~103 W idle floor of Sec. V-C) is spread across
+//    whichever stages are open at each instant, weighted by open-interval
+//    count; instants with no open stage land in the "(idle)" bucket.
+//  * CPU/DRAM dynamic energy of a load segment goes to the phase interval(s)
+//    recorded with bit-identical bounds — the Testbed records both sides of
+//    every run_compute/run_io call, so this pairing is exact even when the
+//    async pipeline's merged writer track overlaps compute. Segments with no
+//    exact twin fall back to overlap-weighted spreading.
+//  * Disk dynamic energy prefers concurrently-open I/O stages (Write/Read by
+//    default) before falling back to all open stages, so under async overlap
+//    the writer's joules land on the disk rail's true owner, not the
+//    compute span that merely coexists with it.
+//
+// Conservation is checked on every call: the attributed per-rail totals must
+// match an independently integrated rail total to 1e-9 relative, else a
+// ContractViolation fires. Attribution is pure — it reads recorded virtual
+// timelines and never perturbs them — so it runs unconditionally; only the
+// observable side surfaces (registry gauges, Chrome counter tracks emitted
+// by publish_energy_profile) are gated on obs::energy_profiler_enabled().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/machine/load.hpp"
+#include "src/power/model.hpp"
+#include "src/storage/activity_log.hpp"
+#include "src/trace/timeline.hpp"
+#include "src/util/units.hpp"
+
+namespace greenvis::obs {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+/// Bucket for time no stage claims (ramp-in/out, scheduler gaps).
+inline constexpr const char* kEnergyIdle = "(idle)";
+
+/// Joules per component rail, matching PowerBreakdown's split.
+struct RailEnergy {
+  Joules cpu{0.0};
+  Joules dram{0.0};
+  Joules disk{0.0};
+  Joules rest{0.0};
+
+  [[nodiscard]] Joules total() const { return cpu + dram + disk + rest; }
+  RailEnergy& operator+=(const RailEnergy& o) {
+    cpu += o.cpu;
+    dram += o.dram;
+    disk += o.disk;
+    rest += o.rest;
+    return *this;
+  }
+};
+
+/// One stage's share of the bill, static/dynamic split per the paper's
+/// Table II.
+struct StageEnergy {
+  std::string name;
+  RailEnergy static_rails;
+  RailEnergy dynamic_rails;
+  /// Sum of this stage's recorded interval durations (concurrent intervals
+  /// double-count, same as Timeline::total).
+  Seconds busy{0.0};
+
+  [[nodiscard]] Joules total() const {
+    return static_rails.total() + dynamic_rails.total();
+  }
+};
+
+struct EnergyReport {
+  /// End of accounted virtual time; every rail integrates over [0, duration).
+  Seconds duration{0.0};
+  /// Sorted by name; always includes the "(idle)" bucket.
+  std::vector<StageEnergy> stages;
+  RailEnergy static_rails;
+  RailEnergy dynamic_rails;
+  /// Max per-rail relative error of attributed vs independently integrated
+  /// totals (floating-point accumulation order only; ENSUREd < 1e-9).
+  double conservation_error{0.0};
+
+  [[nodiscard]] Joules total() const {
+    return static_rails.total() + dynamic_rails.total();
+  }
+  [[nodiscard]] Joules static_total() const { return static_rails.total(); }
+  [[nodiscard]] Joules dynamic_total() const { return dynamic_rails.total(); }
+  /// Static fraction of the total — the Table II quantity (≥85% on paper
+  /// configurations).
+  [[nodiscard]] double static_share() const;
+  /// Lookup by stage name; nullptr when absent.
+  [[nodiscard]] const StageEnergy* stage(std::string_view name) const;
+};
+
+struct AttributionConfig {
+  /// Stage categories with disk affinity: when one is open, disk dynamic
+  /// energy goes to it rather than to concurrently-open compute stages.
+  std::vector<std::string> disk_categories{"Write", "Read"};
+};
+
+class EnergyAttributor {
+ public:
+  explicit EnergyAttributor(const power::PowerModel& model,
+                            AttributionConfig config = {})
+      : model_(model), config_(std::move(config)) {}
+
+  /// Attribute all energy in [0, end) — extended to cover any recorded
+  /// activity past `end` — across the phases of `timeline`.
+  [[nodiscard]] EnergyReport attribute(
+      const trace::Timeline& phases, const machine::LoadTimeline& loads,
+      const storage::DiskActivityLog& disk_log, Seconds end) const;
+
+ private:
+  power::PowerModel model_;
+  AttributionConfig config_;
+};
+
+/// One point of the power-rail telemetry export (virtual time).
+struct RailSample {
+  Seconds t{0.0};
+  Watts cpu{0.0};
+  Watts dram{0.0};
+  Watts disk{0.0};
+  Watts rest{0.0};
+};
+
+/// Uniform-bucket rail power series over [0, end) for counter-track export;
+/// at most `max_samples` points. Window-averaged (visualization quality) —
+/// energy totals come from EnergyAttributor, never from this.
+[[nodiscard]] std::vector<RailSample> rail_power_series(
+    const machine::LoadTimeline& loads,
+    const storage::DiskActivityLog& disk_log, const power::PowerModel& model,
+    Seconds end, std::size_t max_samples = 512);
+
+/// Emit the observable side surfaces: energy.* registry gauges and Chrome
+/// counter tracks for the rails. No-op unless energy_profiler_enabled() —
+/// this is the single gate keeping all outputs byte-identical when off.
+void publish_energy_profile(const EnergyReport& report,
+                            const std::vector<RailSample>& series);
+
+}  // namespace greenvis::obs

@@ -4,10 +4,15 @@ namespace greenvis::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_energy_profiler{false};
 }  // namespace detail
 
 void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_energy_profiler_enabled(bool on) {
+  detail::g_energy_profiler.store(on, std::memory_order_relaxed);
 }
 
 }  // namespace greenvis::obs

@@ -19,6 +19,7 @@ namespace greenvis::obs {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_energy_profiler;
 }  // namespace detail
 
 /// Hot-path gate: one relaxed atomic load.
@@ -28,6 +29,18 @@ extern std::atomic<bool> g_enabled;
 
 /// Flip collection on/off at runtime (off by default).
 void set_enabled(bool on);
+
+/// Energy-profiler gate (off by default). Attribution itself is pure — the
+/// per-stage joule report is always computed from the recorded virtual
+/// timelines — but the observable side surfaces (registry gauges, Chrome
+/// power-rail counter tracks) are only emitted while this flag is set, so
+/// every output stays byte-identical with the profiler off (pinned by the
+/// obs.profiler_on_off differential oracle).
+[[nodiscard]] inline bool energy_profiler_enabled() {
+  return detail::g_energy_profiler.load(std::memory_order_relaxed);
+}
+
+void set_energy_profiler_enabled(bool on);
 
 // Span categories (static storage duration; the tracer stores the pointer).
 inline constexpr const char* kCatPool = "pool";

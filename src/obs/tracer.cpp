@@ -20,6 +20,14 @@ class Tracer::ThreadBuffer {
 
   [[nodiscard]] std::uint32_t tid() const { return tid_; }
 
+  void set_name(const char* name) {
+    name_.store(name, std::memory_order_release);
+  }
+  /// nullptr when the thread never labeled itself.
+  [[nodiscard]] const char* name() const {
+    return name_.load(std::memory_order_acquire);
+  }
+
   /// Owner thread only. Returns false when the cap is hit.
   bool push(std::string&& name, const char* category, std::uint64_t begin_ns,
             std::uint64_t dur_ns) {
@@ -83,6 +91,7 @@ class Tracer::ThreadBuffer {
   }
 
   std::uint32_t tid_;
+  std::atomic<const char*> name_{nullptr};
   mutable std::mutex blocks_mutex_;  // guards blocks_ growth vs. export
   std::vector<std::unique_ptr<Block>> blocks_;
   Block* tail_{nullptr};          // owner thread only
@@ -117,6 +126,20 @@ void Tracer::record(std::string&& name, const char* category,
   }
 }
 
+void Tracer::set_thread_name(const char* name) {
+  local_buffer().set_name(name);
+}
+
+void Tracer::record_counter(const char* name, double ts_us, double value) {
+  std::lock_guard lock(counters_mutex_);
+  counter_samples_.push_back(CounterSample{name, ts_us, value});
+}
+
+std::vector<CounterSample> Tracer::counters() const {
+  std::lock_guard lock(counters_mutex_);
+  return counter_samples_;
+}
+
 std::vector<SpanEvent> Tracer::events() const {
   std::vector<const ThreadBuffer*> buffers;
   {
@@ -146,18 +169,33 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
                      });
   }
 
+  // Thread labels registered via set_thread_name (pool workers, the async
+  // staging writer); unlabeled threads keep the "greenvis-N" default.
+  std::map<std::uint32_t, const char*> names;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& b : buffers_) {
+      if (const char* n = b->name(); n != nullptr) {
+        names[b->tid()] = n;
+      }
+    }
+  }
+
   const auto flags = os.flags();
   const auto precision = os.precision();
   os.setf(std::ios::fixed);
   os.precision(3);
   os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
-  bool first = true;
+  os << "\n{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+        "\"process_name\", \"args\": {\"name\": \"greenvis host\"}}";
   for (const auto& [tid, spans] : by_tid) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
-       << ", \"name\": \"thread_name\", \"args\": {\"name\": \"greenvis-"
-       << tid << "\"}}";
+    os << ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+    if (auto it = names.find(tid); it != names.end()) {
+      os << it->second << "\"}}";
+    } else {
+      os << "greenvis-" << tid << "\"}}";
+    }
     for (const SpanEvent& e : spans) {
       os << ",\n{\"name\": ";
       detail::write_json_string(os, e.name);
@@ -166,6 +204,20 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       os << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
          << ", \"ts\": " << static_cast<double>(e.begin_ns) / 1e3
          << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3 << "}";
+    }
+  }
+  // Counter tracks (modeled power rails, virtual time) under their own pid
+  // so the viewer renders them as graphs beside the host spans.
+  const std::vector<CounterSample> counters = this->counters();
+  if (!counters.empty()) {
+    os << ",\n{\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": "
+          "\"process_name\", \"args\": {\"name\": \"greenvis virtual "
+          "rails\"}}";
+    for (const CounterSample& c : counters) {
+      os << ",\n{\"name\": ";
+      detail::write_json_string(os, c.name);
+      os << ", \"ph\": \"C\", \"pid\": 2, \"tid\": 0, \"ts\": " << c.ts_us
+         << ", \"args\": {\"value\": " << c.value << "}}";
     }
   }
   os << "\n]\n}\n";
@@ -178,13 +230,65 @@ void Tracer::clear() {
   for (auto& b : buffers_) {
     b->clear();
   }
+  {
+    std::lock_guard counters_lock(counters_mutex_);
+    counter_samples_.clear();
+  }
   dropped_.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Per-category duration histogram, cached so the hot path is one pointer
+/// scan instead of a registry mutex. Categories are the static kCat*
+/// constants, so pointer identity keys the cache. A slot is claimed by
+/// CAS-ing the category in first; the histogram pointer follows, and racing
+/// readers spin the few cycles until it lands.
+Histogram& category_histogram(const char* category) {
+  struct Entry {
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<Histogram*> hist{nullptr};
+  };
+  static constexpr std::size_t kSlots = 64;
+  static Entry entries[kSlots];
+  auto make = [&] {
+    return &Registry::global().histogram(
+        std::string("span.duration_us.") + category, duration_us_bounds());
+  };
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const char* cur = entries[i].cat.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (entries[i].cat.compare_exchange_strong(expected, category,
+                                                 std::memory_order_acq_rel)) {
+        Histogram* h = make();
+        entries[i].hist.store(h, std::memory_order_release);
+        return *h;
+      }
+      cur = expected;
+    }
+    if (cur == category) {
+      Histogram* h;
+      while ((h = entries[i].hist.load(std::memory_order_acquire)) ==
+             nullptr) {
+      }
+      return *h;
+    }
+    // Slot owned by another category: keep probing.
+  }
+  return *make();  // > kSlots categories: fall back to the registry mutex
+}
+
+}  // namespace
+
 void ScopedSpan::finish() {
   const std::uint64_t end = Tracer::global().now_ns();
+  const double us = static_cast<double>(end - begin_ns_) / 1e3;
   if (duration_us_ != nullptr) {
-    duration_us_->record(static_cast<double>(end - begin_ns_) / 1e3);
+    duration_us_->record(us);
+  }
+  if (category_ != nullptr && category_[0] != '\0') {
+    category_histogram(category_).record(us);
   }
   std::string name = static_name_ != nullptr ? std::string{static_name_}
                                              : std::move(dynamic_name_);

@@ -41,6 +41,17 @@ struct SpanEvent {
   std::uint32_t tid{0};  // tracer-assigned small integer, stable per thread
 };
 
+/// One point of a Chrome counter track ("C" events, rendered as a graph in
+/// the viewer). `name` must have static storage duration. Counter time is
+/// *virtual* microseconds — counters describe modeled quantities (power
+/// rails), so they export under their own pid, separate from the host
+/// wall-clock spans.
+struct CounterSample {
+  const char* name{""};
+  double ts_us{0.0};
+  double value{0.0};
+};
+
 class Tracer {
  public:
   /// The process-wide tracer (leaked singleton — worker threads may still
@@ -58,6 +69,18 @@ class Tracer {
   /// Append a completed span to the calling thread's buffer.
   void record(std::string&& name, const char* category, std::uint64_t begin_ns,
               std::uint64_t end_ns);
+
+  /// Label the calling thread in the exported trace (thread_name metadata).
+  /// `name` must have static storage duration; unlabeled threads export as
+  /// "greenvis-N".
+  void set_thread_name(const char* name);
+
+  /// Append one counter-track point (see CounterSample). Counter emission is
+  /// rare (a few hundred points per profile), so this takes a mutex.
+  void record_counter(const char* name, double ts_us, double value);
+
+  /// Copy of every recorded counter sample, in record order.
+  [[nodiscard]] std::vector<CounterSample> counters() const;
 
   /// Chrome trace-event JSON ("X" complete events, one meta event per
   /// thread). Events are ordered per thread by begin time.
@@ -85,6 +108,8 @@ class Tracer {
   mutable std::mutex mutex_;  // guards buffers_ registration
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex counters_mutex_;
+  std::vector<CounterSample> counter_samples_;
 };
 
 /// RAII span: records [construction, destruction) on the current thread.

@@ -237,6 +237,32 @@ ConformanceReport run_conformance(const ConformanceOptions& options) {
                      "~91%)",
                      breakdown.static_fraction(), 0.85, 1.0));
 
+  // ---- Energy attribution: conserved joules, static-dominated I/O ----
+  double max_conservation_error = 0.0;
+  for (const core::PipelineMetrics& m : metrics) {
+    max_conservation_error =
+        std::max(max_conservation_error, m.attribution.conservation_error);
+  }
+  inv.push_back(band(
+      "energy.conservation",
+      "largest per-rail attribution conservation error across the six "
+      "paper-scale runs (relative to the PowerModel integral)",
+      max_conservation_error, 0.0, 1e-9));
+  const obs::StageEnergy* wr_stage =
+      post1.attribution.stage(core::stage::kWrite);
+  const obs::StageEnergy* rd_stage = post1.attribution.stage(core::stage::kRead);
+  const double io_static =
+      (wr_stage != nullptr ? wr_stage->static_rails.total().value() : 0.0) +
+      (rd_stage != nullptr ? rd_stage->static_rails.total().value() : 0.0);
+  const double io_total =
+      (wr_stage != nullptr ? wr_stage->total().value() : 0.0) +
+      (rd_stage != nullptr ? rd_stage->total().value() : 0.0);
+  inv.push_back(band(
+      "energy.case1_io_static_share",
+      "static share of the energy attributed to case-1 Write+Read spans "
+      "(Table II: I/O stages are dominated by the idle floor)",
+      io_total > 0.0 ? io_static / io_total : 0.0, 0.85, 1.0));
+
   return report;
 }
 

@@ -414,6 +414,61 @@ OracleResult obs_on_vs_off() {
               "snapshot bytes) byte-identical with obs on and off");
 }
 
+// ---- energy profiler: attribution must be a read-only observer ----
+
+OracleResult profiler_on_vs_off() {
+  struct ProfilerGuard {
+    ~ProfilerGuard() { obs::set_energy_profiler_enabled(false); }
+  } guard;
+
+  const core::CaseStudyConfig config = small_pipeline_config();
+  const auto run = [&] {
+    core::PipelineOptions options;
+    options.host_threads = 2;
+    return core::Experiment().run(core::PipelineKind::kPostProcessing,
+                                  config, options);
+  };
+  obs::set_energy_profiler_enabled(false);
+  const core::PipelineMetrics off = run();
+  obs::set_energy_profiler_enabled(true);
+  const core::PipelineMetrics on = run();
+  obs::set_energy_profiler_enabled(false);
+
+  if (off.output.image_digests != on.output.image_digests) {
+    return fail("image digests changed when the energy profiler was enabled");
+  }
+  if (!bits_equal(off.output.final_field.values(),
+                  on.output.final_field.values())) {
+    return fail("final field changed when the energy profiler was enabled");
+  }
+  if (off.duration.value() != on.duration.value() ||
+      off.energy.value() != on.energy.value() ||
+      off.average_power.value() != on.average_power.value() ||
+      off.peak_power.value() != on.peak_power.value()) {
+    return fail("headline metrics changed when the energy profiler was "
+                "enabled");
+  }
+  // The attribution itself must be bit-identical too: it is always computed
+  // (campaign columns depend on it), the flag only gates gauges/counters.
+  if (off.attribution.stages.size() != on.attribution.stages.size() ||
+      off.attribution.total().value() != on.attribution.total().value() ||
+      off.attribution.static_total().value() !=
+          on.attribution.static_total().value()) {
+    return fail("attribution report changed with the profiler flag");
+  }
+  for (std::size_t i = 0; i < off.attribution.stages.size(); ++i) {
+    const obs::StageEnergy& a = off.attribution.stages[i];
+    const obs::StageEnergy& b = on.attribution.stages[i];
+    if (a.name != b.name || a.total().value() != b.total().value()) {
+      return fail("stage '" + a.name + "' attribution changed with the "
+                  "profiler flag");
+    }
+  }
+  return pass("pipeline outputs, headline metrics, and the attribution "
+              "report itself byte-identical with the energy profiler on and "
+              "off");
+}
+
 // ---- snapshot decode: legacy and chunked containers are one namespace ----
 
 OracleResult legacy_vs_chunked_decode() {
@@ -464,6 +519,7 @@ void register_builtin_oracles() {
   registry.add("codec.raw_vs_delta", codec_raw_vs_delta);
   registry.add("storage.cache_on_vs_off", cache_on_vs_off);
   registry.add("obs.on_vs_off", obs_on_vs_off);
+  registry.add("obs.profiler_on_off", profiler_on_vs_off);
   registry.add("codec.legacy_vs_chunked_decode", legacy_vs_chunked_decode);
 }
 

@@ -5,11 +5,13 @@
 // parameter space (not five hand-picked points) and gain shrinking plus
 // reproducer files. They are registered by name so both the gtest property
 // suite and `greenvis verify --qa-repro=` reach the same definitions.
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "src/campaign/engine.hpp"
 #include "src/codec/field_codec.hpp"
+#include "src/core/experiment.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/testbed.hpp"
 #include "src/io/compress.hpp"
@@ -413,6 +415,81 @@ void register_campaign_properties() {
       });
 }
 
+// ---- energy attribution: every joule lands somewhere, exactly once ----
+//
+// For any small config on any pipeline and device, the span-level
+// attributor must conserve energy: the per-stage joules (including the
+// idle bucket) sum to the PowerModel's exact end-to-end integral within
+// 1e-9 relative, and the static/dynamic split partitions every stage.
+
+void register_energy_properties() {
+  struct EnergyCase {
+    core::CaseStudyConfig config;
+    core::PipelineKind kind{core::PipelineKind::kPostProcessing};
+    core::StorageDeviceKind device{core::StorageDeviceKind::kHdd};
+    std::uint64_t buffers{1};
+  };
+  const Gen<EnergyCase> gen = [](Choices& c) {
+    EnergyCase ec;
+    ec.config = small_case_config()(c);
+    ec.kind = static_cast<core::PipelineKind>(c.draw_below(3));
+    ec.device = static_cast<core::StorageDeviceKind>(c.draw_below(3));
+    ec.buffers = 1 + c.draw_below(4);
+    return ec;
+  };
+  add_property<EnergyCase>(
+      "energy.conservation", gen,
+      [](const EnergyCase& ec) {
+        core::TestbedConfig base;
+        base.device = ec.device;
+        core::PipelineOptions options;
+        options.host_threads = 2;
+        options.stage_buffers = ec.buffers;
+        const core::PipelineMetrics m =
+            core::Experiment(base).run(ec.kind, ec.config, options);
+        const obs::EnergyReport& rep = m.attribution;
+        if (!(rep.conservation_error <= 1e-9)) {
+          std::ostringstream os;
+          os << "conservation error " << rep.conservation_error << " > 1e-9";
+          return os.str();
+        }
+        double stage_sum = 0.0;
+        for (const obs::StageEnergy& s : rep.stages) {
+          stage_sum += s.total().value();
+          const double split =
+              s.static_rails.total().value() + s.dynamic_rails.total().value();
+          const double split_err = std::abs(split - s.total().value()) /
+                                   std::max(1.0, std::abs(s.total().value()));
+          if (split_err > 1e-9) {
+            return std::string("stage ") + s.name +
+                   " static+dynamic does not partition its total";
+          }
+        }
+        const double total = rep.total().value();
+        const double sum_err =
+            std::abs(stage_sum - total) / std::max(1.0, std::abs(total));
+        if (sum_err > 1e-9) {
+          std::ostringstream os;
+          os << "stage sum " << stage_sum << " J differs from report total "
+             << total << " J (rel " << sum_err << ")";
+          return os.str();
+        }
+        if (rep.stage(obs::kEnergyIdle) == nullptr) {
+          return std::string("report is missing the idle bucket");
+        }
+        return ok();
+      },
+      [](const EnergyCase& ec) {
+        std::ostringstream os;
+        os << "kind=" << static_cast<int>(ec.kind)
+           << " device=" << core::storage_device_name(ec.device)
+           << " iters=" << ec.config.iterations
+           << " period=" << ec.config.io_period
+           << " grid=" << ec.config.problem.nx << " buffers=" << ec.buffers;
+        return os.str();
+      });
+}
+
 }  // namespace
 
 void register_builtin_properties() {
@@ -421,6 +498,7 @@ void register_builtin_properties() {
   register_replay_properties();
   register_pipeline_properties();
   register_campaign_properties();
+  register_energy_properties();
 }
 
 }  // namespace greenvis::qa

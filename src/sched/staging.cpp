@@ -115,6 +115,7 @@ util::Seconds AsyncStager::drain() {
 }
 
 void AsyncStager::writer_loop() {
+  obs::Tracer::global().set_thread_name("staging-writer");
   for (;;) {
     std::size_t idx = 0;
     {

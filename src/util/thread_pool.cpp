@@ -73,6 +73,7 @@ void ThreadPool::drain(Dispatch& d) {
 }
 
 void ThreadPool::worker_loop() {
+  obs::Tracer::global().set_thread_name("pool-worker");
   std::uint64_t seen = 0;
   std::unique_lock lock(mutex_);
   for (;;) {

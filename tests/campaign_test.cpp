@@ -186,6 +186,13 @@ ConfigResult sample_result() {
   r.snapshot_bytes_written = 1u << 20;
   r.snapshot_bytes_read = 1u << 19;
   r.snapshot_bytes_raw = 1u << 21;
+  r.energy_sim_j = 4000.0 / 7.0;  // attributed columns: also bit-exact
+  r.energy_write_j = 1234.5678;
+  r.energy_read_j = 987.0 / 13.0;
+  r.energy_vis_j = 55.0e-30;
+  r.energy_idle_j = 0.125;
+  r.energy_other_j = 2.0 / 3.0;
+  r.energy_static_j = 10101.0101;
   return r;
 }
 
@@ -443,6 +450,24 @@ TEST(Query, AccessPatternCountsWriteAndReadBack) {
   const analysis::AccessPattern p = access_pattern_for(r);
   EXPECT_EQ(p.accesses, 20u);
   EXPECT_GT(p.bytes_per_access.value(), 0u);
+}
+
+TEST(Query, TopStageConsumersRanksDescendingAndSkipsZeros) {
+  ConfigResult r = sample_result();
+  r.energy_sim_j = 300.0;
+  r.energy_write_j = 500.0;
+  r.energy_read_j = 100.0;
+  r.energy_vis_j = 0.0;  // zero columns never appear
+  r.energy_idle_j = 400.0;
+  r.energy_other_j = 0.0;
+  const auto top = top_stage_consumers(r, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].stage, core::stage::kWrite);
+  EXPECT_DOUBLE_EQ(top[0].joules, 500.0);
+  EXPECT_EQ(top[1].stage, obs::kEnergyIdle);
+  EXPECT_EQ(top[2].stage, core::stage::kSimulation);
+  // n larger than the non-zero column count: no padding.
+  EXPECT_EQ(top_stage_consumers(r, 10).size(), 4u);
 }
 
 // ---------------------------------------------------------------------------

@@ -359,13 +359,18 @@ TEST(Tracer, ChromeTraceSchemaAndThreadAttribution) {
   std::map<double, double> last_ts_per_tid;
   std::map<std::string, int> names;
   std::map<std::string, std::vector<double>> tids_by_name;
+  std::map<std::string, int> process_labels;
+  std::map<std::string, int> thread_labels;
   for (const JsonValue& ev : events) {
     ASSERT_TRUE(ev.is_object());
     const JsonObject& e = ev.object();
     const std::string& ph = e.at("ph").str();
     ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected phase " << ph;
     if (ph == "M") {
-      EXPECT_EQ(e.at("name").str(), "thread_name");
+      const std::string& meta = e.at("name").str();
+      ASSERT_TRUE(meta == "thread_name" || meta == "process_name") << meta;
+      const std::string& label = e.at("args").object().at("name").str();
+      (meta == "process_name" ? process_labels : thread_labels)[label] += 1;
       continue;
     }
     // Complete events carry the full schema.
@@ -404,6 +409,11 @@ TEST(Tracer, ChromeTraceSchemaAndThreadAttribution) {
   for (const double tid : tids_by_name["pool.drain"]) {
     EXPECT_NE(tid, caller_tid);
   }
+
+  // The host process is named, and every pool worker that recorded spans
+  // exports under its registered thread label.
+  EXPECT_EQ(process_labels["greenvis host"], 1);
+  EXPECT_GE(thread_labels["pool-worker"], 1);
 }
 
 TEST(Tracer, DropsInsteadOfGrowingWithoutBound) {

@@ -45,7 +45,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "codec.container_round_trip",
                       "replay.trace_flip_robust",
                       "pipeline.async_matches_sync",
-                      "campaign.replay_identical"),
+                      "campaign.replay_identical",
+                      "energy.conservation"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       std::string name = param_info.param;
       for (char& c : name) {

@@ -3,7 +3,7 @@
 # clang-format is available) verify formatting of everything under src/.
 #
 # Usage: tools/check.sh [--asan] [--bench-smoke] [--campaign-smoke]
-#                       [--conformance] [build-dir]
+#                       [--conformance] [--energy-smoke] [build-dir]
 #   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
 #                 (RelWithDebInfo, default build dir: build-asan) and run the
 #                 full suite under them — including the obs/pool concurrency
@@ -20,6 +20,12 @@
 #                 oracles plus the paper-conformance invariants (Fig. 5/8/9/
 #                 10, Table II bands), emitting QA_conformance.json into the
 #                 build dir. Fails if any invariant leaves its band.
+#   --energy-smoke after the suite, run `greenvis profile --case 1`, check
+#                 the profile's schema tag and conservation error, and diff
+#                 it byte-for-byte against the committed golden
+#                 tools/golden/ENERGY_profile_case1.json (the profile is a
+#                 pure function of the virtual timelines, so it must never
+#                 drift without an intentional regeneration).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,12 +34,14 @@ ASAN=0
 BENCH_SMOKE=0
 CAMPAIGN_SMOKE=0
 CONFORMANCE=0
+ENERGY_SMOKE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --asan) ASAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --campaign-smoke) CAMPAIGN_SMOKE=1 ;;
     --conformance) CONFORMANCE=1 ;;
+    --energy-smoke) ENERGY_SMOKE=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -105,6 +113,30 @@ fi
 if [[ "$CONFORMANCE" == 1 ]]; then
   echo "== conformance =="
   "$BUILD_DIR"/tools/greenvis verify --out="$BUILD_DIR/QA_conformance.json"
+fi
+
+if [[ "$ENERGY_SMOKE" == 1 ]]; then
+  echo "== energy smoke =="
+  PROFILE="$BUILD_DIR/ENERGY_profile_case1.json"
+  "$BUILD_DIR"/tools/greenvis profile --case 1 --out="$PROFILE" >/dev/null
+  grep -q '"schema": "greenvis.energy_profile.v1"' "$PROFILE"
+  # Conservation error is printed in full precision; anything at or above
+  # 1e-9 relative means the attributor's ENSURE should have fired already.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$PROFILE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    profile = json.load(f)
+assert profile["conservation_error"] < 1e-9, profile["conservation_error"]
+total = profile["total_j"]
+stage_sum = sum(s["total_j"] for s in profile["stages"])
+assert abs(stage_sum - total) <= 1e-9 * max(1.0, abs(total))
+EOF
+  else
+    echo "energy smoke: python3 unavailable; schema + golden diff only"
+  fi
+  cmp "$PROFILE" tools/golden/ENERGY_profile_case1.json
+  echo "energy smoke: profile byte-identical to the committed golden"
 fi
 
 echo "== format =="

@@ -11,6 +11,8 @@
 //   greenvis cluster [--nodes N] [--staging S] [--targets T]
 //   greenvis campaign [--pipelines ...] [--grids ...] [--journal FILE]
 //                     [--resume] [--limit N] [--whatif]
+//   greenvis profile [--case N] [--pipeline sync|async|insitu] [--top N]
+//                    [--out FILE]      # span-level joule attribution
 //   greenvis trace-template            # print a starter trace to stdout
 //
 // Any command also accepts the global observability flags
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "src/analysis/advisor.hpp"
+#include "src/analysis/attribution.hpp"
 #include "src/analysis/metrics.hpp"
 #include "src/campaign/engine.hpp"
 #include "src/campaign/query.hpp"
@@ -417,6 +420,20 @@ int cmd_campaign(const Args& args) {
                    util::cell(sc.whatif.energy_ratio())});
       }
       std::cout << t.render();
+      // The "why": where the post-processing joules actually went.
+      for (const auto& sc : cases) {
+        const auto top = campaign::top_stage_consumers(
+            report.results[sc.post_index], 3);
+        std::cout << "  " << campaign::describe(report.configs[sc.post_index])
+                  << ": post-processing loses "
+                  << util::cell(sc.whatif.energy_savings().value() / 1000.0)
+                  << " kJ; top consumers:";
+        for (std::size_t k = 0; k < top.size(); ++k) {
+          std::cout << (k == 0 ? " " : ", ") << top[k].stage << ' '
+                    << util::cell(top[k].joules / 1000.0) << " kJ";
+        }
+        std::cout << '\n';
+      }
       // Advise on the heaviest post-processing config's snapshot traffic.
       const auto heaviest = std::max_element(
           cases.begin(), cases.end(), [](const auto& a, const auto& b) {
@@ -435,6 +452,83 @@ int cmd_campaign(const Args& args) {
                 << " — " << rec.chosen.rationale << '\n';
     }
   }
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const int case_number = static_cast<int>(opt_double(args, "case", 1));
+  core::TestbedConfig config;
+  config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
+  config.io_frequency_ghz = opt_double(args, "io-ghz", 0.0);
+  const std::string pipeline = opt_string(args, "pipeline", "sync");
+  core::PipelineKind kind = core::PipelineKind::kPostProcessing;
+  if (pipeline == "async") {
+    kind = core::PipelineKind::kPostProcessingAsync;
+  } else if (pipeline == "insitu") {
+    kind = core::PipelineKind::kInSitu;
+  } else if (pipeline != "sync") {
+    std::cerr << "unknown --pipeline '" << pipeline
+              << "' (expected sync, async or insitu)\n";
+    return 2;
+  }
+  core::PipelineOptions options;
+  options.stage_buffers = static_cast<std::size_t>(opt_double(
+      args, "stage-buffers", static_cast<double>(options.stage_buffers)));
+  auto workload = core::case_study(case_number);
+  workload.snapshot_codec.kind =
+      codec::parse_kind(opt_string(args, "codec", "raw"));
+  workload.snapshot_codec.tolerance =
+      opt_double(args, "tolerance", workload.snapshot_codec.tolerance);
+
+  obs::set_energy_profiler_enabled(true);
+  std::cerr << "profiling " << workload.name << " (" << pipeline << ")...\n";
+  const core::Experiment experiment(config);
+  const auto metrics = experiment.run(kind, workload, options);
+  const obs::EnergyReport& rep = metrics.attribution;
+
+  util::TextTable t(
+      {"Stage", "Busy (s)", "Static (kJ)", "Dynamic (kJ)", "Total (kJ)",
+       "Share"});
+  for (const obs::StageEnergy& s : rep.stages) {
+    const double total = s.total().value();
+    t.add_row({s.name, util::cell(s.busy.value()),
+               util::cell(s.static_rails.total().value() / 1000.0),
+               util::cell(s.dynamic_rails.total().value() / 1000.0),
+               util::cell(total / 1000.0),
+               util::cell_percent(rep.total().value() > 0.0
+                                      ? total / rep.total().value()
+                                      : 0.0)});
+  }
+  std::cout << t.render();
+  std::cout << "\nTotal " << util::cell(rep.total().value() / 1000.0)
+            << " kJ over " << util::cell(rep.duration.value()) << " s — "
+            << util::cell_percent(rep.static_share())
+            << " static floor, "
+            << util::cell_percent(1.0 - rep.static_share())
+            << " dynamic (conservation error " << rep.conservation_error
+            << ").\n";
+  const auto top_n =
+      static_cast<std::size_t>(opt_double(args, "top", 5));
+  const auto ranked = analysis::top_consumers(rep, top_n);
+  std::cout << "Top consumers:";
+  for (const auto& c : ranked) {
+    std::cout << ' ' << c.stage << ' '
+              << util::cell(c.joules.value() / 1000.0) << " kJ ("
+              << util::cell_percent(c.share) << ')';
+  }
+  std::cout << '\n';
+
+  const std::string out = opt_string(args, "out", "ENERGY_profile.json");
+  std::ofstream file(out);
+  if (file.good()) {
+    analysis::write_energy_profile_json(file, rep, metrics.pipeline_name,
+                                        metrics.case_name, top_n);
+  }
+  if (!file.good()) {
+    std::cerr << "error: cannot write " << out << '\n';
+    return 1;
+  }
+  std::cerr << "wrote " << out << '\n';
   return 0;
 }
 
@@ -517,6 +611,11 @@ commands:
                                                       parameter sweep with a
                                                       deduplicating cache and
                                                       resumable journal
+  profile [--case 1|2|3] [--pipeline sync|async|insitu] [--codec raw|delta|rle]
+      [--tolerance T] [--stage-buffers N] [--cap W] [--io-ghz F]
+      [--top N] [--out FILE]                          span-level joule
+                                                      attribution table +
+                                                      ENERGY_profile.json
   trace-template                                      starter replay trace
   verify [--out FILE] [--codec raw|delta|rle] [--tolerance T] [--label L]
          [--qa-repro=FILE]                            qa conformance suite
@@ -596,6 +695,8 @@ int main(int argc, char** argv) {
       rc = cmd_cluster(args);
     } else if (command == "campaign") {
       rc = cmd_campaign(args);
+    } else if (command == "profile") {
+      rc = cmd_profile(args);
     } else if (command == "trace-template") {
       rc = cmd_trace_template();
     } else if (command == "verify") {
