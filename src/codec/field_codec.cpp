@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/util/simd/simd.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace greenvis::codec {
@@ -216,8 +217,10 @@ std::span<std::uint64_t> FieldCodec::word_scratch(std::size_t count) {
 
 FieldCodec::ChunkResult FieldCodec::encode_chunk(
     const double* v, std::size_t count, std::span<std::int64_t> q,
-    std::span<std::uint64_t> words, std::uint8_t* dst) const {
+    std::span<std::uint64_t> zz, std::span<std::uint64_t> words,
+    std::uint8_t* dst) const {
   const std::size_t raw_payload = count * sizeof(double);
+  const util::simd::KernelTable& kern = util::simd::kernels();
 
   auto put_header = [&](ChunkEncoding enc, std::uint8_t bits,
                         std::uint32_t payload) {
@@ -266,27 +269,16 @@ FieldCodec::ChunkResult FieldCodec::encode_chunk(
   // kind == kDelta: quantize when every value is finite and its quantum
   // fits the delta chain; otherwise degrade to rle/raw, preserving bits.
   const double inv = 1.0 / config_.tolerance;
-  double max_abs = 0.0;
-  bool finite = true;
-  for (std::size_t i = 0; i < count; ++i) {
-    max_abs = std::max(max_abs, std::fabs(v[i]));
-    finite = finite && (v[i] - v[i] == 0.0);
-  }
-  if (!finite || max_abs * inv > kMaxQuantum) {
+  const util::simd::ScanResult scan = kern.scan_abs_finite(v, count);
+  if (!scan.finite || scan.max_abs * inv > kMaxQuantum) {
     const std::size_t rle = rle_bytes(v, count);
     return rle < raw_payload ? put_rle(rle) : put_raw();
   }
 
-  // Quantize (branch-free: round-half-away via copysign) and delta+zigzag.
-  for (std::size_t i = 0; i < count; ++i) {
-    const double t = v[i] * inv;
-    q[i] = static_cast<std::int64_t>(t + std::copysign(0.5, t));
-  }
-  std::uint64_t all = 0;
-  for (std::size_t i = count; i-- > 1;) {
-    q[i] -= q[i - 1];  // in place, back to front
-    all |= zigzag(q[i]);
-  }
+  // Quantize (branch-free: round-half-away via copysign), then zigzag the
+  // deltas into `zz` (q keeps the absolute quanta; q[0] heads the payload).
+  kern.quantize(v, q.data(), inv, count);
+  const std::uint64_t all = kern.delta_zigzag(q.data(), zz.data(), count);
   std::uint8_t bits = 0;
   while (all >> bits != 0) {
     ++bits;
@@ -295,29 +287,15 @@ FieldCodec::ChunkResult FieldCodec::encode_chunk(
       bits == 0 ? 0 : ((count - 1) * bits + 63) / 64;
   const std::size_t payload = 8 + nwords * 8;
   if (payload >= raw_payload) {
-    return put_raw();  // v is untouched (deltas were in-place in q)
+    return put_raw();
   }
 
   put_header(ChunkEncoding::kDeltaBitpack, bits,
              static_cast<std::uint32_t>(payload));
   put_u64(dst + kChunkHeader, static_cast<std::uint64_t>(q[0]));
   if (bits > 0) {
-    std::uint64_t acc = 0;
-    unsigned used = 0;
-    std::size_t w = 0;
-    for (std::size_t i = 1; i < count; ++i) {
-      const std::uint64_t zz = zigzag(q[i]);
-      acc |= zz << used;
-      used += bits;
-      if (used >= 64) {
-        words[w++] = acc;
-        used -= 64;
-        acc = used == 0 ? 0 : zz >> (bits - used);
-      }
-    }
-    if (used > 0) {
-      words[w++] = acc;
-    }
+    const std::size_t w = kern.pack_deltas(zz.data(), bits, words.data(),
+                                           count);
     GREENVIS_ENSURE(w == nwords);
     for (std::size_t k = 0; k < nwords; ++k) {
       put_u64(dst + kChunkHeader + 8 + k * 8, words[k]);
@@ -347,8 +325,12 @@ void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
   const std::size_t e = config_.chunk_edge;
   const std::size_t chunk_count = ((nx + e - 1) / e) * ((ny + e - 1) / e) *
                                   (rank == 3 ? (nz + e - 1) / e : 1);
+  // Per-chunk tasks are short once the kernels are vectorized, so the pool
+  // only pays off with a couple of chunks per executor; below that the
+  // dispatch wake/claim overhead loses to the serial loop.
   if (pool_ != nullptr && pool_->size() > 1 &&
-      values.size() >= kParallelMinCells && chunk_count >= 2) {
+      values.size() >= kParallelMinCells &&
+      chunk_count >= std::max<std::size_t>(2, 2 * pool_->size())) {
     encode_values_parallel(values, nx, ny, nz, rank, out);
     return;
   }
@@ -356,15 +338,21 @@ void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
   const std::size_t max_cells = rank == 2 ? e * e : e * e * e;
   const std::span<double> staging = chunk_scratch(max_cells);
   std::span<std::int64_t> q{};
+  std::span<std::uint64_t> zz{};
   std::span<std::uint64_t> words{};
   if (config_.kind == Kind::kDelta) {
     if (arena_ != nullptr) {
       q = arena_->alloc<std::int64_t>(max_cells);
+      zz = arena_->alloc<std::uint64_t>(max_cells);
     } else {
       if (q_buf_.size() < max_cells) {
         q_buf_.resize(max_cells);
       }
+      if (zz_buf_.size() < max_cells) {
+        zz_buf_.resize(max_cells);
+      }
       q = {q_buf_.data(), max_cells};
+      zz = {zz_buf_.data(), max_cells};
     }
     words = word_scratch(max_cells);  // bits <= 63 < 64: never more words
   }
@@ -396,8 +384,8 @@ void FieldCodec::encode_values(std::span<const double> values, std::size_t nx,
         const std::size_t bound = kChunkHeader + count * sizeof(double);
         const std::size_t pos = out.size();
         out.resize(pos + bound);
-        const ChunkResult r =
-            encode_chunk(staging.data(), count, q, words, out.data() + pos);
+        const ChunkResult r = encode_chunk(staging.data(), count, q, zz,
+                                           words, out.data() + pos);
         out.resize(pos + r.bytes);
         bump_chunk_stats(r.encoding);
       }
@@ -441,11 +429,13 @@ void FieldCodec::encode_values_parallel(std::span<const double> values,
   const bool delta = config_.kind == Kind::kDelta;
   std::span<double> stage{};
   std::span<std::int64_t> q{};
+  std::span<std::uint64_t> zz{};
   std::span<std::uint64_t> words{};
   if (arena_ != nullptr) {
     stage = arena_->alloc<double>(total_cells);
     if (delta) {
       q = arena_->alloc<std::int64_t>(total_cells);
+      zz = arena_->alloc<std::uint64_t>(total_cells);
       words = arena_->alloc<std::uint64_t>(total_cells);
     }
   } else {
@@ -457,10 +447,14 @@ void FieldCodec::encode_values_parallel(std::span<const double> values,
       if (pq_buf_.size() < total_cells) {
         pq_buf_.resize(total_cells);
       }
+      if (pzz_buf_.size() < total_cells) {
+        pzz_buf_.resize(total_cells);
+      }
       if (pword_buf_.size() < total_cells) {
         pword_buf_.resize(total_cells);
       }
       q = {pq_buf_.data(), total_cells};
+      zz = {pzz_buf_.data(), total_cells};
       words = {pword_buf_.data(), total_cells};
     }
   }
@@ -487,6 +481,8 @@ void FieldCodec::encode_values_parallel(std::span<const double> values,
           stage.data() + d.cell_offset, d.cells,
           delta ? q.subspan(d.cell_offset, d.cells)
                 : std::span<std::int64_t>{},
+          delta ? zz.subspan(d.cell_offset, d.cells)
+                : std::span<std::uint64_t>{},
           delta ? words.subspan(d.cell_offset, d.cells)
                 : std::span<std::uint64_t>{},
           out.data() + d.dst_offset);
@@ -606,6 +602,20 @@ void FieldCodec::decode_chunks(std::span<const std::uint8_t> blob,
   const std::size_t nx = info.nx, ny = info.ny, nz = info.nz;
   const std::size_t max_cells = info.rank == 2 ? e * e : e * e * e;
   const std::span<double> staging = chunk_scratch(max_cells);
+  // Delta chunks unpack into an int64 scratch first (vectorizable bit
+  // extraction), then a scalar prefix sum rebuilds the quanta.
+  std::span<std::int64_t> deltas{};
+  if (info.tolerance > 0.0) {  // delta chunks can only appear with it
+    if (arena_ != nullptr) {
+      deltas = arena_->alloc<std::int64_t>(max_cells);
+    } else {
+      if (q_buf_.size() < max_cells) {
+        q_buf_.resize(max_cells);
+      }
+      deltas = {q_buf_.data(), max_cells};
+    }
+  }
+  const util::simd::KernelTable& kern = util::simd::kernels();
 
   for (std::size_t z0 = 0; z0 < nz; z0 += (info.rank == 3 ? e : nz)) {
     const std::size_t z1 = info.rank == 3 ? std::min(nz, z0 + e) : nz;
@@ -658,18 +668,12 @@ void FieldCodec::decode_chunks(std::span<const std::uint8_t> blob,
             }
           } else {
             const std::uint8_t* packed = r.bytes(nwords * 8);
-            const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
-            std::size_t bitpos = 0;
+            GREENVIS_REQUIRE_MSG(!deltas.empty(),
+                                 "codec: delta chunk in non-delta container");
+            kern.unpack_deltas(packed, nwords, bits, deltas.data(), count);
             for (std::size_t i = 1; i < count; ++i) {
-              const std::size_t w = bitpos >> 6;
-              const unsigned off = bitpos & 63;
-              std::uint64_t val = get_u64(packed + w * 8) >> off;
-              if (off + bits > 64) {
-                val |= get_u64(packed + (w + 1) * 8) << (64 - off);
-              }
-              qv += unzigzag(val & mask);
+              qv += deltas[i];
               staging[i] = static_cast<double>(qv) * tol;
-              bitpos += bits;
             }
           }
         } else {

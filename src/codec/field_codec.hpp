@@ -169,12 +169,13 @@ class FieldCodec {
                               std::uint8_t rank,
                               std::vector<std::uint8_t>& out);
   /// Encode one SoA-gathered chunk into `dst` (header + payload; `dst` must
-  /// have room for kChunkHeader + count*8 bytes, the worst case). `q`/
+  /// have room for kChunkHeader + count*8 bytes, the worst case). `q`/`zz`/
   /// `words` are caller-provided scratch (delta kind only). Thread-safe:
   /// touches no instance state.
   [[nodiscard]] ChunkResult encode_chunk(const double* values,
                                          std::size_t count,
                                          std::span<std::int64_t> q,
+                                         std::span<std::uint64_t> zz,
                                          std::span<std::uint64_t> words,
                                          std::uint8_t* dst) const;
   void bump_chunk_stats(ChunkEncoding encoding);
@@ -192,6 +193,7 @@ class FieldCodec {
   util::ThreadPool* pool_{nullptr};
   std::vector<double> chunk_buf_;  // used when arena_ == nullptr
   std::vector<std::uint64_t> word_buf_;
+  std::vector<std::uint64_t> zz_buf_;
   std::vector<std::int64_t> q_buf_;
   // Parallel-encode plan scratch (reused; grows once, steady state is
   // zero-alloc like the serial path).
@@ -199,6 +201,7 @@ class FieldCodec {
   std::vector<ChunkResult> chunk_results_;
   std::vector<double> pstage_buf_;  // when arena_ == nullptr
   std::vector<std::int64_t> pq_buf_;
+  std::vector<std::uint64_t> pzz_buf_;
   std::vector<std::uint64_t> pword_buf_;
   EncodeStats stats_;
 };

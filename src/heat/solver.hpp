@@ -118,6 +118,9 @@ class HeatSolver {
   Field2D u_;
   Field2D next_;
   Field2D rhs_;
+  /// Ring-row scratch for the temporally fused sweep wavefront (lazily
+  /// sized; cache-resident by construction).
+  std::vector<double> fuse_rows_;
   int steps_{0};
 };
 

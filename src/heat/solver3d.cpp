@@ -6,6 +6,7 @@
 
 #include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
+#include "src/util/simd/simd.hpp"
 
 namespace greenvis::heat {
 
@@ -13,9 +14,9 @@ HeatSolver3D::HeatSolver3D(const HeatProblem3D& problem,
                            util::ThreadPool* pool)
     : problem_(problem),
       pool_(pool),
-      u_(problem.nx, problem.ny, problem.nz, 0.0),
-      next_(problem.nx, problem.ny, problem.nz, 0.0),
-      rhs_(problem.nx, problem.ny, problem.nz, 0.0) {
+      u_(problem.nx, problem.ny, problem.nz, 0.0, pool),
+      next_(problem.nx, problem.ny, problem.nz, 0.0, pool),
+      rhs_(problem.nx, problem.ny, problem.nz, 0.0, pool) {
   GREENVIS_REQUIRE(problem_.nx >= 3 && problem_.ny >= 3 && problem_.nz >= 3);
   GREENVIS_REQUIRE(problem_.alpha > 0.0 && problem_.dx > 0.0 &&
                    problem_.dt > 0.0);
@@ -92,6 +93,7 @@ double HeatSolver3D::step() {
   // reproducing the `? ... : c` arithmetic exactly.
   constexpr std::size_t kTileJ = 32;
   const std::size_t plane = nx * ny;
+  const util::simd::KernelTable& kern = util::simd::kernels();
   auto sweep_slabs = [&](std::size_t k_begin, std::size_t k_end) {
     const double* rhs = rhs_.values().data();
     const double* u = cur->values().data();
@@ -121,12 +123,8 @@ double HeatSolver3D::step() {
           if (lo < ib) {
             update_cell(0);
           }
-          for (std::size_t i = ib; i < ie; ++i) {
-            out_row[i] =
-                (rhs_row[i] + r * ((row[i - 1] + row[i + 1]) + row_s[i] +
-                                   row_n[i] + row_d[i] + row_u[i])) *
-                inv_diag;
-          }
+          kern.jacobi3d_row(out_row, rhs_row, row, row_s, row_n, row_d,
+                            row_u, r, inv_diag, ib, ie);
           if (i_hi > ie) {
             update_cell(nx - 1);
           }
@@ -135,11 +133,18 @@ double HeatSolver3D::step() {
     }
   };
 
+  // Serial below one slab per executor or ~8k unknowns: dispatch overhead
+  // would dominate (same policy as the 2-D solver).
+  const std::size_t slabs_total = k_hi - lo;
+  const std::size_t unknowns = slabs_total * (j_hi - lo) * (i_hi - lo);
+  const bool use_pool = pool_ != nullptr && pool_->size() > 1 &&
+                        slabs_total >= 2 * pool_->size() && unknowns >= 8192;
+
   for (std::size_t sweep = 0; sweep < problem_.executed_sweeps; ++sweep) {
     if (!insulated) {
       apply_boundary(*nxt);
     }
-    if (pool_ != nullptr) {
+    if (use_pool) {
       pool_->parallel_for(lo, k_hi, sweep_slabs);
     } else {
       sweep_slabs(lo, k_hi);
@@ -164,7 +169,7 @@ double HeatSolver3D::step() {
         const double* row_d = k > 0 ? row - plane : row;
         const double* row_u = k + 1 < nz ? row + plane : row;
         const double* rhs_row = rhs + base;
-        for (std::size_t i = lo; i < i_hi; ++i) {
+        auto defect_cell = [&](std::size_t i) {
           const double c = row[i];
           const double west = i > 0 ? row[i - 1] : c;
           const double east = i + 1 < nx ? row[i + 1] : c;
@@ -173,17 +178,26 @@ double HeatSolver3D::step() {
               r * (west + east + row_s[i] + row_n[i] + row_d[i] + row_u[i]) -
               rhs_row[i];
           acc = std::max(acc, std::abs(defect));
+        };
+        const std::size_t ib = std::max<std::size_t>(lo, 1);
+        const std::size_t ie = std::min(i_hi, nx - 1);
+        if (lo < ib) {
+          defect_cell(0);
+        }
+        acc = kern.defect3d_row(rhs_row, row, row_s, row_n, row_d, row_u, r,
+                                ib, ie, acc);
+        if (i_hi > ie) {
+          defect_cell(nx - 1);
         }
       }
     }
     return acc;
   };
   const double residual =
-      pool_ != nullptr
-          ? pool_->parallel_reduce(
-                lo, k_hi, 0.0, defect_slabs,
-                [](double a, double b) { return std::max(a, b); })
-          : defect_slabs(lo, k_hi, 0.0);
+      use_pool ? pool_->parallel_reduce(
+                     lo, k_hi, 0.0, defect_slabs,
+                     [](double a, double b) { return std::max(a, b); })
+               : defect_slabs(lo, k_hi, 0.0);
 
   apply_boundary(u_);
   apply_sources(u_);

@@ -25,7 +25,9 @@
 #include "src/trace/clock.hpp"
 #include "src/util/checksum.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/simd/simd.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/vis/volume.hpp"
 
 namespace greenvis::qa {
 
@@ -508,6 +510,111 @@ OracleResult legacy_vs_chunked_decode() {
               "auto-detecting path, bit-exactly");
 }
 
+// ---- simd: every vector path must reproduce the scalar bits ----
+//
+// Runs the SIMD-accelerated workloads — both solvers, the delta codec
+// round trip, and the volume renderer — once per supported ISA path and
+// diffs every output byte against the scalar reference. Trivially passes
+// (with a note) on hosts where scalar is the only supported path.
+
+OracleResult simd_scalar_vs_vector() {
+  namespace simd = util::simd;
+
+  struct Outputs {
+    std::vector<double> field2d;
+    std::vector<double> field3d;
+    std::vector<std::uint8_t> blob;
+    std::vector<double> decoded;
+    std::vector<std::uint64_t> images;
+  };
+  const auto run = [] {
+    Outputs o;
+
+    heat::HeatProblem problem = core::case_study(1).problem;
+    problem.nx = 70;  // odd-ish width: exercises the vector remainder tails
+    problem.ny = 66;
+    problem.executed_sweeps = 10;
+    heat::HeatSolver solver(problem, nullptr);
+    for (int s = 0; s < 3; ++s) {
+      solver.step();
+    }
+    const auto v2 = solver.temperature().values();
+    o.field2d.assign(v2.begin(), v2.end());
+
+    heat::HeatProblem3D p3;
+    p3.nx = 22;
+    p3.ny = 17;
+    p3.nz = 13;
+    heat::HeatSolver3D solver3(p3, nullptr);
+    for (int s = 0; s < 2; ++s) {
+      solver3.step();
+    }
+    const auto v3 = solver3.temperature().values();
+    o.field3d.assign(v3.begin(), v3.end());
+
+    const util::Field2D f = reference_field(97, 61, 23);
+    codec::FieldCodec delta{codec::CodecConfig{codec::Kind::kDelta, 1e-4, 32}};
+    o.blob = delta.encode(f);
+    const util::Field2D dec = codec::FieldCodec::decode2d(o.blob);
+    o.decoded.assign(dec.values().begin(), dec.values().end());
+
+    util::Field3D vol(24, 20, 16);
+    util::Xoshiro256 rng{41};
+    for (double& v : vol.values()) {
+      v = rng.uniform(0.0, 1.0);
+    }
+    vis::VolumeConfig vc;
+    vc.width = 48;
+    vc.height = 40;
+    o.images.push_back(vis::render_volume(vol, vc).digest());
+    vc.camera.azimuth_deg = 140.0;
+    vc.camera.elevation_deg = -10.0;
+    o.images.push_back(vis::render_volume(vol, vc).digest());
+    return o;
+  };
+
+  const simd::IsaPath before = simd::active_path();
+  struct PathGuard {
+    simd::IsaPath restore;
+    ~PathGuard() { simd::set_path(restore); }
+  } guard{before};
+
+  simd::set_path(simd::IsaPath::kScalar);
+  const Outputs scalar = run();
+
+  std::string checked;
+  for (const simd::IsaPath path : simd::supported_paths()) {
+    if (path == simd::IsaPath::kScalar) {
+      continue;
+    }
+    simd::set_path(path);
+    const Outputs vec = run();
+    const char* name = simd::path_name(path);
+    if (!bits_equal(scalar.field2d, vec.field2d)) {
+      return fail(std::string(name) + ": 2-D solver field diverged");
+    }
+    if (!bits_equal(scalar.field3d, vec.field3d)) {
+      return fail(std::string(name) + ": 3-D solver field diverged");
+    }
+    if (scalar.blob != vec.blob) {
+      return fail(std::string(name) + ": delta codec bytes diverged");
+    }
+    if (!bits_equal(scalar.decoded, vec.decoded)) {
+      return fail(std::string(name) + ": delta codec decode diverged");
+    }
+    if (scalar.images != vec.images) {
+      return fail(std::string(name) + ": volume render digests diverged");
+    }
+    checked += checked.empty() ? name : std::string(", ") + name;
+  }
+  if (checked.empty()) {
+    return pass("scalar is the only supported path on this host — nothing "
+                "to diff (vacuous pass)");
+  }
+  return pass("solver fields, codec bytes, decode bits, and render digests "
+              "bit-identical to scalar for: " + checked);
+}
+
 }  // namespace
 
 void register_builtin_oracles() {
@@ -521,6 +628,7 @@ void register_builtin_oracles() {
   registry.add("obs.on_vs_off", obs_on_vs_off);
   registry.add("obs.profiler_on_off", profiler_on_vs_off);
   registry.add("codec.legacy_vs_chunked_decode", legacy_vs_chunked_decode);
+  registry.add("simd.scalar_vs_vector", simd_scalar_vs_vector);
 }
 
 }  // namespace greenvis::qa

@@ -6,7 +6,9 @@
 // reproducer files. They are registered by name so both the gtest property
 // suite and `greenvis verify --qa-repro=` reach the same definitions.
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "src/campaign/engine.hpp"
@@ -21,6 +23,8 @@
 #include "src/replay/trace_format.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/util/checksum.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/simd/simd.hpp"
 #include "src/util/units.hpp"
 
 namespace greenvis::qa {
@@ -490,6 +494,260 @@ void register_energy_properties() {
       });
 }
 
+// ---- simd kernels: every ISA path bit-equals the scalar reference ----
+//
+// Direct per-kernel differentials against table_for(kScalar) over random
+// lengths, offsets, and values — one property per kernel family, each
+// sweeping every supported path. On a scalar-only host the inner loops are
+// empty and the properties pass vacuously.
+
+bool doubles_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void register_simd_properties() {
+  namespace simd = util::simd;
+
+  struct StencilCase {
+    std::vector<double> data;  // 7 rows of length n
+    std::size_t n{2};
+    std::size_t ib{0};
+    std::size_t ie{2};
+    double tr{0.5};
+    double acc0{0.0};
+  };
+  const Gen<StencilCase> stencil_gen = [](Choices& c) {
+    StencilCase sc;
+    sc.n = static_cast<std::size_t>(c.draw_range(2, 97));
+    sc.ib = std::min(sc.n - 1, c.draw_below(4));
+    sc.ie = std::max(sc.ib + 1, sc.n - c.draw_below(4));
+    sc.tr = c.draw_real(0.01, 2.0);
+    sc.acc0 = c.draw_real(0.0, 10.0);
+    util::Xoshiro256 rng{c.draw_below(1ULL << 32)};
+    sc.data.resize(7 * sc.n);
+    for (double& v : sc.data) {
+      v = rng.uniform(-100.0, 100.0);
+    }
+    return sc;
+  };
+  add_property<StencilCase>(
+      "simd.stencil_rows_match_scalar", stencil_gen,
+      [](const StencilCase& sc) {
+        const std::size_t n = sc.n;
+        const double* rhs = sc.data.data();
+        const double* row = rhs + n;
+        const double* row_s = row + n;
+        const double* row_n = row_s + n;
+        const double* row_d = row_n + n;
+        const double* row_u = row_d + n;
+        const double inv = 1.0 / (1.0 + 4.0 * sc.tr);
+        const simd::KernelTable& ref = simd::table_for(simd::IsaPath::kScalar);
+        for (const simd::IsaPath path : simd::supported_paths()) {
+          if (path == simd::IsaPath::kScalar) {
+            continue;
+          }
+          const simd::KernelTable& tbl = simd::table_for(path);
+          std::vector<double> want(n, 0.0), got(n, 0.0);
+          ref.jacobi2d_row(want.data(), rhs, row, row_s, row_n, sc.tr, inv,
+                           sc.ib, sc.ie);
+          tbl.jacobi2d_row(got.data(), rhs, row, row_s, row_n, sc.tr, inv,
+                           sc.ib, sc.ie);
+          if (!doubles_equal(want, got)) {
+            return std::string(simd::path_name(path)) + ": jacobi2d_row";
+          }
+          std::fill(want.begin(), want.end(), 0.0);
+          std::fill(got.begin(), got.end(), 0.0);
+          ref.jacobi3d_row(want.data(), rhs, row, row_s, row_n, row_d, row_u,
+                           sc.tr, inv, sc.ib, sc.ie);
+          tbl.jacobi3d_row(got.data(), rhs, row, row_s, row_n, row_d, row_u,
+                           sc.tr, inv, sc.ib, sc.ie);
+          if (!doubles_equal(want, got)) {
+            return std::string(simd::path_name(path)) + ": jacobi3d_row";
+          }
+          const double d2a = ref.defect2d_row(rhs, row, row_s, row_n, sc.tr,
+                                              sc.ib, sc.ie, sc.acc0);
+          const double d2b = tbl.defect2d_row(rhs, row, row_s, row_n, sc.tr,
+                                              sc.ib, sc.ie, sc.acc0);
+          if (std::memcmp(&d2a, &d2b, sizeof(double)) != 0) {
+            return std::string(simd::path_name(path)) + ": defect2d_row";
+          }
+          const double d3a =
+              ref.defect3d_row(rhs, row, row_s, row_n, row_d, row_u, sc.tr,
+                               sc.ib, sc.ie, sc.acc0);
+          const double d3b =
+              tbl.defect3d_row(rhs, row, row_s, row_n, row_d, row_u, sc.tr,
+                               sc.ib, sc.ie, sc.acc0);
+          if (std::memcmp(&d3a, &d3b, sizeof(double)) != 0) {
+            return std::string(simd::path_name(path)) + ": defect3d_row";
+          }
+        }
+        return ok();
+      },
+      [](const StencilCase& sc) {
+        std::ostringstream os;
+        os << "n=" << sc.n << " ib=" << sc.ib << " ie=" << sc.ie
+           << " tr=" << sc.tr;
+        return os.str();
+      });
+
+  struct CodecCase {
+    std::vector<double> values;
+    double tol{1e-3};
+  };
+  const Gen<CodecCase> codec_gen = [](Choices& c) {
+    CodecCase cc;
+    const auto n = static_cast<std::size_t>(c.draw_range(2, 200));
+    const double tols[] = {1e-6, 1e-3, 0.5};
+    cc.tol = tols[c.draw_below(3)];
+    const double amp = c.draw_real(0.0, 60.0);
+    util::Xoshiro256 rng{c.draw_below(1ULL << 32)};
+    cc.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cc.values[i] = amp * std::sin(0.1 * static_cast<double>(i)) +
+                     rng.uniform(-1.0, 1.0);
+    }
+    return cc;
+  };
+  add_property<CodecCase>(
+      "simd.codec_kernels_match_scalar", codec_gen,
+      [](const CodecCase& cc) {
+        const std::size_t n = cc.values.size();
+        const double* v = cc.values.data();
+        const double inv = 1.0 / cc.tol;
+        const simd::KernelTable& ref = simd::table_for(simd::IsaPath::kScalar);
+
+        const simd::ScanResult scan_ref = ref.scan_abs_finite(v, n);
+        std::vector<std::int64_t> q_ref(n);
+        ref.quantize(v, q_ref.data(), inv, n);
+        std::vector<std::uint64_t> zz_ref(n);
+        const std::uint64_t or_ref =
+            ref.delta_zigzag(q_ref.data(), zz_ref.data(), n);
+        const auto bits = static_cast<std::uint8_t>(
+            std::max<unsigned>(1, static_cast<unsigned>(std::bit_width(or_ref))));
+        std::vector<std::uint64_t> words_ref((n * 64 + 63) / 64 + 1);
+        const std::size_t nw_ref =
+            ref.pack_deltas(zz_ref.data(), bits, words_ref.data(), n);
+        std::vector<std::uint8_t> packed(nw_ref * 8);
+        for (std::size_t i = 0; i < nw_ref; ++i) {
+          for (int b = 0; b < 8; ++b) {
+            packed[i * 8 + static_cast<std::size_t>(b)] =
+                static_cast<std::uint8_t>(words_ref[i] >> (8 * b));
+          }
+        }
+        std::vector<std::int64_t> deltas_ref(n, 0);
+        ref.unpack_deltas(packed.data(), nw_ref, bits, deltas_ref.data(), n);
+        // Ground truth: the unpacked deltas must recover the quanta.
+        std::int64_t qv = q_ref[0];
+        for (std::size_t i = 1; i < n; ++i) {
+          qv += deltas_ref[i];
+          if (qv != q_ref[i]) {
+            return std::string("scalar pack/unpack round trip broke at ") +
+                   std::to_string(i);
+          }
+        }
+
+        for (const simd::IsaPath path : simd::supported_paths()) {
+          if (path == simd::IsaPath::kScalar) {
+            continue;
+          }
+          const simd::KernelTable& tbl = simd::table_for(path);
+          const char* name = simd::path_name(path);
+          const simd::ScanResult scan = tbl.scan_abs_finite(v, n);
+          if (scan.finite != scan_ref.finite ||
+              std::memcmp(&scan.max_abs, &scan_ref.max_abs,
+                          sizeof(double)) != 0) {
+            return std::string(name) + ": scan_abs_finite";
+          }
+          std::vector<std::int64_t> q(n);
+          tbl.quantize(v, q.data(), inv, n);
+          if (q != q_ref) {
+            return std::string(name) + ": quantize";
+          }
+          std::vector<std::uint64_t> zz(n);
+          if (tbl.delta_zigzag(q.data(), zz.data(), n) != or_ref ||
+              zz != zz_ref) {
+            return std::string(name) + ": delta_zigzag";
+          }
+          std::vector<std::uint64_t> words(words_ref.size());
+          if (tbl.pack_deltas(zz.data(), bits, words.data(), n) != nw_ref ||
+              std::memcmp(words.data(), words_ref.data(), nw_ref * 8) != 0) {
+            return std::string(name) + ": pack_deltas";
+          }
+          std::vector<std::int64_t> deltas(n, 0);
+          tbl.unpack_deltas(packed.data(), nw_ref, bits, deltas.data(), n);
+          if (deltas != deltas_ref) {
+            return std::string(name) + ": unpack_deltas";
+          }
+        }
+        return ok();
+      },
+      [](const CodecCase& cc) {
+        return "n=" + std::to_string(cc.values.size()) +
+               " tol=" + std::to_string(cc.tol);
+      });
+
+  struct TriCase {
+    std::size_t nx{2}, ny{2}, nz{2};
+    std::vector<double> field;
+    std::vector<double> xs, ys, zs;
+  };
+  const Gen<TriCase> tri_gen = [](Choices& c) {
+    TriCase tc;
+    tc.nx = static_cast<std::size_t>(c.draw_range(2, 9));
+    tc.ny = static_cast<std::size_t>(c.draw_range(2, 9));
+    tc.nz = static_cast<std::size_t>(c.draw_range(2, 9));
+    const auto npts = static_cast<std::size_t>(c.draw_range(1, 40));
+    util::Xoshiro256 rng{c.draw_below(1ULL << 32)};
+    tc.field.resize(tc.nx * tc.ny * tc.nz);
+    for (double& f : tc.field) {
+      f = rng.uniform(-5.0, 5.0);
+    }
+    tc.xs.resize(npts);
+    tc.ys.resize(npts);
+    tc.zs.resize(npts);
+    for (std::size_t i = 0; i < npts; ++i) {
+      // Over-range on purpose: the clamp must match bit-for-bit too.
+      tc.xs[i] = rng.uniform(-3.0, static_cast<double>(tc.nx) + 3.0);
+      tc.ys[i] = rng.uniform(-3.0, static_cast<double>(tc.ny) + 3.0);
+      tc.zs[i] = rng.uniform(-3.0, static_cast<double>(tc.nz) + 3.0);
+    }
+    return tc;
+  };
+  add_property<TriCase>(
+      "simd.trilinear_match_scalar", tri_gen,
+      [](const TriCase& tc) {
+        const std::size_t npts = tc.xs.size();
+        const simd::KernelTable& ref = simd::table_for(simd::IsaPath::kScalar);
+        std::vector<double> want(npts, 0.0);
+        ref.trilinear_block(tc.field.data(), tc.nx, tc.ny, tc.nz,
+                            tc.xs.data(), tc.ys.data(), tc.zs.data(),
+                            want.data(), npts);
+        for (const simd::IsaPath path : simd::supported_paths()) {
+          if (path == simd::IsaPath::kScalar) {
+            continue;
+          }
+          const simd::KernelTable& tbl = simd::table_for(path);
+          std::vector<double> got(npts, 0.0);
+          tbl.trilinear_block(tc.field.data(), tc.nx, tc.ny, tc.nz,
+                              tc.xs.data(), tc.ys.data(), tc.zs.data(),
+                              got.data(), npts);
+          if (!doubles_equal(want, got)) {
+            return std::string(simd::path_name(path)) + ": trilinear_block";
+          }
+        }
+        return ok();
+      },
+      [](const TriCase& tc) {
+        std::ostringstream os;
+        os << tc.nx << "x" << tc.ny << "x" << tc.nz
+           << " npts=" << tc.xs.size();
+        return os.str();
+      });
+}
+
 }  // namespace
 
 void register_builtin_properties() {
@@ -499,6 +757,7 @@ void register_builtin_properties() {
   register_pipeline_properties();
   register_campaign_properties();
   register_energy_properties();
+  register_simd_properties();
 }
 
 }  // namespace greenvis::qa

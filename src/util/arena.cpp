@@ -2,14 +2,87 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace greenvis::util {
 
 namespace {
+
 constexpr std::size_t kMinSlabBytes = 4096;
+constexpr std::size_t kHugePageBytes = std::size_t{2} << 20;
+
+bool hugepages_wanted() {
+  const char* env = std::getenv("GREENVIS_HUGEPAGES");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    return false;
+  }
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// mmap an anonymous MADV_HUGEPAGE region of `bytes` (rounded up to the
+/// 2 MB huge-page granule). Returns nullptr on any failure — the caller
+/// falls back to the heap.
+std::byte* map_huge(std::size_t bytes) {
+#if defined(__linux__)
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return nullptr;
+  }
+  // Best-effort: THP disabled or defragmentation declined just leaves the
+  // mapping on base pages, which is still correct.
+  (void)::madvise(p, bytes, MADV_HUGEPAGE);
+  return static_cast<std::byte*>(p);
+#else
+  (void)bytes;
+  return nullptr;
+#endif
+}
+
 }  // namespace
 
-ScratchArena::ScratchArena(std::size_t initial_capacity) {
+ScratchArena::Slab::Slab(Slab&& other) noexcept
+    : mem(std::exchange(other.mem, nullptr)),
+      size(std::exchange(other.size, 0)),
+      huge(std::exchange(other.huge, false)) {}
+
+ScratchArena::Slab& ScratchArena::Slab::operator=(Slab&& other) noexcept {
+  if (this != &other) {
+    Slab doomed(std::move(other));
+    std::swap(mem, doomed.mem);
+    std::swap(size, doomed.size);
+    std::swap(huge, doomed.huge);
+  }  // doomed's dtor releases the replaced mapping/allocation
+  return *this;
+}
+
+ScratchArena::Slab::~Slab() {
+  if (mem == nullptr) {
+    return;
+  }
+#if defined(__linux__)
+  if (huge) {
+    (void)::munmap(mem, size);
+    mem = nullptr;
+    return;
+  }
+#endif
+  ::operator delete[](mem);
+  mem = nullptr;
+}
+
+ScratchArena::ScratchArena(std::size_t initial_capacity)
+    : huge_enabled_(hugepages_wanted()) {
   if (initial_capacity > 0) {
     add_slab(initial_capacity);
   }
@@ -19,6 +92,16 @@ std::size_t ScratchArena::capacity() const {
   std::size_t total = 0;
   for (const Slab& slab : slabs_) {
     total += slab.size;
+  }
+  return total;
+}
+
+std::size_t ScratchArena::huge_bytes() const {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) {
+    if (slab.huge) {
+      total += slab.size;
+    }
   }
   return total;
 }
@@ -43,7 +126,18 @@ void ScratchArena::reset() {
 void ScratchArena::add_slab(std::size_t min_bytes) {
   Slab slab;
   slab.size = std::max({min_bytes, kMinSlabBytes, capacity()});
-  slab.mem = std::make_unique<std::byte[]>(slab.size);
+  if (huge_enabled_ && slab.size >= kHugePageBytes) {
+    const std::size_t rounded =
+        (slab.size + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    if (std::byte* mapped = map_huge(rounded)) {
+      slab.mem = mapped;
+      slab.size = rounded;
+      slab.huge = true;
+      slabs_.push_back(std::move(slab));
+      return;
+    }
+  }
+  slab.mem = static_cast<std::byte*>(::operator new[](slab.size));
   slabs_.push_back(std::move(slab));
 }
 
@@ -54,13 +148,13 @@ void* ScratchArena::alloc_bytes(std::size_t bytes, std::size_t align) {
   }
   for (;;) {
     Slab& slab = slabs_[slab_index_];
-    const auto base = reinterpret_cast<std::uintptr_t>(slab.mem.get());
+    const auto base = reinterpret_cast<std::uintptr_t>(slab.mem);
     const std::size_t aligned =
         ((base + offset_ + align - 1) & ~(std::uintptr_t{align} - 1)) - base;
     if (aligned + bytes <= slab.size) {
       used_ += (aligned - offset_) + bytes;
       offset_ = aligned + bytes;
-      return slab.mem.get() + aligned;
+      return slab.mem + aligned;
     }
     // Current slab exhausted: move to the next, creating one when needed
     // (doubling policy via add_slab's max-with-capacity).

@@ -10,11 +10,17 @@
 // Only trivially-copyable, trivially-destructible types may live in the
 // arena — reset() rewinds the bump pointer without running destructors.
 // An arena is single-threaded; give each pipeline/codec its own.
+//
+// Slabs of >= 2 MB are mmap'd and advised MADV_HUGEPAGE (Linux), cutting TLB
+// pressure for the streaming codec/staging buffers that dominate arena use.
+// The hint is best-effort: when transparent huge pages are unavailable the
+// kernel simply keeps 4 KB pages, and on mmap failure (or non-Linux hosts)
+// the slab falls back to plain heap allocation. GREENVIS_HUGEPAGES=0
+// disables the mmap path entirely (read at arena construction).
 #pragma once
 
 #include <cstddef>
 #include <cstring>
-#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -54,11 +60,22 @@ class ScratchArena {
   [[nodiscard]] std::size_t high_water() const;
   /// Number of slabs (1 once the workload's footprint has stabilized).
   [[nodiscard]] std::size_t slab_count() const { return slabs_.size(); }
+  /// Bytes currently backed by huge-page-advised mappings (0 when the mmap
+  /// path is disabled or every slab is below the 2 MB threshold).
+  [[nodiscard]] std::size_t huge_bytes() const;
 
  private:
   struct Slab {
-    std::unique_ptr<std::byte[]> mem;
+    Slab() = default;
+    Slab(Slab&& other) noexcept;
+    Slab& operator=(Slab&& other) noexcept;
+    Slab(const Slab&) = delete;
+    Slab& operator=(const Slab&) = delete;
+    ~Slab();
+
+    std::byte* mem{nullptr};
     std::size_t size{0};
+    bool huge{false};  // mem came from mmap (unmap, don't delete)
   };
 
   [[nodiscard]] void* alloc_bytes(std::size_t bytes, std::size_t align);
@@ -69,6 +86,7 @@ class ScratchArena {
   std::size_t offset_{0};      // bump offset within that slab
   std::size_t used_{0};        // bytes handed out this cycle (incl. padding)
   std::size_t high_water_{0};
+  bool huge_enabled_{false};   // GREENVIS_HUGEPAGES (see header comment)
 };
 
 /// A push_back-able sequence living inside a ScratchArena. Growth allocates

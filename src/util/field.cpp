@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "src/util/numa.hpp"
+
 namespace greenvis::util {
+
+Field2D::Field2D(std::size_t nx, std::size_t ny, double fill, ThreadPool* pool)
+    : nx_(nx), ny_(ny), data_(nx * ny, FieldStorage::Uninitialized{}) {
+  GREENVIS_REQUIRE(nx > 0 && ny > 0);
+  numa::first_touch_fill(data_.data(), data_.size(), fill, pool);
+}
 
 double Field2D::min_value() const {
   GREENVIS_REQUIRE(!data_.empty());

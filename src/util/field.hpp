@@ -10,8 +10,11 @@
 #include <vector>
 
 #include "src/util/error.hpp"
+#include "src/util/field_storage.hpp"
 
 namespace greenvis::util {
+
+class ThreadPool;
 
 class Field2D {
  public:
@@ -20,6 +23,10 @@ class Field2D {
       : nx_(nx), ny_(ny), data_(nx * ny, fill) {
     GREENVIS_REQUIRE(nx > 0 && ny > 0);
   }
+  /// First-touch construction: the fill is partitioned over `pool`'s
+  /// workers so each page is committed on the node of the worker that will
+  /// sweep it (see numa.hpp). Values are identical to the serial ctor.
+  Field2D(std::size_t nx, std::size_t ny, double fill, ThreadPool* pool);
 
   [[nodiscard]] std::size_t nx() const { return nx_; }
   [[nodiscard]] std::size_t ny() const { return ny_; }
@@ -32,8 +39,12 @@ class Field2D {
     return data_[j * nx_ + i];
   }
 
-  [[nodiscard]] std::span<double> values() { return data_; }
-  [[nodiscard]] std::span<const double> values() const { return data_; }
+  [[nodiscard]] std::span<double> values() {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const double> values() const {
+    return {data_.data(), data_.size()};
+  }
 
   [[nodiscard]] double min_value() const;
   [[nodiscard]] double max_value() const;
@@ -53,7 +64,7 @@ class Field2D {
  private:
   std::size_t nx_{0};
   std::size_t ny_{0};
-  std::vector<double> data_;
+  FieldStorage data_;
 };
 
 }  // namespace greenvis::util

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "src/util/numa.hpp"
+
 namespace greenvis::util {
+
+Field3D::Field3D(std::size_t nx, std::size_t ny, std::size_t nz, double fill,
+                 ThreadPool* pool)
+    : nx_(nx), ny_(ny), nz_(nz),
+      data_(nx * ny * nz, FieldStorage::Uninitialized{}) {
+  GREENVIS_REQUIRE(nx > 0 && ny > 0 && nz > 0);
+  numa::first_touch_fill(data_.data(), data_.size(), fill, pool);
+}
 
 double Field3D::min_value() const {
   GREENVIS_REQUIRE(!data_.empty());

@@ -12,8 +12,11 @@
 #include <vector>
 
 #include "src/util/error.hpp"
+#include "src/util/field_storage.hpp"
 
 namespace greenvis::util {
+
+class ThreadPool;
 
 class Field3D {
  public:
@@ -22,6 +25,9 @@ class Field3D {
       : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {
     GREENVIS_REQUIRE(nx > 0 && ny > 0 && nz > 0);
   }
+  /// First-touch construction (see Field2D and numa.hpp).
+  Field3D(std::size_t nx, std::size_t ny, std::size_t nz, double fill,
+          ThreadPool* pool);
 
   [[nodiscard]] std::size_t nx() const { return nx_; }
   [[nodiscard]] std::size_t ny() const { return ny_; }
@@ -35,8 +41,12 @@ class Field3D {
     return data_[(k * ny_ + j) * nx_ + i];
   }
 
-  [[nodiscard]] std::span<double> values() { return data_; }
-  [[nodiscard]] std::span<const double> values() const { return data_; }
+  [[nodiscard]] std::span<double> values() {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const double> values() const {
+    return {data_.data(), data_.size()};
+  }
 
   [[nodiscard]] double min_value() const;
   [[nodiscard]] double max_value() const;
@@ -57,7 +67,7 @@ class Field3D {
   std::size_t nx_{0};
   std::size_t ny_{0};
   std::size_t nz_{0};
-  std::vector<double> data_;
+  FieldStorage data_;
 };
 
 }  // namespace greenvis::util

@@ -1,0 +1,119 @@
+// Internal glue between the dispatch shim and the per-ISA kernel TUs.
+//
+// `detail` holds the per-element reference operations — the single source of
+// truth for the arithmetic every path must reproduce bit-for-bit. Vector
+// TUs use them for their remainder loops, so a tail element goes through
+// literally the same inline function as the scalar path.
+//
+// Not installed API: include only from src/util/simd/*.cpp and tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/simd/simd.hpp"
+
+namespace greenvis::util::simd {
+
+/// Scalar reference table (always available).
+[[nodiscard]] const KernelTable& scalar_table();
+/// Per-ISA tables; nullptr when the TU was compiled without that ISA.
+[[nodiscard]] const KernelTable* sse2_table();
+[[nodiscard]] const KernelTable* neon_table();
+[[nodiscard]] const KernelTable* avx2_table();
+
+namespace detail {
+
+inline double jacobi2d_cell(double rhs, double w, double e, double s,
+                            double n, double tr, double inv_diag) {
+  return (rhs + tr * ((w + e) + s + n)) * inv_diag;
+}
+
+inline double jacobi3d_cell(double rhs, double w, double e, double s,
+                            double n, double d, double u, double r,
+                            double inv_diag) {
+  return (rhs + r * ((w + e) + s + n + d + u)) * inv_diag;
+}
+
+inline double defect2d_cell(double rhs, double c, double w, double e,
+                            double s, double n, double tr) {
+  return (1.0 + 4.0 * tr) * c - tr * (w + e + s + n) - rhs;
+}
+
+inline double defect3d_cell(double rhs, double c, double w, double e,
+                            double s, double n, double d, double u,
+                            double r) {
+  return (1.0 + 6.0 * r) * c - r * (w + e + s + n + d + u) - rhs;
+}
+
+inline std::int64_t quantize_one(double v, double inv) {
+  const double t = v * inv;
+  return static_cast<std::int64_t>(t + std::copysign(0.5, t));
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Little-endian 64-bit load, byte-assembled (endian-correct everywhere;
+/// folds to one load on LE targets).
+inline std::uint64_t load_le_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) {
+    v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+  }
+  return v;
+}
+
+/// One bit-extracted delta at bit position `bitpos` (conditional borrow from
+/// the next word, exactly as the original decode loop).
+inline std::int64_t unpack_one(const std::uint8_t* packed, std::size_t bitpos,
+                               unsigned bits, std::uint64_t mask) {
+  const std::size_t w = bitpos >> 6;
+  const unsigned off = bitpos & 63;
+  std::uint64_t val = load_le_u64(packed + w * 8) >> off;
+  if (off + bits > 64) {
+    val |= load_le_u64(packed + (w + 1) * 8) << (64 - off);
+  }
+  return unzigzag(val & mask);
+}
+
+/// Exactly vis::trilinear_sample on a raw row-major (x fastest) buffer.
+inline double trilinear_one(const double* f, std::size_t nx, std::size_t ny,
+                            std::size_t nz, double x, double y, double z) {
+  const double mx = static_cast<double>(nx - 1);
+  const double my = static_cast<double>(ny - 1);
+  const double mz = static_cast<double>(nz - 1);
+  x = x < 0.0 ? 0.0 : (mx < x ? mx : x);
+  y = y < 0.0 ? 0.0 : (my < y ? my : y);
+  z = z < 0.0 ? 0.0 : (mz < z ? mz : z);
+  const auto i0 = static_cast<std::size_t>(x);
+  const auto j0 = static_cast<std::size_t>(y);
+  const auto k0 = static_cast<std::size_t>(z);
+  const std::size_t i1 = i0 + 1 < nx ? i0 + 1 : nx - 1;
+  const std::size_t j1 = j0 + 1 < ny ? j0 + 1 : ny - 1;
+  const std::size_t k1 = k0 + 1 < nz ? k0 + 1 : nz - 1;
+  const double fx = x - static_cast<double>(i0);
+  const double fy = y - static_cast<double>(j0);
+  const double fz = z - static_cast<double>(k0);
+  const auto at = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return f[(k * ny + j) * nx + i];
+  };
+  const auto lerp = [](double a, double b, double t) {
+    return a + (b - a) * t;
+  };
+  const double c00 = lerp(at(i0, j0, k0), at(i1, j0, k0), fx);
+  const double c10 = lerp(at(i0, j1, k0), at(i1, j1, k0), fx);
+  const double c01 = lerp(at(i0, j0, k1), at(i1, j0, k1), fx);
+  const double c11 = lerp(at(i0, j1, k1), at(i1, j1, k1), fx);
+  return lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz);
+}
+
+}  // namespace detail
+}  // namespace greenvis::util::simd

@@ -1,0 +1,151 @@
+// NEON kernels (2-wide doubles, aarch64). NEON is baseline on aarch64 so no
+// extra -m flags; -ffp-contract=off matters here because GCC contracts
+// mul+add into fused ops by default on this target.
+//
+// Only the stencil kernels are vectorized: aarch64 integer NEON lacks the
+// 64-bit variable shifts and gathers the codec loops lean on, and the
+// stencils dominate the paper's workloads. The rest inherit scalar pointers.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/simd/kernels_impl.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+
+namespace greenvis::util::simd {
+namespace {
+
+void jacobi2d_row_neon(double* out, const double* rhs, const double* row,
+                       const double* row_s, const double* row_n, double tr,
+                       double inv_diag, std::size_t ib, std::size_t ie) {
+  const float64x2_t vtr = vdupq_n_f64(tr);
+  const float64x2_t vinv = vdupq_n_f64(inv_diag);
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    const float64x2_t w = vld1q_f64(row + i - 1);
+    const float64x2_t e = vld1q_f64(row + i + 1);
+    const float64x2_t s = vld1q_f64(row_s + i);
+    const float64x2_t n = vld1q_f64(row_n + i);
+    const float64x2_t sum = vaddq_f64(vaddq_f64(vaddq_f64(w, e), s), n);
+    const float64x2_t r = vaddq_f64(vld1q_f64(rhs + i), vmulq_f64(vtr, sum));
+    vst1q_f64(out + i, vmulq_f64(r, vinv));
+  }
+  for (; i < ie; ++i) {
+    out[i] = detail::jacobi2d_cell(rhs[i], row[i - 1], row[i + 1], row_s[i],
+                                   row_n[i], tr, inv_diag);
+  }
+}
+
+void jacobi3d_row_neon(double* out, const double* rhs, const double* row,
+                       const double* row_s, const double* row_n,
+                       const double* row_d, const double* row_u, double r,
+                       double inv_diag, std::size_t ib, std::size_t ie) {
+  const float64x2_t vr = vdupq_n_f64(r);
+  const float64x2_t vinv = vdupq_n_f64(inv_diag);
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    float64x2_t sum = vaddq_f64(vld1q_f64(row + i - 1), vld1q_f64(row + i + 1));
+    sum = vaddq_f64(sum, vld1q_f64(row_s + i));
+    sum = vaddq_f64(sum, vld1q_f64(row_n + i));
+    sum = vaddq_f64(sum, vld1q_f64(row_d + i));
+    sum = vaddq_f64(sum, vld1q_f64(row_u + i));
+    const float64x2_t acc =
+        vaddq_f64(vld1q_f64(rhs + i), vmulq_f64(vr, sum));
+    vst1q_f64(out + i, vmulq_f64(acc, vinv));
+  }
+  for (; i < ie; ++i) {
+    out[i] = detail::jacobi3d_cell(rhs[i], row[i - 1], row[i + 1], row_s[i],
+                                   row_n[i], row_d[i], row_u[i], r, inv_diag);
+  }
+}
+
+double defect2d_row_neon(const double* rhs, const double* row,
+                         const double* row_s, const double* row_n, double tr,
+                         std::size_t ib, std::size_t ie, double acc) {
+  const float64x2_t vtr = vdupq_n_f64(tr);
+  const float64x2_t vdiag = vdupq_n_f64(1.0 + 4.0 * tr);
+  float64x2_t vmax = vdupq_n_f64(0.0);
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    const float64x2_t c = vld1q_f64(row + i);
+    const float64x2_t sum = vaddq_f64(
+        vaddq_f64(vaddq_f64(vld1q_f64(row + i - 1), vld1q_f64(row + i + 1)),
+                  vld1q_f64(row_s + i)),
+        vld1q_f64(row_n + i));
+    const float64x2_t defect = vsubq_f64(
+        vsubq_f64(vmulq_f64(vdiag, c), vmulq_f64(vtr, sum)),
+        vld1q_f64(rhs + i));
+    // std::max(acc, cand) ignores NaN candidates; vmaxq would propagate
+    // them, so select explicitly: cand > acc ? cand : acc.
+    const float64x2_t cand = vabsq_f64(defect);
+    vmax = vbslq_f64(vcgtq_f64(cand, vmax), cand, vmax);
+  }
+  acc = std::max(acc, vgetq_lane_f64(vmax, 0));
+  acc = std::max(acc, vgetq_lane_f64(vmax, 1));
+  for (; i < ie; ++i) {
+    const double defect = detail::defect2d_cell(
+        rhs[i], row[i], row[i - 1], row[i + 1], row_s[i], row_n[i], tr);
+    acc = std::max(acc, std::abs(defect));
+  }
+  return acc;
+}
+
+double defect3d_row_neon(const double* rhs, const double* row,
+                         const double* row_s, const double* row_n,
+                         const double* row_d, const double* row_u, double r,
+                         std::size_t ib, std::size_t ie, double acc) {
+  const float64x2_t vr = vdupq_n_f64(r);
+  const float64x2_t vdiag = vdupq_n_f64(1.0 + 6.0 * r);
+  float64x2_t vmax = vdupq_n_f64(0.0);
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    const float64x2_t c = vld1q_f64(row + i);
+    float64x2_t sum =
+        vaddq_f64(vld1q_f64(row + i - 1), vld1q_f64(row + i + 1));
+    sum = vaddq_f64(sum, vld1q_f64(row_s + i));
+    sum = vaddq_f64(sum, vld1q_f64(row_n + i));
+    sum = vaddq_f64(sum, vld1q_f64(row_d + i));
+    sum = vaddq_f64(sum, vld1q_f64(row_u + i));
+    const float64x2_t defect = vsubq_f64(
+        vsubq_f64(vmulq_f64(vdiag, c), vmulq_f64(vr, sum)),
+        vld1q_f64(rhs + i));
+    const float64x2_t cand = vabsq_f64(defect);
+    vmax = vbslq_f64(vcgtq_f64(cand, vmax), cand, vmax);
+  }
+  acc = std::max(acc, vgetq_lane_f64(vmax, 0));
+  acc = std::max(acc, vgetq_lane_f64(vmax, 1));
+  for (; i < ie; ++i) {
+    const double defect =
+        detail::defect3d_cell(rhs[i], row[i], row[i - 1], row[i + 1],
+                              row_s[i], row_n[i], row_d[i], row_u[i], r);
+    acc = std::max(acc, std::abs(defect));
+  }
+  return acc;
+}
+
+}  // namespace
+
+const KernelTable* neon_table() {
+  static const KernelTable t = [] {
+    KernelTable k = scalar_table();
+    k.path = IsaPath::kNeon;
+    k.jacobi2d_row = &jacobi2d_row_neon;
+    k.jacobi3d_row = &jacobi3d_row_neon;
+    k.defect2d_row = &defect2d_row_neon;
+    k.defect3d_row = &defect3d_row_neon;
+    return k;
+  }();
+  return &t;
+}
+
+}  // namespace greenvis::util::simd
+
+#else  // !__aarch64__
+
+namespace greenvis::util::simd {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace greenvis::util::simd
+
+#endif

@@ -1,0 +1,246 @@
+// SSE2 kernels (2-wide doubles). SSE2 is the x86-64 baseline, so this TU
+// needs no extra -m flags — only -ffp-contract=off to pin the arithmetic.
+//
+// SSE2 has no gathers, no variable 64-bit shifts, and no 64-bit compare, so
+// only the stencil rows, the codec prescan/quantize/zigzag, and nothing else
+// are vectorized here; the remaining entries inherit the scalar pointers.
+// Missing 64-bit ops are emulated:
+//  - int32 -> int64 sign extension: unpacklo with the srai(31) sign word
+//    (cvtepi32_epi64 is SSE4.1);
+//  - the >>63 zigzag sign mask: srai_epi32 on the high halves, then
+//    shuffle_epi32 to replicate them across each 64-bit lane.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/simd/kernels_impl.hpp"
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#include <emmintrin.h>
+
+namespace greenvis::util::simd {
+namespace {
+
+void jacobi2d_row_sse2(double* out, const double* rhs, const double* row,
+                       const double* row_s, const double* row_n, double tr,
+                       double inv_diag, std::size_t ib, std::size_t ie) {
+  const __m128d vtr = _mm_set1_pd(tr);
+  const __m128d vinv = _mm_set1_pd(inv_diag);
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    const __m128d w = _mm_loadu_pd(row + i - 1);
+    const __m128d e = _mm_loadu_pd(row + i + 1);
+    const __m128d s = _mm_loadu_pd(row_s + i);
+    const __m128d n = _mm_loadu_pd(row_n + i);
+    const __m128d sum = _mm_add_pd(_mm_add_pd(_mm_add_pd(w, e), s), n);
+    const __m128d r = _mm_add_pd(_mm_loadu_pd(rhs + i), _mm_mul_pd(vtr, sum));
+    _mm_storeu_pd(out + i, _mm_mul_pd(r, vinv));
+  }
+  for (; i < ie; ++i) {
+    out[i] = detail::jacobi2d_cell(rhs[i], row[i - 1], row[i + 1], row_s[i],
+                                   row_n[i], tr, inv_diag);
+  }
+}
+
+void jacobi3d_row_sse2(double* out, const double* rhs, const double* row,
+                       const double* row_s, const double* row_n,
+                       const double* row_d, const double* row_u, double r,
+                       double inv_diag, std::size_t ib, std::size_t ie) {
+  const __m128d vr = _mm_set1_pd(r);
+  const __m128d vinv = _mm_set1_pd(inv_diag);
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    __m128d sum =
+        _mm_add_pd(_mm_loadu_pd(row + i - 1), _mm_loadu_pd(row + i + 1));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_s + i));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_n + i));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_d + i));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_u + i));
+    const __m128d acc =
+        _mm_add_pd(_mm_loadu_pd(rhs + i), _mm_mul_pd(vr, sum));
+    _mm_storeu_pd(out + i, _mm_mul_pd(acc, vinv));
+  }
+  for (; i < ie; ++i) {
+    out[i] = detail::jacobi3d_cell(rhs[i], row[i - 1], row[i + 1], row_s[i],
+                                   row_n[i], row_d[i], row_u[i], r, inv_diag);
+  }
+}
+
+double defect2d_row_sse2(const double* rhs, const double* row,
+                         const double* row_s, const double* row_n, double tr,
+                         std::size_t ib, std::size_t ie, double acc) {
+  const __m128d vtr = _mm_set1_pd(tr);
+  const __m128d vdiag = _mm_set1_pd(1.0 + 4.0 * tr);
+  const __m128d sign = _mm_set1_pd(-0.0);
+  __m128d vmax = _mm_setzero_pd();
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    const __m128d c = _mm_loadu_pd(row + i);
+    const __m128d sum = _mm_add_pd(
+        _mm_add_pd(_mm_add_pd(_mm_loadu_pd(row + i - 1),
+                              _mm_loadu_pd(row + i + 1)),
+                   _mm_loadu_pd(row_s + i)),
+        _mm_loadu_pd(row_n + i));
+    const __m128d defect =
+        _mm_sub_pd(_mm_sub_pd(_mm_mul_pd(vdiag, c), _mm_mul_pd(vtr, sum)),
+                   _mm_loadu_pd(rhs + i));
+    // max_pd(candidate, acc) keeps acc when the candidate is NaN — same as
+    // std::max(acc, candidate).
+    vmax = _mm_max_pd(_mm_andnot_pd(sign, defect), vmax);
+  }
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, vmax);
+  acc = std::max(acc, lanes[0]);
+  acc = std::max(acc, lanes[1]);
+  for (; i < ie; ++i) {
+    const double defect = detail::defect2d_cell(
+        rhs[i], row[i], row[i - 1], row[i + 1], row_s[i], row_n[i], tr);
+    acc = std::max(acc, std::abs(defect));
+  }
+  return acc;
+}
+
+double defect3d_row_sse2(const double* rhs, const double* row,
+                         const double* row_s, const double* row_n,
+                         const double* row_d, const double* row_u, double r,
+                         std::size_t ib, std::size_t ie, double acc) {
+  const __m128d vr = _mm_set1_pd(r);
+  const __m128d vdiag = _mm_set1_pd(1.0 + 6.0 * r);
+  const __m128d sign = _mm_set1_pd(-0.0);
+  __m128d vmax = _mm_setzero_pd();
+  std::size_t i = ib;
+  for (; i + 2 <= ie; i += 2) {
+    const __m128d c = _mm_loadu_pd(row + i);
+    __m128d sum =
+        _mm_add_pd(_mm_loadu_pd(row + i - 1), _mm_loadu_pd(row + i + 1));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_s + i));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_n + i));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_d + i));
+    sum = _mm_add_pd(sum, _mm_loadu_pd(row_u + i));
+    const __m128d defect =
+        _mm_sub_pd(_mm_sub_pd(_mm_mul_pd(vdiag, c), _mm_mul_pd(vr, sum)),
+                   _mm_loadu_pd(rhs + i));
+    vmax = _mm_max_pd(_mm_andnot_pd(sign, defect), vmax);
+  }
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, vmax);
+  acc = std::max(acc, lanes[0]);
+  acc = std::max(acc, lanes[1]);
+  for (; i < ie; ++i) {
+    const double defect =
+        detail::defect3d_cell(rhs[i], row[i], row[i - 1], row[i + 1],
+                              row_s[i], row_n[i], row_d[i], row_u[i], r);
+    acc = std::max(acc, std::abs(defect));
+  }
+  return acc;
+}
+
+ScanResult scan_abs_finite_sse2(const double* v, std::size_t n) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d zero = _mm_setzero_pd();
+  __m128d vmax = zero;
+  __m128d vfin = _mm_castsi128_pd(_mm_set1_epi32(-1));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(v + i);
+    vmax = _mm_max_pd(_mm_andnot_pd(sign, x), vmax);
+    const __m128d d = _mm_sub_pd(x, x);
+    vfin = _mm_and_pd(vfin, _mm_cmpeq_pd(d, zero));
+  }
+  ScanResult r;
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, vmax);
+  r.max_abs = std::max(lanes[0], lanes[1]);
+  r.finite = _mm_movemask_pd(vfin) == 0x3;
+  for (; i < n; ++i) {
+    r.max_abs = std::max(r.max_abs, std::fabs(v[i]));
+    r.finite = r.finite && (v[i] - v[i] == 0.0);
+  }
+  return r;
+}
+
+void quantize_sse2(const double* v, std::int64_t* q, double inv,
+                   std::size_t n) {
+  const __m128d vinv = _mm_set1_pd(inv);
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d lim = _mm_set1_pd(2147483648.0);  // 2^31
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d t = _mm_mul_pd(_mm_loadu_pd(v + i), vinv);
+    const __m128d h = _mm_or_pd(_mm_and_pd(t, sign), half);
+    const __m128d s = _mm_add_pd(t, h);
+    const __m128d abs_s = _mm_andnot_pd(sign, s);
+    if (_mm_movemask_pd(_mm_cmplt_pd(abs_s, lim)) == 0x3) {
+      const __m128i s32 = _mm_cvttpd_epi32(s);  // int32 in lanes 0,1
+      const __m128i ext = _mm_srai_epi32(s32, 31);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                       _mm_unpacklo_epi32(s32, ext));
+    } else {
+      alignas(16) double tmp[2];
+      _mm_store_pd(tmp, s);
+      q[i + 0] = static_cast<std::int64_t>(tmp[0]);
+      q[i + 1] = static_cast<std::int64_t>(tmp[1]);
+    }
+  }
+  for (; i < n; ++i) {
+    q[i] = detail::quantize_one(v[i], inv);
+  }
+}
+
+std::uint64_t delta_zigzag_sse2(const std::int64_t* q, std::uint64_t* zz,
+                                std::size_t n) {
+  __m128i vall = _mm_setzero_si128();
+  std::size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i cur =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+    const __m128i prev =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i - 1));
+    const __m128i d = _mm_sub_epi64(cur, prev);
+    // d >> 63 (arithmetic, per 64-bit lane): sign of the high words,
+    // replicated across each lane.
+    const __m128i mask =
+        _mm_shuffle_epi32(_mm_srai_epi32(d, 31), _MM_SHUFFLE(3, 3, 1, 1));
+    const __m128i z = _mm_xor_si128(_mm_slli_epi64(d, 1), mask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(zz + i), z);
+    vall = _mm_or_si128(vall, z);
+  }
+  alignas(16) std::uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), vall);
+  std::uint64_t all = lanes[0] | lanes[1];
+  for (; i < n; ++i) {
+    const std::uint64_t z = detail::zigzag(q[i] - q[i - 1]);
+    zz[i] = z;
+    all |= z;
+  }
+  return all;
+}
+
+}  // namespace
+
+const KernelTable* sse2_table() {
+  static const KernelTable t = [] {
+    KernelTable k = scalar_table();
+    k.path = IsaPath::kSse2;
+    k.jacobi2d_row = &jacobi2d_row_sse2;
+    k.jacobi3d_row = &jacobi3d_row_sse2;
+    k.defect2d_row = &defect2d_row_sse2;
+    k.defect3d_row = &defect3d_row_sse2;
+    k.scan_abs_finite = &scan_abs_finite_sse2;
+    k.quantize = &quantize_sse2;
+    k.delta_zigzag = &delta_zigzag_sse2;
+    return k;
+  }();
+  return &t;
+}
+
+}  // namespace greenvis::util::simd
+
+#else  // !__SSE2__
+
+namespace greenvis::util::simd {
+const KernelTable* sse2_table() { return nullptr; }
+}  // namespace greenvis::util::simd
+
+#endif

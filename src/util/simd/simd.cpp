@@ -1,0 +1,189 @@
+// Runtime ISA dispatch: probe once, publish the chosen kernel table through
+// a single atomic pointer, honor the GREENVIS_SIMD override at startup, and
+// let tests/oracles swap paths at runtime via set_path().
+#include "src/util/simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/log.hpp"
+#include "src/util/simd/kernels_impl.hpp"
+
+namespace greenvis::util::simd {
+namespace {
+
+const KernelTable* table_or_null(IsaPath path) {
+  switch (path) {
+    case IsaPath::kScalar:
+      return &scalar_table();
+    case IsaPath::kSse2:
+      return sse2_table();
+    case IsaPath::kNeon:
+      return neon_table();
+    case IsaPath::kAvx2:
+      return avx2_table();
+  }
+  return nullptr;
+}
+
+/// Best path the hardware supports: the TU must be compiled for the ISA and
+/// the CPU must report the feature (compile-time baselines need no probe).
+IsaPath probe_best() {
+#if defined(__AVX2__)
+  // Built with AVX2 as baseline: no runtime check needed.
+  if (avx2_table() != nullptr) {
+    return IsaPath::kAvx2;
+  }
+#elif defined(__x86_64__) || defined(__i386__)
+  if (avx2_table() != nullptr && __builtin_cpu_supports("avx2")) {
+    return IsaPath::kAvx2;
+  }
+#endif
+  if (sse2_table() != nullptr) {
+    return IsaPath::kSse2;
+  }
+  if (neon_table() != nullptr) {
+    return IsaPath::kNeon;
+  }
+  return IsaPath::kScalar;
+}
+
+struct Dispatcher {
+  IsaPath detected;
+  std::atomic<const KernelTable*> active;
+
+  Dispatcher() : detected(probe_best()), active(table_or_null(detected)) {
+    const char* env = std::getenv("GREENVIS_SIMD");
+    if (env == nullptr || *env == '\0') {
+      return;
+    }
+    const std::string name(env);
+    IsaPath forced = detected;
+    if (name == "auto") {
+      return;
+    } else if (name == "scalar") {
+      forced = IsaPath::kScalar;
+    } else if (name == "sse2") {
+      forced = IsaPath::kSse2;
+    } else if (name == "neon") {
+      forced = IsaPath::kNeon;
+    } else if (name == "avx2") {
+      forced = IsaPath::kAvx2;
+    } else {
+      GREENVIS_REQUIRE_MSG(false, "GREENVIS_SIMD: unknown path '" + name +
+                                      "' (scalar|sse2|neon|avx2|auto)");
+    }
+    const KernelTable* t = table_or_null(forced);
+    GREENVIS_REQUIRE_MSG(t != nullptr,
+                         "GREENVIS_SIMD=" + name +
+                             " is not supported on this host");
+    if (forced != detected) {
+      log_debug() << "simd: GREENVIS_SIMD forces " << path_name(forced)
+                  << " (detected " << path_name(detected) << ")";
+    }
+    active.store(t, std::memory_order_relaxed);
+  }
+};
+
+Dispatcher& dispatcher() {
+  static Dispatcher d;
+  return d;
+}
+
+}  // namespace
+
+const char* path_name(IsaPath path) {
+  switch (path) {
+    case IsaPath::kScalar:
+      return "scalar";
+    case IsaPath::kSse2:
+      return "sse2";
+    case IsaPath::kNeon:
+      return "neon";
+    case IsaPath::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+IsaPath parse_path(const std::string& name) {
+  if (name == "auto") {
+    return detected_path();
+  }
+  if (name == "scalar") {
+    return IsaPath::kScalar;
+  }
+  if (name == "sse2") {
+    return IsaPath::kSse2;
+  }
+  if (name == "neon") {
+    return IsaPath::kNeon;
+  }
+  if (name == "avx2") {
+    return IsaPath::kAvx2;
+  }
+  GREENVIS_REQUIRE_MSG(
+      false, "unknown SIMD path '" + name + "' (scalar|sse2|neon|avx2|auto)");
+  return IsaPath::kScalar;  // unreachable
+}
+
+bool path_supported(IsaPath path) {
+  if (path == IsaPath::kScalar) {
+    return true;
+  }
+  if (table_or_null(path) == nullptr) {
+    return false;
+  }
+  // The table existing means the TU was compiled for the ISA; it is usable
+  // only when the probe would pick it or a weaker baseline covers it.
+  switch (path) {
+    case IsaPath::kSse2:
+    case IsaPath::kNeon:
+      return true;  // compile-time baselines on their targets
+    case IsaPath::kAvx2:
+      return dispatcher().detected == IsaPath::kAvx2;
+    case IsaPath::kScalar:
+      return true;
+  }
+  return false;
+}
+
+std::vector<IsaPath> supported_paths() {
+  std::vector<IsaPath> out;
+  for (IsaPath p : {IsaPath::kScalar, IsaPath::kSse2, IsaPath::kNeon,
+                    IsaPath::kAvx2}) {
+    if (path_supported(p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+IsaPath detected_path() { return dispatcher().detected; }
+
+IsaPath active_path() {
+  return dispatcher().active.load(std::memory_order_relaxed)->path;
+}
+
+void set_path(IsaPath path) {
+  GREENVIS_REQUIRE_MSG(path_supported(path),
+                       std::string("SIMD path '") + path_name(path) +
+                           "' is not supported on this host");
+  dispatcher().active.store(table_or_null(path), std::memory_order_relaxed);
+}
+
+const KernelTable& table_for(IsaPath path) {
+  GREENVIS_REQUIRE_MSG(path_supported(path),
+                       std::string("SIMD path '") + path_name(path) +
+                           "' is not supported on this host");
+  return *table_or_null(path);
+}
+
+const KernelTable& kernels() {
+  return *dispatcher().active.load(std::memory_order_relaxed);
+}
+
+}  // namespace greenvis::util::simd

@@ -1,0 +1,111 @@
+// Runtime-dispatched SIMD kernel layer for the three hottest inner loops:
+// the Jacobi stencil row sweeps (2-D/3-D solvers), the delta+bitpack codec
+// scan/quantize/zigzag/unpack loops, and the volume ray-marcher's trilinear
+// sample blocks.
+//
+// Dispatch model: the CPU is probed once at first use (AVX2 on x86 when the
+// CPUID feature bit is set, SSE2 as the x86-64 baseline, NEON on aarch64,
+// scalar everywhere else) and a kernel table for the best supported path is
+// published through one atomic pointer. `GREENVIS_SIMD=scalar|sse2|neon|
+// avx2|auto` overrides the choice at startup; `set_path()` swaps it at
+// runtime so oracles and tests can compare paths inside one process.
+//
+// Bit-identity contract: every vector implementation performs exactly the
+// per-element operation sequence of the scalar reference — same association,
+// same rounding, no FMA contraction (the kernel TUs are compiled with
+// -ffp-contract=off and without -mfma) — so all paths produce bit-identical
+// results. The `simd.scalar_vs_vector` differential oracle and the per-ISA
+// generative properties in src/qa enforce this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greenvis::util::simd {
+
+enum class IsaPath : int { kScalar = 0, kSse2 = 1, kNeon = 2, kAvx2 = 3 };
+
+/// Result of the codec's combined max-abs/finiteness prescan.
+struct ScanResult {
+  double max_abs{0.0};
+  bool finite{true};
+};
+
+/// One function pointer per vectorized inner loop. All rows/blocks are
+/// length-parameterized so callers keep their own blocking and boundary
+/// handling; kernels only ever touch [ib, ie) / [0, n).
+struct KernelTable {
+  IsaPath path;
+
+  /// out[i] = (rhs[i] + tr*(((row[i-1]+row[i+1]) + row_s[i]) + row_n[i]))
+  ///          * inv_diag  for i in [ib, ie).
+  void (*jacobi2d_row)(double* out, const double* rhs, const double* row,
+                       const double* row_s, const double* row_n, double tr,
+                       double inv_diag, std::size_t ib, std::size_t ie);
+  /// Seven-point 3-D analog (adds row_d/row_u planes, weight r).
+  void (*jacobi3d_row)(double* out, const double* rhs, const double* row,
+                       const double* row_s, const double* row_n,
+                       const double* row_d, const double* row_u, double r,
+                       double inv_diag, std::size_t ib, std::size_t ie);
+  /// Max-norm residual of one interior row:
+  /// acc = max(acc, |(1+4tr)*c - tr*sum4 - rhs[i]|). NaN defects are
+  /// ignored exactly as std::max(acc, NaN) ignores them.
+  double (*defect2d_row)(const double* rhs, const double* row,
+                         const double* row_s, const double* row_n, double tr,
+                         std::size_t ib, std::size_t ie, double acc);
+  double (*defect3d_row)(const double* rhs, const double* row,
+                         const double* row_s, const double* row_n,
+                         const double* row_d, const double* row_u, double r,
+                         std::size_t ib, std::size_t ie, double acc);
+
+  /// max|v[i]| plus all-finite flag (finite iff v[i]-v[i]==0 for all i).
+  ScanResult (*scan_abs_finite)(const double* v, std::size_t n);
+  /// q[i] = (int64)(t + copysign(0.5, t)) with t = v[i]*inv. Precondition:
+  /// every v[i] finite and |t| bounded by the caller's kMaxQuantum check.
+  void (*quantize)(const double* v, std::int64_t* q, double inv,
+                   std::size_t n);
+  /// zz[i] = zigzag(q[i]-q[i-1]) for i in [1, n); returns the OR of all
+  /// zigzags (the codec derives the bit width from it). q is not modified.
+  std::uint64_t (*delta_zigzag)(const std::int64_t* q, std::uint64_t* zz,
+                                std::size_t n);
+  /// Pack zz[1..n) at `bits` bits per value into 64-bit words; returns the
+  /// word count. Sequential OR-chaining (shared scalar implementation; the
+  /// vector win upstream is the quantize/zigzag production of zz).
+  std::size_t (*pack_deltas)(const std::uint64_t* zz, std::uint8_t bits,
+                             std::uint64_t* words, std::size_t n);
+  /// Extract and unzigzag the n-1 deltas of width `bits` (1..63) from the
+  /// little-endian packed words into deltas[1..n).
+  void (*unpack_deltas)(const std::uint8_t* packed, std::size_t nwords,
+                        std::uint8_t bits, std::int64_t* deltas,
+                        std::size_t n);
+
+  /// Trilinear-sample the row-major field at n (xs, ys, zs) points —
+  /// exactly vis::trilinear_sample per element (clamp, truncate, 7 lerps).
+  void (*trilinear_block)(const double* field, std::size_t nx, std::size_t ny,
+                          std::size_t nz, const double* xs, const double* ys,
+                          const double* zs, double* out, std::size_t n);
+};
+
+[[nodiscard]] const char* path_name(IsaPath path);
+/// Parse "scalar|sse2|neon|avx2|auto" ("auto" = detected best); REQUIREs a
+/// known name.
+[[nodiscard]] IsaPath parse_path(const std::string& name);
+/// A path is supported when its TU was compiled for this target AND the CPU
+/// reports the feature (scalar is always supported).
+[[nodiscard]] bool path_supported(IsaPath path);
+[[nodiscard]] std::vector<IsaPath> supported_paths();
+/// Best supported path on this host (ignores overrides).
+[[nodiscard]] IsaPath detected_path();
+/// Path the hot loops currently dispatch to.
+[[nodiscard]] IsaPath active_path();
+/// Force a path at runtime (REQUIREs it supported). Not synchronized with
+/// concurrently running kernels — switch between workloads, not inside one.
+void set_path(IsaPath path);
+/// Table for an explicit path (REQUIREs it supported) — for tests/bench.
+[[nodiscard]] const KernelTable& table_for(IsaPath path);
+/// The active table: one relaxed atomic load; hoist out of inner loops.
+[[nodiscard]] const KernelTable& kernels();
+
+}  // namespace greenvis::util::simd

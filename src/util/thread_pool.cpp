@@ -4,6 +4,7 @@
 
 #include "src/obs/tracer.hpp"
 #include "src/util/error.hpp"
+#include "src/util/numa.hpp"
 
 namespace greenvis::util {
 
@@ -20,9 +21,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   worker_idle_ns_ = &registry.counter("pool.worker_idle_ns");
   dispatch_us_ =
       &registry.histogram("pool.dispatch_us", obs::duration_us_bounds());
+  numa_pinning_ = threads > 1 && numa::pinning_enabled();
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -72,8 +74,13 @@ void ThreadPool::drain(Dispatch& d) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   obs::Tracer::global().set_thread_name("pool-worker");
+  if (numa_pinning_) {
+    // Round-robin workers over nodes; first-touch fills then place each
+    // range's pages on the node whose worker sweeps it. Failure is benign.
+    (void)numa::pin_to_node(index % numa::topology().node_count());
+  }
   std::uint64_t seen = 0;
   std::unique_lock lock(mutex_);
   for (;;) {
@@ -115,7 +122,8 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   GREENVIS_REQUIRE(begin <= end);
   if (begin == end) {
     return;
@@ -127,7 +135,7 @@ void ThreadPool::parallel_for(
     dispatches_->add(1);
   }
   const std::size_t total = end - begin;
-  if (workers_.empty() || total == 1) {
+  if (workers_.empty() || total <= std::max<std::size_t>(grain, 1)) {
     if (observed) {
       chunks_claimed_->add(1);
     }
@@ -144,7 +152,7 @@ void ThreadPool::parallel_for(
   Dispatch d;
   d.begin = begin;
   d.end = end;
-  d.chunk = std::max<std::size_t>(1, total / (size() * 4));
+  d.chunk = std::max({std::size_t{1}, grain, total / (size() * 4)});
   d.body = &body;
   d.chunks_claimed = observed ? chunks_claimed_ : nullptr;
 

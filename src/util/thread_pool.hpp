@@ -63,8 +63,19 @@ class ThreadPool {
   /// throws, the remaining chunks are abandoned, the first exception is
   /// rethrown here, and the pool stays usable. Bodies must not dispatch on
   /// the same pool (no nested parallelism).
+  ///
+  /// `grain` is the minimum chunk size in indices: when per-index work is
+  /// tiny (a few ns), a larger grain keeps the atomic claim and wake cost
+  /// amortized. Ranges no longer than the grain run inline on the caller.
+  /// Chunk placement never affects results (bodies own disjoint ranges), so
+  /// grain is a pure tuning knob.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// True when workers are pinned round-robin across NUMA nodes (multi-node
+  /// host, or forced via GREENVIS_NUMA=1).
+  [[nodiscard]] bool numa_pinning() const { return numa_pinning_; }
 
   /// Parallel fold over [begin, end). `body(lo, hi, acc)` folds a subrange
   /// into `acc` (seeded with `init`) and returns it; `combine(a, b)` merges
@@ -124,11 +135,12 @@ class ThreadPool {
     return total < kReduceChunks ? 1 : (total + kReduceChunks - 1) / kReduceChunks;
   }
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
   /// Claim and run chunks of `d` until the range is exhausted.
   static void drain(Dispatch& d);
 
   std::vector<std::thread> workers_;
+  bool numa_pinning_{false};
 
   // Observability handles (resolved once; hot paths gate on obs::enabled()).
   obs::Counter* dispatches_{nullptr};

@@ -46,7 +46,10 @@ INSTANTIATE_TEST_SUITE_P(
                       "replay.trace_flip_robust",
                       "pipeline.async_matches_sync",
                       "campaign.replay_identical",
-                      "energy.conservation"),
+                      "energy.conservation",
+                      "simd.stencil_rows_match_scalar",
+                      "simd.codec_kernels_match_scalar",
+                      "simd.trilinear_match_scalar"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       std::string name = param_info.param;
       for (char& c : name) {

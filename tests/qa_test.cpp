@@ -350,6 +350,7 @@ TEST_F(Oracles, ObsOnVsOff) { expect_ok("obs.on_vs_off"); }
 TEST_F(Oracles, LegacyVsChunkedDecode) {
   expect_ok("codec.legacy_vs_chunked_decode");
 }
+TEST_F(Oracles, SimdScalarVsVector) { expect_ok("simd.scalar_vs_vector"); }
 
 TEST_F(Oracles, UnknownNameThrows) {
   EXPECT_THROW((void)OracleRegistry::global().run("no.such.oracle"),

@@ -3,11 +3,14 @@
 # clang-format is available) verify formatting of everything under src/.
 #
 # Usage: tools/check.sh [--asan] [--bench-smoke] [--campaign-smoke]
-#                       [--conformance] [--energy-smoke] [build-dir]
+#                       [--conformance] [--energy-smoke] [--simd] [build-dir]
 #   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
 #                 (RelWithDebInfo, default build dir: build-asan) and run the
 #                 full suite under them — including the obs/pool concurrency
-#                 tests, which is where a data race would surface as UB.
+#                 tests, which is where a data race would surface as UB, and
+#                 the intrinsics TUs (kernels_{sse2,avx2,neon}.cpp), where
+#                 UBSan checks the lane-math shifts/casts the vector paths
+#                 lean on.
 #   --bench-smoke after the suite, run the ~5 s perf-harness subset and fail
 #                 on a >10% regression vs the committed BENCH_perf.json
 #                 (heat2d_512 serial MCUPS and codec MB/s).
@@ -26,6 +29,12 @@
 #                 tools/golden/ENERGY_profile_case1.json (the profile is a
 #                 pure function of the virtual timelines, so it must never
 #                 drift without an intentional regeneration).
+#   --simd        after the suite, re-run the full tier-1 suite once under
+#                 GREENVIS_SIMD=scalar and once under GREENVIS_SIMD=auto
+#                 (the dispatcher's best native path), then require
+#                 `greenvis compare` output to be byte-for-byte identical
+#                 across the two paths — the end-to-end statement of the
+#                 scalar-vs-vector bit-identity contract.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +44,7 @@ BENCH_SMOKE=0
 CAMPAIGN_SMOKE=0
 CONFORMANCE=0
 ENERGY_SMOKE=0
+SIMD=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --asan) ASAN=1 ;;
@@ -42,6 +52,7 @@ while [[ "${1:-}" == --* ]]; do
     --campaign-smoke) CAMPAIGN_SMOKE=1 ;;
     --conformance) CONFORMANCE=1 ;;
     --energy-smoke) ENERGY_SMOKE=1 ;;
+    --simd) SIMD=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -108,6 +119,29 @@ if [[ "$CAMPAIGN_SMOKE" == 1 ]]; then
     --out="$SMOKE_DIR/resumed.json"
   cmp "$SMOKE_DIR/ref.json" "$SMOKE_DIR/resumed.json"
   echo "campaign smoke: resumed JSON byte-identical to the reference"
+fi
+
+if [[ "$SIMD" == 1 ]]; then
+  echo "== simd differential =="
+  # Tier-1 suite under the forced-scalar reference path, then again under
+  # the auto-dispatched best native path. Both must be green: the vector
+  # kernels are a pure performance substitution, never a semantic one.
+  GREENVIS_SIMD=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+  GREENVIS_SIMD=auto ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+  # End-to-end bit-identity: the full pipeline comparison (solver sweeps,
+  # codec round-trips, renders, energy model) must print byte-for-byte the
+  # same report whichever ISA path executed it.
+  SIMD_DIR="$BUILD_DIR"/simd-smoke
+  rm -rf "$SIMD_DIR" && mkdir -p "$SIMD_DIR"
+  for case_no in 1 2 3; do
+    GREENVIS_SIMD=scalar "$BUILD_DIR"/tools/greenvis compare --case "$case_no" \
+      > "$SIMD_DIR/compare_case${case_no}_scalar.txt"
+    GREENVIS_SIMD=auto "$BUILD_DIR"/tools/greenvis compare --case "$case_no" \
+      > "$SIMD_DIR/compare_case${case_no}_auto.txt"
+    cmp "$SIMD_DIR/compare_case${case_no}_scalar.txt" \
+        "$SIMD_DIR/compare_case${case_no}_auto.txt"
+  done
+  echo "simd differential: scalar and auto paths byte-identical"
 fi
 
 if [[ "$CONFORMANCE" == 1 ]]; then
