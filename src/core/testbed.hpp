@@ -15,7 +15,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/machine/cost_model.hpp"
 #include "src/machine/load.hpp"
@@ -32,10 +34,14 @@ namespace greenvis::core {
 /// Which storage model backs the testbed's filesystem. The paper's node has
 /// the 7200 rpm HDD; the SSD/NVRAM substitutions are its future-work
 /// "flash-based devices" direction, and the campaign engine sweeps them as
-/// a first-class axis.
-enum class StorageDeviceKind { kHdd, kSsd, kNvram };
+/// a first-class axis. NVMe (multi-queue flash) and RAID0 (four striped
+/// copies of the testbed HDD) ride the async block-device layer.
+enum class StorageDeviceKind { kHdd, kSsd, kNvram, kNvme, kRaid0 };
 
 [[nodiscard]] const char* storage_device_name(StorageDeviceKind kind);
+/// Inverse of storage_device_name; nullopt for unknown names.
+[[nodiscard]] std::optional<StorageDeviceKind> parse_storage_device(
+    std::string_view name);
 
 struct TestbedConfig {
   machine::NodeSpec node{machine::sandy_bridge_testbed()};

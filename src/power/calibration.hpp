@@ -74,6 +74,12 @@ struct DiskPowerParams {
   return DiskPowerParams{Watts{0.6}, Watts{0.0}, Watts{0.0}, Watts{1.4},
                          Watts{2.2}, Watts{2.2}};
 }
+/// Datacenter NVMe: higher idle than SATA flash (controller + DRAM), more
+/// active draw at several-times-higher throughput.
+[[nodiscard]] inline DiskPowerParams nvme_power_params() {
+  return DiskPowerParams{Watts{2.0}, Watts{0.0}, Watts{0.0}, Watts{5.5},
+                         Watts{7.0}, Watts{7.0}};
+}
 
 struct RestOfSystemParams {
   /// Motherboard, fans, NIC, PSU conversion loss — constant.

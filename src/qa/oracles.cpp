@@ -7,7 +7,9 @@
 // contract itself is a tolerance (the delta codec).
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "src/codec/field_codec.hpp"
@@ -20,8 +22,12 @@
 #include "src/heat/solver3d.hpp"
 #include "src/obs/obs.hpp"
 #include "src/qa/oracle.hpp"
+#include "src/storage/async_device.hpp"
+#include "src/storage/fault.hpp"
 #include "src/storage/filesystem.hpp"
 #include "src/storage/hdd.hpp"
+#include "src/storage/raid.hpp"
+#include "src/storage/solid_state.hpp"
 #include "src/trace/clock.hpp"
 #include "src/util/checksum.hpp"
 #include "src/util/rng.hpp"
@@ -378,6 +384,144 @@ OracleResult cache_on_vs_off() {
               "with the page cache on (buffered) and off (direct)");
 }
 
+// ---- storage: the async queue at depth 1 / noop IS the sync path ----
+
+OracleResult storage_async_vs_sync() {
+  // A serial device rig: the concrete device plus whatever it wraps.
+  struct Rig {
+    std::vector<std::unique_ptr<storage::BlockDevice>> keep;
+    storage::BlockDevice* dev{nullptr};
+  };
+  const auto make_rig = [](std::string_view label) {
+    Rig rig;
+    const auto own = [&rig](std::unique_ptr<storage::BlockDevice> d) {
+      rig.dev = d.get();
+      rig.keep.push_back(std::move(d));
+      return rig.dev;
+    };
+    if (label == "hdd") {
+      own(std::make_unique<storage::HddModel>(storage::HddParams{}));
+    } else if (label == "ssd") {
+      own(std::make_unique<storage::SolidStateModel>(
+          storage::sata_ssd_params()));
+    } else if (label == "nvram") {
+      own(std::make_unique<storage::SolidStateModel>(
+          storage::nvram_params()));
+    } else if (label == "raid0") {
+      std::vector<std::unique_ptr<storage::BlockDevice>> children;
+      for (int i = 0; i < 3; ++i) {
+        children.push_back(
+            std::make_unique<storage::HddModel>(storage::HddParams{}));
+      }
+      own(std::make_unique<storage::Raid0Model>(std::move(children)));
+    } else {  // faulty: retry-prone HDD with an unreadable range
+      auto* inner =
+          own(std::make_unique<storage::HddModel>(storage::HddParams{}));
+      storage::FaultConfig fc;
+      fc.retry_probability = 0.25;
+      fc.bad_ranges.push_back(
+          storage::FaultConfig::BadRange{48 * 1024 * 1024, 16 * 1024 * 1024});
+      own(std::make_unique<storage::FaultyDisk>(*inner, fc));
+    }
+    return rig;
+  };
+
+  // Deterministic aligned stream with nondecreasing submit times.
+  struct Stream {
+    std::vector<storage::IoRequest> requests;
+    std::vector<util::Seconds> submits;
+  };
+  const auto make_stream = [] {
+    Stream s;
+    util::Xoshiro256 rng{0xA51D};
+    util::Seconds t{0.0};
+    for (int i = 0; i < 48; ++i) {
+      storage::IoRequest r;
+      r.kind = (rng.next() & 1) != 0 ? storage::IoKind::kWrite
+                                     : storage::IoKind::kRead;
+      r.offset = rng.uniform_index(64 * 1024) * 4096;
+      r.length = static_cast<std::uint32_t>((1 + rng.uniform_index(128)) *
+                                            4096);
+      t += util::Seconds{rng.uniform(0.0, 0.004)};
+      s.requests.push_back(r);
+      s.submits.push_back(t);
+    }
+    return s;
+  };
+
+  const Stream stream = make_stream();
+  for (const std::string_view label :
+       {std::string_view{"hdd"}, std::string_view{"ssd"},
+        std::string_view{"nvram"}, std::string_view{"raid0"},
+        std::string_view{"faulty"}}) {
+    // Legacy synchronous path: chained service_outcome calls, each starting
+    // at max(previous end, submit time).
+    Rig sync = make_rig(label);
+    std::vector<storage::IoOutcome> expected;
+    util::Seconds cursor{0.0};
+    for (std::size_t i = 0; i < stream.requests.size(); ++i) {
+      const util::Seconds start = std::max(cursor, stream.submits[i]);
+      expected.push_back(
+          sync.dev->service_outcome(stream.requests[i], start));
+      cursor = expected.back().end;
+    }
+
+    // Async path: queue depth 1, noop scheduler, streaming submit/poll.
+    Rig async = make_rig(label);
+    storage::AsyncBlockDevice queue(
+        *async.dev,
+        storage::AsyncDeviceConfig{1, storage::IoSchedulerKind::kNoop});
+    for (std::size_t i = 0; i < stream.requests.size(); ++i) {
+      queue.submit(stream.requests[i], stream.submits[i]);
+    }
+    (void)queue.drain();
+    std::vector<storage::CompletionRecord> records;
+    queue.poll(records);
+
+    const std::string where{label};
+    if (records.size() != expected.size()) {
+      return fail(where + ": completion count " +
+                  std::to_string(records.size()) + " != " +
+                  std::to_string(expected.size()));
+    }
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (records[i].complete.value() != expected[i].end.value()) {
+        return fail(where + ": request " + std::to_string(i) +
+                    " completion time diverged");
+      }
+      if (records[i].ok != expected[i].ok ||
+          records[i].error != expected[i].error) {
+        return fail(where + ": request " + std::to_string(i) +
+                    " error state diverged");
+      }
+    }
+    const storage::DeviceCounters& a = sync.dev->counters();
+    const storage::DeviceCounters& b = async.dev->counters();
+    if (a.reads != b.reads || a.writes != b.writes ||
+        a.bytes_read.value() != b.bytes_read.value() ||
+        a.bytes_written.value() != b.bytes_written.value()) {
+      return fail(where + ": DeviceCounters diverged");
+    }
+    const auto& sa = sync.dev->activity().segments();
+    const auto& sb = async.dev->activity().segments();
+    if (sa.size() != sb.size()) {
+      return fail(where + ": activity segment count diverged");
+    }
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i].begin.value() != sb[i].begin.value() ||
+          sa[i].end.value() != sb[i].end.value() ||
+          sa[i].phase != sb[i].phase) {
+        return fail(where + ": activity segment " + std::to_string(i) +
+                    " diverged");
+      }
+    }
+  }
+  return pass("hdd/ssd/nvram/raid0/faulty: completion times, error states, "
+              "DeviceCounters, and DiskActivityLog segments bit-identical "
+              "between the async queue (depth 1, noop) and the legacy "
+              "synchronous path over a 48-request stream");
+}
+
 // ---- observability: watching the run must not change the run ----
 
 OracleResult obs_on_vs_off() {
@@ -625,6 +769,7 @@ void register_builtin_oracles() {
   registry.add("batch.sharded_vs_serial", batch_sharded_vs_serial);
   registry.add("codec.raw_vs_delta", codec_raw_vs_delta);
   registry.add("storage.cache_on_vs_off", cache_on_vs_off);
+  registry.add("storage.async_vs_sync", storage_async_vs_sync);
   registry.add("obs.on_vs_off", obs_on_vs_off);
   registry.add("obs.profiler_on_off", profiler_on_vs_off);
   registry.add("codec.legacy_vs_chunked_decode", legacy_vs_chunked_decode);

@@ -2,13 +2,9 @@
 
 namespace greenvis::storage {
 
-Seconds BlockDevice::service_batch(std::span<const IoRequest> requests,
-                                   Seconds start) {
-  Seconds t = start;
-  for (const IoRequest& r : requests) {
-    t = service(r, t);
-  }
-  return t;
+IoOutcome BlockDevice::service_outcome(const IoRequest& request,
+                                       Seconds start) {
+  return IoOutcome{service(request, start), true, {}};
 }
 
 }  // namespace greenvis::storage

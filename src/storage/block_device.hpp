@@ -4,9 +4,17 @@
 // filesystem layer. A device services requests serially starting at a given
 // virtual time and reports how long each took, recording its mechanical
 // phases into a DiskActivityLog along the way.
+//
+// Hosts normally talk to a device through storage::AsyncBlockDevice
+// (async_device.hpp), which adds submission queues, pluggable I/O
+// schedulers, and per-request completion records on top of this serial
+// timing interface. The hooks below (service_outcome, head_hint,
+// reorders_batches, channels) are what the queue layer needs to reproduce
+// device-preferred behavior without reaching into concrete classes.
 #pragma once
 
-#include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "src/storage/activity_log.hpp"
@@ -18,6 +26,13 @@ namespace greenvis::storage {
 using util::Bytes;
 using util::Seconds;
 
+/// Hard device error (unrecoverable sector).
+class DeviceError : public std::runtime_error {
+ public:
+  explicit DeviceError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
 struct DeviceCounters {
   std::uint64_t reads{0};
   std::uint64_t writes{0};
@@ -25,22 +40,45 @@ struct DeviceCounters {
   Bytes bytes_written{0};
 };
 
+/// Result of servicing one request: when it finished and whether it
+/// succeeded. A failed request still consumes device time (retries, seeks),
+/// so `end` is meaningful either way.
+struct IoOutcome {
+  Seconds end{0.0};
+  bool ok{true};
+  std::string error;
+};
+
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
 
   /// Service one request starting at `start`; returns its completion time
-  /// (>= start). The device's head/cache state advances.
+  /// (>= start). The device's head/cache state advances. Throws DeviceError
+  /// on unrecoverable faults.
   virtual Seconds service(const IoRequest& request, Seconds start) = 0;
 
-  /// Service a batch that the host submitted together (queue-depth > 1).
-  /// Devices with command queueing may reorder internally; the default
-  /// implementation services in submission order.
-  virtual Seconds service_batch(std::span<const IoRequest> requests,
-                                Seconds start);
+  /// Like service(), but reports faults on the returned outcome instead of
+  /// throwing, so a queue servicing many in-flight requests can attach the
+  /// error to the *correct* completion record. Default wraps service().
+  virtual IoOutcome service_outcome(const IoRequest& request, Seconds start);
 
   /// Drain any volatile write cache (write barrier); returns completion time.
   virtual Seconds flush(Seconds start) = 0;
+
+  /// Current head/cursor position, used by position-aware I/O schedulers
+  /// (elevator, deadline) to seed their sweep. Non-mechanical devices
+  /// return 0.
+  [[nodiscard]] virtual std::uint64_t head_hint() const { return 0; }
+
+  /// True if the device itself reorders queued batches (NCQ-style); the
+  /// queue layer's kDevice scheduler resolves to an elevator sweep for such
+  /// devices and FIFO otherwise.
+  [[nodiscard]] virtual bool reorders_batches() const { return false; }
+
+  /// Independent service channels (NVMe submission queues, RAID spindles
+  /// exposed as one). 1 for strictly serial devices.
+  [[nodiscard]] virtual std::size_t channels() const { return 1; }
 
   [[nodiscard]] virtual Bytes capacity() const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;

@@ -24,11 +24,14 @@ bool FaultyDisk::touches_bad_range(const IoRequest& request) const {
   return false;
 }
 
-Seconds FaultyDisk::service(const IoRequest& request, Seconds start) {
-  // Writes to a pending (remappable) sector succeed; only reads of the
-  // listed ranges fail hard, as with real media defects.
+IoOutcome FaultyDisk::service_outcome(const IoRequest& request,
+                                      Seconds start) {
+  // Writes to a pending (remappable) sector succeed (unless fail_writes
+  // models media past remapping); reads of the listed ranges fail hard, as
+  // with real media defects.
   const bool hard_fail =
-      request.kind == IoKind::kRead && touches_bad_range(request);
+      (request.kind == IoKind::kRead || config_.fail_writes) &&
+      touches_bad_range(request);
 
   std::size_t attempts = 1;
   if (hard_fail) {
@@ -47,10 +50,21 @@ Seconds FaultyDisk::service(const IoRequest& request, Seconds start) {
   }
   if (hard_fail) {
     ++hard_errors_;
-    throw DeviceError("unrecoverable read at offset " +
-                      std::to_string(request.offset));
+    return IoOutcome{t, false,
+                     (request.kind == IoKind::kRead
+                          ? "unrecoverable read at offset "
+                          : "unrecoverable write at offset ") +
+                         std::to_string(request.offset)};
   }
-  return t;
+  return IoOutcome{t, true, {}};
+}
+
+Seconds FaultyDisk::service(const IoRequest& request, Seconds start) {
+  const IoOutcome outcome = service_outcome(request, start);
+  if (!outcome.ok) {
+    throw DeviceError(outcome.error);
+  }
+  return outcome.end;
 }
 
 Seconds FaultyDisk::flush(Seconds start) { return inner_->flush(start); }

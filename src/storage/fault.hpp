@@ -26,12 +26,8 @@
 
 namespace greenvis::storage {
 
-/// Hard device error (unrecoverable sector).
-class DeviceError : public std::runtime_error {
- public:
-  explicit DeviceError(const std::string& message)
-      : std::runtime_error(message) {}
-};
+// DeviceError lives in block_device.hpp so the queue layer can attach it to
+// completion records without depending on the fault decorator.
 
 struct FaultConfig {
   /// Probability a request needs at least one retry.
@@ -45,6 +41,9 @@ struct FaultConfig {
     std::uint64_t length{0};
   };
   std::vector<BadRange> bad_ranges;
+  /// Also fail writes touching a bad range (media past remapping — lets
+  /// tests surface hard faults on the writer/stager path).
+  bool fail_writes{false};
   std::uint64_t seed{0xFA17u};
 };
 
@@ -53,8 +52,21 @@ class FaultyDisk final : public BlockDevice {
   FaultyDisk(BlockDevice& inner, const FaultConfig& config);
 
   Seconds service(const IoRequest& request, Seconds start) override;
+  /// Fault-aware timing: a hard fault consumes the retries' worth of device
+  /// time and is reported on the outcome instead of thrown, so the async
+  /// layer can pin it to the right completion record.
+  IoOutcome service_outcome(const IoRequest& request, Seconds start) override;
   Seconds flush(Seconds start) override;
 
+  [[nodiscard]] std::uint64_t head_hint() const override {
+    return inner_->head_hint();
+  }
+  [[nodiscard]] bool reorders_batches() const override {
+    return inner_->reorders_batches();
+  }
+  [[nodiscard]] std::size_t channels() const override {
+    return inner_->channels();
+  }
   [[nodiscard]] Bytes capacity() const override { return inner_->capacity(); }
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] const DiskActivityLog& activity() const override {

@@ -11,7 +11,7 @@ namespace greenvis::storage {
 Filesystem::Filesystem(BlockDevice& device, trace::VirtualClock& clock,
                        const FsParams& params)
     : device_(device), clock_(clock), params_(params),
-      cache_(device, params.cache) {
+      queue_(device, params.io_queue), cache_(queue_, params.cache) {
   GREENVIS_REQUIRE(params_.block_size.value() > 0);
   GREENVIS_REQUIRE(params_.block_size.value() ==
                    params_.cache.page_size.value());
@@ -306,7 +306,7 @@ std::uint64_t Filesystem::read_internal(FileNode& node,
       }
       const IoRequest req{IoKind::kRead, dev_off,
                           static_cast<std::uint32_t>(dev_len)};
-      t = device_.service(req, t);
+      t = queue_.execute(req, t);
     } else {
       t = cache_.read(dev, len, t, /*allow_readahead=*/true);
     }
@@ -409,7 +409,7 @@ void Filesystem::pread_batch(Fd fd, std::span<const std::uint64_t> offsets,
       pages.push_back(dev / bs);
     }
   }
-  Seconds t = device_.service_batch(batch, clock_.now());
+  Seconds t = queue_.run_batch(batch, clock_.now(), params_.io_queue.scheduler);
   if (mode == ReadMode::kBuffered) {
     t = cache_.insert_clean(pages, t);
   }
@@ -432,7 +432,7 @@ void Filesystem::flush_file_data(const FileNode& node) {
     pages.push_back(dev / bs);
   }
   Seconds t = cache_.flush_pages(pages, clock_.now());
-  t = device_.flush(t);
+  t = queue_.flush(t);
   clock_.advance_to(t);
 }
 
@@ -450,16 +450,16 @@ void Filesystem::journal_commit() {
   // Descriptor + metadata write, then a barrier to make it durable.
   const IoRequest desc{IoKind::kWrite, base + journal_head_,
                        static_cast<std::uint32_t>(record)};
-  t = device_.service(desc, t);
-  t = device_.flush(t);
+  t = queue_.execute(desc, t);
+  t = queue_.flush(t);
   // The commit record is only issued once the descriptor IO has completed
   // and the host has taken an interrupt — by which time the platter has
   // rotated past, so the commit pays (most of) a full rotation.
   t += params_.journal_commit_gap;
   const IoRequest commit{IoKind::kWrite, base + journal_head_ + record,
                          static_cast<std::uint32_t>(commit_block)};
-  t = device_.service(commit, t);
-  t = device_.flush(t);
+  t = queue_.execute(commit, t);
+  t = queue_.flush(t);
   journal_head_ += record + commit_block;
   clock_.advance_to(t);
 }
@@ -486,7 +486,7 @@ void Filesystem::sync_all() {
   charge_syscall();
   const bool had_dirty = cache_.dirty_pages() > 0;
   Seconds t = cache_.flush_all(clock_.now());
-  t = device_.flush(t);
+  t = queue_.flush(t);
   clock_.advance_to(t);
   if (had_dirty) {
     journal_commit();

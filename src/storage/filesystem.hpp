@@ -73,6 +73,10 @@ struct FsParams {
   /// Per-file cap on really-stored payload; larger files must be synthetic.
   util::Bytes max_real_content{util::mebibytes(256)};
   PageCacheParams cache{};
+  /// Submission-queue configuration for every request the filesystem (and
+  /// its page cache) issues: queue depth and I/O scheduler. Defaults keep
+  /// the legacy device-preferred behavior bit-for-bit.
+  AsyncDeviceConfig io_queue{};
 };
 
 struct FsCounters {
@@ -159,6 +163,9 @@ class Filesystem {
   [[nodiscard]] double fragmentation(const std::string& name) const;
 
   [[nodiscard]] BlockDevice& device() { return device_; }
+  /// The submission queue all filesystem/cache requests flow through.
+  [[nodiscard]] AsyncBlockDevice& io_queue() { return queue_; }
+  [[nodiscard]] const AsyncBlockDevice& io_queue() const { return queue_; }
   [[nodiscard]] PageCache& cache() { return cache_; }
   [[nodiscard]] const FsCounters& counters() const { return counters_; }
   [[nodiscard]] const FsParams& params() const { return params_; }
@@ -208,6 +215,7 @@ class Filesystem {
   BlockDevice& device_;
   trace::VirtualClock& clock_;
   FsParams params_;
+  AsyncBlockDevice queue_;  // must precede cache_, which issues through it
   PageCache cache_;
   std::map<std::string, FileNode> files_;
   std::map<Fd, OpenFile> open_files_;

@@ -147,28 +147,6 @@ Seconds HddModel::service(const IoRequest& request, Seconds start) {
   return t;
 }
 
-Seconds HddModel::service_batch(std::span<const IoRequest> requests,
-                                Seconds start) {
-  // One elevator sweep: ascending offsets at or beyond the head first, then
-  // wrap to the lowest offsets. Writes still go through the cache path.
-  std::vector<IoRequest> ordered(requests.begin(), requests.end());
-  const std::uint64_t head = head_pos_;
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [head](const IoRequest& a, const IoRequest& b) {
-                     const bool a_ahead = a.offset >= head;
-                     const bool b_ahead = b.offset >= head;
-                     if (a_ahead != b_ahead) {
-                       return a_ahead;
-                     }
-                     return a.offset < b.offset;
-                   });
-  Seconds t = start;
-  for (const IoRequest& r : ordered) {
-    t = service(r, t);
-  }
-  return t;
-}
-
 Seconds HddModel::flush(Seconds start) {
   if (cached_writes_.empty()) {
     return start;

@@ -44,10 +44,12 @@ class HddModel final : public BlockDevice {
   explicit HddModel(const HddParams& params);
 
   Seconds service(const IoRequest& request, Seconds start) override;
-  /// NCQ: requests are reordered into one elevator sweep before servicing.
-  Seconds service_batch(std::span<const IoRequest> requests,
-                        Seconds start) override;
   Seconds flush(Seconds start) override;
+
+  /// NCQ: AsyncBlockDevice's kDevice scheduler resolves to an elevator
+  /// sweep seeded from the head position.
+  [[nodiscard]] bool reorders_batches() const override { return true; }
+  [[nodiscard]] std::uint64_t head_hint() const override { return head_pos_; }
 
   [[nodiscard]] Bytes capacity() const override {
     return params_.spec.capacity;

@@ -1,0 +1,44 @@
+#include "src/storage/nvme.hpp"
+
+#include "src/util/error.hpp"
+
+namespace greenvis::storage {
+
+NvmeParams nvme_default_params() { return NvmeParams{}; }
+
+NvmeModel::NvmeModel(const NvmeParams& params) : params_(params) {
+  GREENVIS_REQUIRE(params_.capacity.value() > 0);
+  GREENVIS_REQUIRE(params_.read_rate.value() > 0.0);
+  GREENVIS_REQUIRE(params_.write_rate.value() > 0.0);
+  GREENVIS_REQUIRE(params_.queues >= 1);
+}
+
+Seconds NvmeModel::service(const IoRequest& request, Seconds start) {
+  GREENVIS_REQUIRE_MSG(
+      request.offset + request.length <= params_.capacity.value(),
+      "request beyond device capacity");
+  const bool is_read = request.kind == IoKind::kRead;
+  const Seconds latency =
+      is_read ? params_.read_latency : params_.write_latency;
+  const Seconds xfer =
+      util::transfer_time(util::Bytes{request.length},
+                          is_read ? params_.read_rate : params_.write_rate);
+  const Seconds busy = latency + xfer;
+  log_.record(is_read ? DiskPhase::kReadTransfer : DiskPhase::kWriteTransfer,
+              start, start + busy);
+  if (is_read) {
+    ++counters_.reads;
+    counters_.bytes_read += util::Bytes{request.length};
+  } else {
+    ++counters_.writes;
+    counters_.bytes_written += util::Bytes{request.length};
+  }
+  return start + busy;
+}
+
+Seconds NvmeModel::flush(Seconds start) {
+  // Power-loss-protected write path: durable on completion.
+  return start;
+}
+
+}  // namespace greenvis::storage

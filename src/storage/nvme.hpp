@@ -1,0 +1,66 @@
+// NVMe device model: flash timing with multiple submission queues.
+//
+// Like the SSD model, service time is fixed access latency plus bandwidth-
+// limited transfer — but an NVMe controller exposes several independent
+// submission/completion queue pairs, so the device reports channels() > 1
+// and the AsyncBlockDevice layer dispatches queued requests onto the
+// earliest-free channel. The per-channel rate is the device rate divided by
+// the active channel count's worth of shared flash bandwidth: the model
+// splits the aggregate rate evenly so a fully parallel window finishes in
+// roughly aggregate-bandwidth time while a lone request still sees the full
+// rate through one queue (latency dominates small requests either way).
+//
+// Modeling choice: channel parallelism lives in the queue layer, not here —
+// service() stays serial (one request, one timing), which keeps the device
+// drop-in compatible with every synchronous consumer and with the
+// async_vs_sync oracle at queue depth 1.
+#pragma once
+
+#include <string>
+
+#include "src/storage/block_device.hpp"
+
+namespace greenvis::storage {
+
+struct NvmeParams {
+  std::string name{"NVMe SSD"};
+  util::Bytes capacity{util::gibibytes(1000)};
+  Seconds read_latency{util::microseconds(20.0)};
+  Seconds write_latency{util::microseconds(15.0)};
+  /// Per-queue sustained rates (the aggregate scales with queue count up to
+  /// the flash limit, which the even split below already encodes).
+  util::BytesPerSecond read_rate{util::mebibytes_per_second(1750.0)};
+  util::BytesPerSecond write_rate{util::mebibytes_per_second(1500.0)};
+  /// Submission/completion queue pairs exposed to the host.
+  std::size_t queues{4};
+};
+
+[[nodiscard]] NvmeParams nvme_default_params();
+
+class NvmeModel final : public BlockDevice {
+ public:
+  explicit NvmeModel(const NvmeParams& params);
+
+  Seconds service(const IoRequest& request, Seconds start) override;
+  Seconds flush(Seconds start) override;
+
+  [[nodiscard]] std::size_t channels() const override {
+    return params_.queues;
+  }
+  [[nodiscard]] Bytes capacity() const override { return params_.capacity; }
+  [[nodiscard]] std::string_view name() const override { return params_.name; }
+  [[nodiscard]] const DiskActivityLog& activity() const override {
+    return log_;
+  }
+  [[nodiscard]] const DeviceCounters& counters() const override {
+    return counters_;
+  }
+  [[nodiscard]] const NvmeParams& params() const { return params_; }
+
+ private:
+  NvmeParams params_;
+  DiskActivityLog log_;
+  DeviceCounters counters_;
+};
+
+}  // namespace greenvis::storage

@@ -9,10 +9,48 @@
 
 namespace greenvis::storage {
 
-PageCache::PageCache(BlockDevice& device, const PageCacheParams& params)
-    : device_(device), params_(params) {
+PageCache::PageCache(AsyncBlockDevice& queue, const PageCacheParams& params)
+    : queue_(queue), params_(params) {
   GREENVIS_REQUIRE(params_.page_size.value() > 0);
   GREENVIS_REQUIRE(params_.capacity.value() >= params_.page_size.value());
+}
+
+PageCache::PageCache(BlockDevice& device, const PageCacheParams& params)
+    : owned_queue_(std::make_unique<AsyncBlockDevice>(device)),
+      queue_(*owned_queue_),
+      params_(params) {
+  GREENVIS_REQUIRE(params_.page_size.value() > 0);
+  GREENVIS_REQUIRE(params_.capacity.value() >= params_.page_size.value());
+}
+
+IoSchedulerKind PageCache::writeback_scheduler() const {
+  const IoSchedulerKind configured = queue_.config().scheduler;
+  return configured == IoSchedulerKind::kDevice ? IoSchedulerKind::kNoop
+                                                : configured;
+}
+
+// One submission window per call: coalesce contiguous dirty pages, cap each
+// request at 4 MiB (kernel writeback chunking; also keeps lengths in range),
+// and hand the whole set to the queue.
+Seconds PageCache::write_back_runs(const std::vector<std::uint64_t>& dirty,
+                                   Seconds t) {
+  const std::uint64_t page_bytes = params_.page_size.value();
+  const std::uint64_t max_run =
+      std::max<std::uint64_t>(1, util::mebibytes(4).value() / page_bytes);
+  std::vector<IoRequest> requests;
+  std::size_t i = 0;
+  while (i < dirty.size()) {
+    std::size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 &&
+           j - i < max_run) {
+      ++j;
+    }
+    const std::uint64_t bytes = (dirty[j - 1] - dirty[i] + 1) * page_bytes;
+    requests.push_back(IoRequest{IoKind::kWrite, dirty[i] * page_bytes,
+                                 static_cast<std::uint32_t>(bytes)});
+    i = j;
+  }
+  return queue_.run_batch(requests, t, writeback_scheduler());
 }
 
 Seconds PageCache::touch(std::uint64_t page, bool dirty, Seconds now) {
@@ -45,7 +83,7 @@ Seconds PageCache::evict_one(Seconds now) {
     const std::uint64_t page_bytes = params_.page_size.value();
     const IoRequest wb{IoKind::kWrite, victim * page_bytes,
                        static_cast<std::uint32_t>(page_bytes)};
-    now = device_.service(wb, now);
+    now = queue_.execute(wb, now);
     --dirty_count_;
     ++counters_.writeback_pages;
   }
@@ -69,7 +107,7 @@ Seconds PageCache::read(std::uint64_t offset, std::uint64_t length,
     const std::uint64_t ra_pages = params_.readahead_window.value() / page_bytes;
     ra_last = last + ra_pages;
     const std::uint64_t device_last =
-        (device_.capacity().value() / page_bytes) - 1;
+        (queue_.backend().capacity().value() / page_bytes) - 1;
     ra_last = std::min(ra_last, device_last);
   }
 
@@ -88,7 +126,7 @@ Seconds PageCache::read(std::uint64_t offset, std::uint64_t length,
       const std::uint64_t pages = std::min(max_run, run_end_exclusive - p);
       const IoRequest req{IoKind::kRead, p * page_bytes,
                           static_cast<std::uint32_t>(pages * page_bytes)};
-      t = device_.service(req, t);
+      t = queue_.execute(req, t);
     }
     in_run = false;
   };
@@ -148,7 +186,6 @@ Seconds PageCache::write(std::uint64_t offset, std::uint64_t length,
 
 Seconds PageCache::flush_range(std::uint64_t offset, std::uint64_t length,
                                Seconds start) {
-  const std::uint64_t page_bytes = params_.page_size.value();
   const std::uint64_t first = page_of(offset);
   const std::uint64_t last = length == 0 ? first : page_of(offset + length - 1);
 
@@ -160,24 +197,7 @@ Seconds PageCache::flush_range(std::uint64_t offset, std::uint64_t length,
   }
   std::sort(dirty.begin(), dirty.end());
 
-  // Coalesce contiguous dirty pages, but cap each request at 4 MiB — both to
-  // match kernel writeback chunking and to keep request lengths in range.
-  const std::uint64_t max_run = std::max<std::uint64_t>(
-      1, util::mebibytes(4).value() / page_bytes);
-  Seconds t = start;
-  std::size_t i = 0;
-  while (i < dirty.size()) {
-    std::size_t j = i + 1;
-    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 &&
-           j - i < max_run) {
-      ++j;
-    }
-    const std::uint64_t bytes = (dirty[j - 1] - dirty[i] + 1) * page_bytes;
-    const IoRequest req{IoKind::kWrite, dirty[i] * page_bytes,
-                        static_cast<std::uint32_t>(bytes)};
-    t = device_.service(req, t);
-    i = j;
-  }
+  const Seconds t = write_back_runs(dirty, start);
   for (std::uint64_t p : dirty) {
     auto it = pages_.find(p);
     GREENVIS_ENSURE(it != pages_.end());
@@ -191,12 +211,11 @@ Seconds PageCache::flush_range(std::uint64_t offset, std::uint64_t length,
 }
 
 Seconds PageCache::flush_all(Seconds start) {
-  return flush_range(0, device_.capacity().value(), start);
+  return flush_range(0, queue_.backend().capacity().value(), start);
 }
 
 Seconds PageCache::flush_pages(std::span<const std::uint64_t> pages,
                                Seconds start) {
-  const std::uint64_t page_bytes = params_.page_size.value();
   std::vector<std::uint64_t> dirty;
   dirty.reserve(pages.size());
   for (std::uint64_t p : pages) {
@@ -207,22 +226,7 @@ Seconds PageCache::flush_pages(std::span<const std::uint64_t> pages,
   std::sort(dirty.begin(), dirty.end());
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
 
-  const std::uint64_t max_run = std::max<std::uint64_t>(
-      1, util::mebibytes(4).value() / page_bytes);
-  Seconds t = start;
-  std::size_t i = 0;
-  while (i < dirty.size()) {
-    std::size_t j = i + 1;
-    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 &&
-           j - i < max_run) {
-      ++j;
-    }
-    const std::uint64_t bytes = (dirty[j - 1] - dirty[i] + 1) * page_bytes;
-    const IoRequest req{IoKind::kWrite, dirty[i] * page_bytes,
-                        static_cast<std::uint32_t>(bytes)};
-    t = device_.service(req, t);
-    i = j;
-  }
+  const Seconds t = write_back_runs(dirty, start);
   for (std::uint64_t p : dirty) {
     auto it = pages_.find(p);
     GREENVIS_ENSURE(it != pages_.end());

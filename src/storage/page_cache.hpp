@@ -13,9 +13,12 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
+#include "src/storage/async_device.hpp"
 #include "src/storage/block_device.hpp"
 
 namespace greenvis::storage {
@@ -39,6 +42,10 @@ struct PageCacheCounters {
 
 class PageCache {
  public:
+  /// Issue through an existing submission queue (shared with the
+  /// filesystem, so writeback and demand reads honor one scheduler config).
+  PageCache(AsyncBlockDevice& queue, const PageCacheParams& params);
+  /// Convenience: wrap a bare device in a private default queue.
   PageCache(BlockDevice& device, const PageCacheParams& params);
 
   /// Read device range [offset, offset+length); misses go to the device
@@ -97,8 +104,14 @@ class PageCache {
   /// Insert or touch a page; may evict (and write back) the LRU victim.
   Seconds touch(std::uint64_t page, bool dirty, Seconds now);
   Seconds evict_one(Seconds now);
+  /// Write back the coalesced dirty runs in `dirty` (ascending pages).
+  Seconds write_back_runs(const std::vector<std::uint64_t>& dirty, Seconds t);
+  /// Scheduler for writeback batches: legacy discipline is ascending page
+  /// order, so kDevice resolves to FIFO (the runs are already sorted).
+  [[nodiscard]] IoSchedulerKind writeback_scheduler() const;
 
-  BlockDevice& device_;
+  std::unique_ptr<AsyncBlockDevice> owned_queue_;
+  AsyncBlockDevice& queue_;
   PageCacheParams params_;
   std::unordered_map<std::uint64_t, PageState> pages_;
   std::list<std::uint64_t> lru_;  // front = most recent

@@ -1,0 +1,109 @@
+#include "src/storage/raid.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace greenvis::storage {
+
+Raid0Model::Raid0Model(std::vector<std::unique_ptr<BlockDevice>> children,
+                       util::Bytes stripe)
+    : children_(std::move(children)), stripe_(stripe) {
+  GREENVIS_REQUIRE_MSG(!children_.empty(), "RAID0 needs at least one child");
+  GREENVIS_REQUIRE(stripe_.value() > 0);
+  util::Bytes smallest = children_.front()->capacity();
+  for (const auto& child : children_) {
+    GREENVIS_REQUIRE(child != nullptr);
+    smallest = std::min(smallest, child->capacity());
+  }
+  const std::uint64_t stripes_per_child = smallest.value() / stripe_.value();
+  GREENVIS_REQUIRE_MSG(stripes_per_child > 0, "stripe larger than children");
+  capacity_ = util::Bytes{children_.size() * stripes_per_child *
+                          stripe_.value()};
+  name_ = "RAID0 x" + std::to_string(children_.size()) + " (" +
+          std::string(children_.front()->name()) + ")";
+  merged_segments_.assign(children_.size(), 0);
+}
+
+Raid0Model::ChildExtent Raid0Model::child_extent(std::size_t child,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t length) const {
+  const std::uint64_t S = stripe_.value();
+  const std::uint64_t N = children_.size();
+  const std::uint64_t end = offset + length;
+  const std::uint64_t s0 = offset / S;
+  const std::uint64_t sl = (end - 1) / S;
+  // Smallest and largest stripe indices in [s0, sl] owned by this child.
+  const std::uint64_t s_first = s0 + (child + N - s0 % N) % N;
+  if (s_first > sl) {
+    return ChildExtent{};
+  }
+  const std::uint64_t s_last = sl - (sl % N + N - child) % N;
+  // Consecutive stripes of one child are adjacent on that child, so the
+  // covered child range is a single extent, ragged only at the volume
+  // request's first and last stripes.
+  const std::uint64_t begin_off =
+      (s_first / N) * S + (s_first == s0 ? offset % S : 0);
+  const std::uint64_t end_off =
+      (s_last / N) * S + (s_last == sl ? (end - 1) % S + 1 : S);
+  return ChildExtent{begin_off, end_off - begin_off};
+}
+
+Seconds Raid0Model::service(const IoRequest& request, Seconds start) {
+  GREENVIS_REQUIRE(request.length > 0);
+  GREENVIS_REQUIRE_MSG(request.offset + request.length <= capacity_.value(),
+                       "request beyond volume capacity");
+  Seconds end = start;
+  for (std::size_t c = 0; c < children_.size(); ++c) {
+    const ChildExtent extent =
+        child_extent(c, request.offset, request.length);
+    if (extent.length == 0) {
+      continue;
+    }
+    const IoRequest child_request{request.kind, extent.offset,
+                                  static_cast<std::uint32_t>(extent.length)};
+    // Spindles work in parallel: the volume completes with the slowest.
+    end = std::max(end, children_[c]->service(child_request, start));
+  }
+
+  if (request.kind == IoKind::kRead) {
+    ++counters_.reads;
+    counters_.bytes_read += util::Bytes{request.length};
+  } else {
+    ++counters_.writes;
+    counters_.bytes_written += util::Bytes{request.length};
+  }
+
+  merge_child_activity();
+  return end;
+}
+
+Seconds Raid0Model::flush(Seconds start) {
+  Seconds end = start;
+  for (const auto& child : children_) {
+    end = std::max(end, child->flush(start));
+  }
+  merge_child_activity();
+  return end;
+}
+
+// Pull each child's newly recorded segments into the volume log, sorted by
+// begin so the shared log's append-order contract holds across spindles.
+void Raid0Model::merge_child_activity() {
+  std::vector<DiskSegment> fresh;
+  for (std::size_t c = 0; c < children_.size(); ++c) {
+    const auto& segments = children_[c]->activity().segments();
+    fresh.insert(fresh.end(), segments.begin() + merged_segments_[c],
+                 segments.end());
+    merged_segments_[c] = segments.size();
+  }
+  std::stable_sort(fresh.begin(), fresh.end(),
+                   [](const DiskSegment& a, const DiskSegment& b) {
+                     return a.begin < b.begin;
+                   });
+  for (const DiskSegment& segment : fresh) {
+    log_.record(segment.phase, segment.begin, segment.end);
+  }
+}
+
+}  // namespace greenvis::storage

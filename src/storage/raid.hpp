@@ -1,0 +1,75 @@
+// RAID0 striped volume over N child block devices.
+//
+// Classic striping: the address space is chopped into fixed stripe units;
+// stripe s lives on child s % N at child offset (s / N) * stripe + the
+// intra-stripe offset. A request spanning several stripes therefore touches
+// each child over one *contiguous* child range (consecutive stripes of the
+// same child are adjacent on that child), so the volume issues at most one
+// request per child and completes when the slowest child does — which is
+// where RAID0's bandwidth multiplication comes from.
+//
+// The volume keeps its own DiskActivityLog by merging the children's newly
+// recorded segments (sorted by begin) after every request, so the power
+// model sees the true per-phase busy time across all spindles. With one
+// child, the volume is a transparent pass-through: identical timings,
+// counters, and activity segments — a property the RAID unit tests pin
+// bit-for-bit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/block_device.hpp"
+
+namespace greenvis::storage {
+
+class Raid0Model final : public BlockDevice {
+ public:
+  /// Takes ownership of the children. Capacity is children * the smallest
+  /// child capacity, rounded down to a whole stripe per child.
+  Raid0Model(std::vector<std::unique_ptr<BlockDevice>> children,
+             util::Bytes stripe = util::kibibytes(256));
+
+  Seconds service(const IoRequest& request, Seconds start) override;
+  Seconds flush(Seconds start) override;
+
+  [[nodiscard]] Bytes capacity() const override { return capacity_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const DiskActivityLog& activity() const override {
+    return log_;
+  }
+  [[nodiscard]] const DeviceCounters& counters() const override {
+    return counters_;
+  }
+
+  [[nodiscard]] std::size_t child_count() const { return children_.size(); }
+  [[nodiscard]] const BlockDevice& child(std::size_t i) const {
+    return *children_[i];
+  }
+  [[nodiscard]] util::Bytes stripe() const { return stripe_; }
+
+  /// Stripe math, exposed for the mapping unit tests: the single contiguous
+  /// child range a volume range [offset, offset+length) covers on `child`.
+  struct ChildExtent {
+    std::uint64_t offset{0};
+    std::uint64_t length{0};  // 0 = child not touched
+  };
+  [[nodiscard]] ChildExtent child_extent(std::size_t child,
+                                         std::uint64_t offset,
+                                         std::uint64_t length) const;
+
+ private:
+  void merge_child_activity();
+
+  std::vector<std::unique_ptr<BlockDevice>> children_;
+  util::Bytes stripe_;
+  util::Bytes capacity_{0};
+  std::string name_;
+  DiskActivityLog log_;
+  DeviceCounters counters_;
+  /// How many segments of each child's log were already merged into ours.
+  std::vector<std::size_t> merged_segments_;
+};
+
+}  // namespace greenvis::storage

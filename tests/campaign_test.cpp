@@ -397,6 +397,48 @@ TEST(Engine, DeviceKnobChangesPostProcessingResults) {
   EXPECT_LT(report.results[1].duration_s, report.results[0].duration_s);
 }
 
+TEST(Engine, DeviceAxisSweepProducesOneDistinctRowPerDevice) {
+  // The --devices= axis end to end: every requested backend yields a row,
+  // the science is device-invariant, and the timings actually differ.
+  CampaignSpec spec;
+  spec.devices = {core::StorageDeviceKind::kHdd, core::StorageDeviceKind::kSsd,
+                  core::StorageDeviceKind::kNvme,
+                  core::StorageDeviceKind::kRaid0};
+  std::vector<CampaignConfig> configs = spec.expand();
+  ASSERT_EQ(configs.size(), 4u);
+  std::set<core::StorageDeviceKind> kinds;
+  for (CampaignConfig& c : configs) {
+    const CampaignConfig t = tiny_config();
+    // Big enough that one field snapshot (grid^2 doubles = 512 KiB) spans
+    // two RAID0 stripes — sub-stripe requests land on a single child and
+    // the volume would time exactly like its HDD child.
+    c.grid = 256;
+    c.iterations = t.iterations;
+    c.sweeps = t.sweeps;
+    c.frame = t.frame;
+    kinds.insert(c.device);
+  }
+  EXPECT_EQ(kinds.size(), 4u);
+
+  ResultCache cache;
+  const CampaignReport report = CampaignEngine(cache).run(configs);
+  ASSERT_EQ(report.executed, 4u);
+  ASSERT_EQ(report.results.size(), 4u);
+  std::set<double> durations;
+  std::ostringstream rows;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_EQ(report.results[i].image_digest, report.results[0].image_digest);
+    EXPECT_EQ(report.results[i].field_digest, report.results[0].field_digest);
+    EXPECT_GT(report.results[i].duration_s, 0.0);
+    durations.insert(report.results[i].duration_s);
+    rows << core::storage_device_name(configs[i].device) << "="
+         << report.results[i].duration_s << " ";
+  }
+  // hdd / ssd / nvme / raid0 model genuinely different hardware; no two
+  // should land on the same virtual runtime.
+  EXPECT_EQ(durations.size(), 4u) << rows.str();
+}
+
 TEST(Engine, ObsCountersTrackHitsAndMisses) {
   obs::set_enabled(true);
   auto& hits = obs::Registry::global().counter("campaign.cache.hits");

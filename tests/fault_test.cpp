@@ -2,7 +2,13 @@
 // hard errors surface loudly through every layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
 #include "src/io/dataset.hpp"
+#include "src/sched/staging.hpp"
+#include "src/storage/async_device.hpp"
 #include "src/storage/fault.hpp"
 #include "src/util/field.hpp"
 #include "src/storage/filesystem.hpp"
@@ -136,6 +142,65 @@ TEST(FaultyDisk, HardErrorSurfacesThroughDatasetLayer) {
   disk.mark_bad(extents.front().device_offset, 4096);
   io::TimestepReader reader(fs, dataset);
   EXPECT_THROW((void)reader.read_step(0), DeviceError);
+}
+
+TEST(FaultyDisk, FailWritesSurfacesOnTheWritePath) {
+  HddModel inner{HddParams{}};
+  FaultConfig config;
+  config.fail_writes = true;
+  FaultyDisk disk(inner, config);
+  disk.mark_bad(util::mebibytes(8).value(), 4096);
+
+  // Writes outside the bad range are fine...
+  EXPECT_NO_THROW(
+      (void)disk.service(IoRequest{IoKind::kWrite, 0, 4096}, Seconds{0.0}));
+  // ...but a write touching dead media fails, and the outcome form pins it.
+  const IoRequest bad{IoKind::kWrite, util::mebibytes(8).value(), 4096};
+  const IoOutcome outcome = disk.service_outcome(bad, Seconds{1.0});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_GE(outcome.end.value(), 1.0);
+  EXPECT_GE(disk.hard_errors(), 1u);
+}
+
+TEST(FaultyDisk, AsyncStagerRethrowsMidDrainDeviceError) {
+  // The stager's writer submits windows to an async queue over degraded
+  // media. The error fires on the third snapshot — mid-drain, after two
+  // batches already landed — and must surface as DeviceError from the
+  // stager API, not hang the ring or report success.
+  HddModel inner{HddParams{}};
+  FaultConfig config;
+  config.fail_writes = true;
+  FaultyDisk disk(inner, config);
+  const std::uint64_t mib = util::mebibytes(1).value();
+  disk.mark_bad(2 * mib, 4096);
+  AsyncBlockDevice queue(disk);
+
+  sched::AsyncStager stager(
+      sched::StagingConfig{4, 2},
+      [&](std::span<sched::StagedSnapshot* const> batch, Seconds start) {
+        Seconds t = start;
+        for (sched::StagedSnapshot* snap : batch) {
+          queue.submit(
+              IoRequest{IoKind::kWrite,
+                        static_cast<std::uint64_t>(snap->step) * mib,
+                        static_cast<std::uint32_t>(snap->payload.size())},
+              std::max(t, snap->ready));
+          t = queue.drain_checked();
+        }
+        return t;
+      });
+
+  EXPECT_THROW(
+      {
+        for (int step = 0; step < 4; ++step) {
+          sched::AsyncStager::Slot slot = stager.acquire();
+          slot.snapshot->step = step;
+          slot.snapshot->payload.assign(4096, 0xAB);
+          stager.submit(Seconds{0.1 * static_cast<double>(step)});
+        }
+        (void)stager.drain();
+      },
+      DeviceError);
 }
 
 }  // namespace

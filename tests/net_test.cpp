@@ -108,6 +108,27 @@ TEST(Pfs, BusyFractionCapped) {
   EXPECT_NEAR(pfs.target_busy_fraction(100), 1.0, 1e-12);
 }
 
+TEST(Pfs, ReplayCollectiveConservesBytesAcrossTargets) {
+  PfsSpec spec;
+  spec.storage_targets = 4;
+  const PfsModel pfs(spec);
+  const std::size_t clients = 8;
+  const double per_client = 64.0 * 1024 * 1024;
+  const auto records =
+      pfs.replay_collective(clients, per_client, storage::IoKind::kWrite);
+  ASSERT_FALSE(records.empty());
+  double bytes = 0.0;
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.kind, storage::IoKind::kWrite);
+    EXPECT_LE(r.submit.value(), r.start.value());
+    EXPECT_LE(r.start.value(), r.complete.value());
+    bytes += static_cast<double>(r.length);
+  }
+  // Every client's striped share landed on some target, byte for byte.
+  EXPECT_DOUBLE_EQ(bytes, per_client * static_cast<double>(clients));
+}
+
 // ---------- multi-node study ----------
 
 ClusterSpec small_cluster() {

@@ -9,6 +9,7 @@
 #include "src/net/multinode.hpp"
 #include "src/power/rapl.hpp"
 #include "src/qa/registry.hpp"
+#include "src/storage/async_device.hpp"
 #include "src/storage/filesystem.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/trace/clock.hpp"
@@ -49,7 +50,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "energy.conservation",
                       "simd.stencil_rows_match_scalar",
                       "simd.codec_kernels_match_scalar",
-                      "simd.trilinear_match_scalar"),
+                      "simd.trilinear_match_scalar",
+                      "storage.scheduler_invariants"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       std::string name = param_info.param;
       for (char& c : name) {
@@ -74,8 +76,9 @@ TEST_P(HddElevatorSweep, BatchNeverSlowerThanSerial) {
         rng.uniform_index(450) * util::gibibytes(1).value(), 16384});
   }
   storage::HddModel batched{storage::HddParams{}};
+  storage::AsyncBlockDevice queue{batched};
   const util::Seconds batch_end =
-      batched.service_batch(requests, util::Seconds{0.0});
+      queue.run_batch(requests, util::Seconds{0.0});
   storage::HddModel serial{storage::HddParams{}};
   util::Seconds t{0.0};
   for (const auto& r : requests) {

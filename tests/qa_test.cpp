@@ -284,7 +284,7 @@ TEST(Registry, BuiltinsRegisteredAndRunnable) {
   for (const char* name :
        {"hdd.seq_throughput_block_invariant", "hdd.random_service_settle_bound",
         "compress.lossy_round_trip", "codec.container_round_trip",
-        "replay.trace_flip_robust"}) {
+        "replay.trace_flip_robust", "storage.scheduler_invariants"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
   EXPECT_THROW((void)registry.run("no.such.property", Config{}),
@@ -346,6 +346,7 @@ TEST_F(Oracles, CacheOnVsOff) {
   EXPECT_GT(misses.value(), misses0);
   EXPECT_GE(hits.value(), hits0);
 }
+TEST_F(Oracles, StorageAsyncVsSync) { expect_ok("storage.async_vs_sync"); }
 TEST_F(Oracles, ObsOnVsOff) { expect_ok("obs.on_vs_off"); }
 TEST_F(Oracles, LegacyVsChunkedDecode) {
   expect_ok("codec.legacy_vs_chunked_decode");

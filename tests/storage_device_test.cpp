@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/storage/activity_log.hpp"
+#include "src/storage/async_device.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/storage/solid_state.hpp"
 #include "src/util/error.hpp"
@@ -185,7 +186,8 @@ TEST(Hdd, BatchServiceReordersLikeElevator) {
         16384});
   }
   HddModel sorted_dev = make_hdd();
-  const Seconds batch_end = sorted_dev.service_batch(batch, Seconds{0.0});
+  AsyncBlockDevice queue(sorted_dev);
+  const Seconds batch_end = queue.run_batch(batch, Seconds{0.0});
 
   HddModel serial_dev = make_hdd();
   Seconds t{0.0};

@@ -3,7 +3,8 @@
 # clang-format is available) verify formatting of everything under src/.
 #
 # Usage: tools/check.sh [--asan] [--bench-smoke] [--campaign-smoke]
-#                       [--conformance] [--energy-smoke] [--simd] [build-dir]
+#                       [--conformance] [--energy-smoke] [--simd]
+#                       [--storage-smoke] [build-dir]
 #   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
 #                 (RelWithDebInfo, default build dir: build-asan) and run the
 #                 full suite under them — including the obs/pool concurrency
@@ -29,6 +30,14 @@
 #                 tools/golden/ENERGY_profile_case1.json (the profile is a
 #                 pure function of the virtual timelines, so it must never
 #                 drift without an intentional regeneration).
+#   --storage-smoke after the suite, run the storage-labeled ctest slice,
+#                 the storage.async_vs_sync differential oracle and the
+#                 storage.scheduler_invariants generative property, then
+#                 require `greenvis compare` output to be byte-for-byte
+#                 identical with the async block-device layer's
+#                 record-keeping on and off (GREENVIS_STORAGE_ASYNC=1/0) —
+#                 the end-to-end statement that the queue layer is pure
+#                 bookkeeping and moves no figure.
 #   --simd        after the suite, re-run the full tier-1 suite once under
 #                 GREENVIS_SIMD=scalar and once under GREENVIS_SIMD=auto
 #                 (the dispatcher's best native path), then require
@@ -45,6 +54,7 @@ CAMPAIGN_SMOKE=0
 CONFORMANCE=0
 ENERGY_SMOKE=0
 SIMD=0
+STORAGE_SMOKE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --asan) ASAN=1 ;;
@@ -53,6 +63,7 @@ while [[ "${1:-}" == --* ]]; do
     --conformance) CONFORMANCE=1 ;;
     --energy-smoke) ENERGY_SMOKE=1 ;;
     --simd) SIMD=1 ;;
+    --storage-smoke) STORAGE_SMOKE=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -142,6 +153,36 @@ if [[ "$SIMD" == 1 ]]; then
         "$SIMD_DIR/compare_case${case_no}_auto.txt"
   done
   echo "simd differential: scalar and auto paths byte-identical"
+fi
+
+if [[ "$STORAGE_SMOKE" == 1 ]]; then
+  echo "== storage smoke =="
+  # The storage-labeled unit slice (devices, cache, fs, faults, async queue).
+  ctest --test-dir "$BUILD_DIR" -L storage --output-on-failure -j
+  # The differential oracle (async qd=1/noop == chained sync, bit for bit)
+  # and the generative scheduler property (exactly-once completion, causal
+  # timestamps, byte conservation, deadline starvation bound).
+  "$BUILD_DIR"/tests/test_qa --gtest_filter='Oracles.StorageAsyncVsSync'
+  "$BUILD_DIR"/tests/test_property \
+    --gtest_filter='*storage_scheduler_invariants*'
+  # End-to-end bit-identity: the async layer with record-keeping disabled
+  # (GREENVIS_STORAGE_ASYNC=0) must print byte-for-byte the same comparison
+  # report as with the full bookkeeping on — for the sync pipeline and the
+  # queue-depth-aware async staging pipeline alike.
+  STORAGE_DIR="$BUILD_DIR"/storage-smoke
+  rm -rf "$STORAGE_DIR" && mkdir -p "$STORAGE_DIR"
+  for pipe_args in "" "--pipeline=async --stage-buffers=2"; do
+    tag=${pipe_args:+async}; tag=${tag:-sync}
+    # shellcheck disable=SC2086
+    GREENVIS_STORAGE_ASYNC=1 "$BUILD_DIR"/tools/greenvis compare --case 1 \
+      $pipe_args > "$STORAGE_DIR/compare_${tag}_on.txt"
+    # shellcheck disable=SC2086
+    GREENVIS_STORAGE_ASYNC=0 "$BUILD_DIR"/tools/greenvis compare --case 1 \
+      $pipe_args > "$STORAGE_DIR/compare_${tag}_off.txt"
+    cmp "$STORAGE_DIR/compare_${tag}_on.txt" \
+        "$STORAGE_DIR/compare_${tag}_off.txt"
+  done
+  echo "storage smoke: async layer on/off byte-identical"
 fi
 
 if [[ "$CONFORMANCE" == 1 ]]; then

@@ -3,6 +3,10 @@
 //   greenvis compare [--case N] [--cap WATTS] [--io-ghz F]
 //                    [--codec raw|delta|rle] [--tolerance T]
 //                    [--pipeline sync|async] [--stage-buffers N]
+//                    [--stage-queue-depth N]
+//                    [--device hdd|ssd|nvram|nvme|raid0]
+//                    [--io-queue-depth N]
+//                    [--io-sched device|noop|elevator|deadline]
 //   greenvis fio <seq-read|rand-read|seq-write|rand-write> [--size MIB]
 //               [--device hdd|ssd|nvram]
 //   greenvis advise --accesses N --kib K --random F --reads F
@@ -44,6 +48,7 @@
 #include "src/qa/oracle.hpp"
 #include "src/qa/registry.hpp"
 #include "src/replay/engine.hpp"
+#include "src/storage/async_device.hpp"
 #include "src/util/args.hpp"
 #include "src/util/table.hpp"
 
@@ -67,6 +72,25 @@ int cmd_compare(const Args& args) {
   core::TestbedConfig config;
   config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
   config.io_frequency_ghz = opt_double(args, "io-ghz", 0.0);
+  const std::string device = opt_string(args, "device", "hdd");
+  if (const auto kind = core::parse_storage_device(device)) {
+    config.device = *kind;
+  } else {
+    std::cerr << "unknown --device '" << device
+              << "' (expected hdd|ssd|nvram|nvme|raid0)\n";
+    return 2;
+  }
+  config.fs.io_queue.queue_depth = static_cast<std::size_t>(
+      opt_double(args, "io-queue-depth",
+                 static_cast<double>(config.fs.io_queue.queue_depth)));
+  const std::string io_sched = opt_string(args, "io-sched", "device");
+  if (const auto sched = storage::parse_io_scheduler(io_sched)) {
+    config.fs.io_queue.scheduler = *sched;
+  } else {
+    std::cerr << "unknown --io-sched '" << io_sched
+              << "' (expected device|noop|elevator|deadline)\n";
+    return 2;
+  }
   const std::string pipeline = opt_string(args, "pipeline", "sync");
   if (pipeline != "sync" && pipeline != "async") {
     std::cerr << "unknown --pipeline '" << pipeline
@@ -77,6 +101,9 @@ int cmd_compare(const Args& args) {
   core::PipelineOptions options;
   options.stage_buffers = static_cast<std::size_t>(
       opt_double(args, "stage-buffers", static_cast<double>(options.stage_buffers)));
+  options.stage_queue_depth = static_cast<std::size_t>(
+      opt_double(args, "stage-queue-depth",
+                 static_cast<double>(options.stage_queue_depth)));
   const core::Experiment experiment(config);
   auto workload = core::case_study(case_number);
   workload.snapshot_codec.kind =
@@ -325,14 +352,11 @@ int cmd_campaign(const Args& args) {
     spec.tolerances.push_back(std::stod(t));
   }
   for (const std::string& d : split_csv(opt_string(args, "devices", "hdd"))) {
-    if (d == "hdd") {
-      spec.devices.push_back(core::StorageDeviceKind::kHdd);
-    } else if (d == "ssd") {
-      spec.devices.push_back(core::StorageDeviceKind::kSsd);
-    } else if (d == "nvram") {
-      spec.devices.push_back(core::StorageDeviceKind::kNvram);
+    if (const auto kind = core::parse_storage_device(d)) {
+      spec.devices.push_back(*kind);
     } else {
-      std::cerr << "unknown device '" << d << "' (expected hdd|ssd|nvram)\n";
+      std::cerr << "unknown device '" << d
+                << "' (expected hdd|ssd|nvram|nvme|raid0)\n";
       return 2;
     }
   }
@@ -460,6 +484,14 @@ int cmd_profile(const Args& args) {
   core::TestbedConfig config;
   config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
   config.io_frequency_ghz = opt_double(args, "io-ghz", 0.0);
+  const std::string device = opt_string(args, "device", "hdd");
+  if (const auto dev = core::parse_storage_device(device)) {
+    config.device = *dev;
+  } else {
+    std::cerr << "unknown --device '" << device
+              << "' (expected hdd|ssd|nvram|nvme|raid0)\n";
+    return 2;
+  }
   const std::string pipeline = opt_string(args, "pipeline", "sync");
   core::PipelineKind kind = core::PipelineKind::kPostProcessing;
   if (pipeline == "async") {
@@ -596,7 +628,10 @@ void usage() {
 commands:
   compare [--case 1|2|3] [--cap WATTS] [--io-ghz F]   run both pipelines
           [--pipeline sync|async] [--stage-buffers N]  (async = overlapped
-                                                      snapshot staging)
+          [--stage-queue-depth N]                      snapshot staging)
+          [--device hdd|ssd|nvram|nvme|raid0]
+          [--io-queue-depth N]
+          [--io-sched device|noop|elevator|deadline]
   fio <seq-read|rand-read|seq-write|rand-write>
       [--size MIB] [--device hdd|ssd|nvram]           one fio job
   advise --accesses N --kib K --random F --reads F
@@ -605,7 +640,7 @@ commands:
   cluster [--nodes N] [--staging S] [--targets T]     multi-node study
   campaign [--pipelines post,async,insitu] [--grids G,..] [--periods P,..]
       [--iterations N,..] [--codecs raw,delta,rle] [--tolerances T,..]
-      [--devices hdd,ssd,nvram] [--freqs F,..] [--io-freqs F,..]
+      [--devices hdd,ssd,nvram,nvme,raid0] [--freqs F,..] [--io-freqs F,..]
       [--caps W,..] [--out FILE] [--journal FILE] [--resume]
       [--limit N] [--shards N] [--threads N] [--whatif]
                                                       parameter sweep with a
