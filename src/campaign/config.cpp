@@ -26,11 +26,22 @@ CampaignConfig canonicalize(const CampaignConfig& config) {
   if (c.frame == 0) {
     c.frame = kDefaultFrame;
   }
+  if (c.viewers < 0) {
+    c.viewers = 0;
+  }
+  if (c.viewers > 0) {
+    // A serve session is in-situ style with its own render/encode/deliver
+    // path: the pipeline-kind knob is never read, so all serve configs
+    // canonicalize onto the in-situ representative.
+    c.kind = core::PipelineKind::kInSitu;
+  }
   if (c.kind == core::PipelineKind::kInSitu) {
-    // In-situ never touches storage: the snapshot codec and the I/O-phase
-    // clock cannot influence any result.
+    // In-situ never touches storage: the snapshot codec, the I/O-phase
+    // clock, and the block-layer queue cannot influence any result.
     c.codec_kind = codec::Kind::kRaw;
     c.io_frequency_ghz = 0.0;
+    c.io_sched = storage::IoSchedulerKind::kDevice;
+    c.io_queue_depth = 0;
   }
   if (c.codec_kind == codec::Kind::kRaw) {
     c.codec_tolerance = 0.0;  // identity codec: no quantization, no chunking
@@ -80,6 +91,11 @@ MaterializedConfig materialize(const CampaignConfig& config,
   m.testbed.io_frequency_ghz = c.io_frequency_ghz;
   m.testbed.device = c.device;
   m.testbed.package_cap = util::Watts{c.package_cap_w};
+  m.testbed.fs.io_queue.scheduler = c.io_sched;
+  if (c.io_queue_depth != 0) {
+    m.testbed.fs.io_queue.queue_depth = c.io_queue_depth;
+  }
+  m.viewers = c.viewers;
   m.options.host_threads = host_threads;
   if (c.stage_buffers != 0) {
     m.options.stage_buffers = c.stage_buffers;
@@ -116,6 +132,15 @@ std::vector<CampaignConfig> CampaignSpec::expand() const {
   const auto caps = package_caps.empty()
                         ? std::vector<double>{base.package_cap_w}
                         : package_caps;
+  const auto scheds =
+      io_scheds.empty()
+          ? std::vector<storage::IoSchedulerKind>{base.io_sched}
+          : io_scheds;
+  const auto depths = io_queue_depths.empty()
+                          ? std::vector<std::size_t>{base.io_queue_depth}
+                          : io_queue_depths;
+  const auto views =
+      viewer_counts.empty() ? std::vector<int>{base.viewers} : viewer_counts;
 
   std::vector<CampaignConfig> out;
   out.reserve(pipes.size() * iters.size() * periods.size() * gs.size() *
@@ -153,6 +178,28 @@ std::vector<CampaignConfig> CampaignSpec::expand() const {
       }
     }
   }
+  // The block-layer and serving axes multiply the base product in a
+  // post-pass (outermost: viewers, then queue depth, then scheduler), so
+  // sweeps that leave them empty produce the exact job list they always did.
+  if (!io_scheds.empty() || !io_queue_depths.empty() ||
+      !viewer_counts.empty()) {
+    std::vector<CampaignConfig> expanded;
+    expanded.reserve(out.size() * scheds.size() * depths.size() *
+                     views.size());
+    for (int viewer_count : views) {
+      for (std::size_t depth : depths) {
+        for (storage::IoSchedulerKind sched : scheds) {
+          for (CampaignConfig c : out) {
+            c.io_sched = sched;
+            c.io_queue_depth = depth;
+            c.viewers = viewer_count;
+            expanded.push_back(c);
+          }
+        }
+      }
+    }
+    out = std::move(expanded);
+  }
   return out;
 }
 
@@ -169,6 +216,15 @@ std::string describe(const CampaignConfig& config) {
   }
   if (c.package_cap_w > 0.0) {
     os << " cap=" << c.package_cap_w;
+  }
+  if (c.io_sched != storage::IoSchedulerKind::kDevice) {
+    os << " iosched=" << storage::io_scheduler_name(c.io_sched);
+  }
+  if (c.io_queue_depth != 0) {
+    os << " ioqd=" << c.io_queue_depth;
+  }
+  if (c.viewers > 0) {
+    os << " viewers=" << c.viewers;
   }
   return os.str();
 }

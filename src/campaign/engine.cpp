@@ -10,6 +10,8 @@
 
 #include "src/campaign/hash.hpp"
 #include "src/obs/tracer.hpp"
+#include "src/serve/session.hpp"
+#include "src/serve/viewer.hpp"
 #include "src/util/checksum.hpp"
 #include "src/util/error.hpp"
 #include "src/util/sharded.hpp"
@@ -71,6 +73,58 @@ ConfigResult result_from_metrics(const std::string& key,
   return r;
 }
 
+namespace {
+
+/// Map a serve session onto the journal's result row: delivered-frame
+/// digests stand in for the image digests, delivery bytes for snapshot
+/// traffic, and the Encode/Deliver stages land in energy_other_j — the
+/// journal format itself is unchanged.
+ConfigResult result_from_serve(const std::string& key,
+                               const CampaignConfig& config,
+                               const serve::ServeReport& report) {
+  ConfigResult r;
+  r.key = key;
+  r.duration_s = report.duration.value();
+  r.energy_j = report.energy.value();
+  r.average_power_w = report.average_power.value();
+  r.peak_power_w = report.peak_power.value();
+  const double cells = static_cast<double>((config.grid - 2) *
+                                           (config.grid - 2));
+  r.efficiency =
+      cells * static_cast<double>(config.iterations) / r.energy_j;
+  std::vector<std::uint64_t> digests;
+  digests.reserve(report.deliveries.size());
+  for (const serve::Delivery& d : report.deliveries) {
+    digests.push_back(d.digest);
+  }
+  r.image_digest = digest_u64s(digests);
+  r.field_digest = report.final_field_digest;
+  r.steps = config.iterations;
+  r.visualized_steps = report.frame_steps;
+  std::uint64_t bytes = 0;
+  for (const serve::ViewerEnergy& v : report.viewers) {
+    bytes += v.bytes;
+  }
+  r.snapshot_bytes_written = bytes;
+  r.snapshot_bytes_raw = bytes;
+  for (const obs::StageEnergy& s : report.attribution.stages) {
+    const double j = s.total().value();
+    if (s.name == core::stage::kSimulation) {
+      r.energy_sim_j += j;
+    } else if (s.name == core::stage::kVisualization) {
+      r.energy_vis_j += j;
+    } else if (s.name == obs::kEnergyIdle) {
+      r.energy_idle_j += j;
+    } else {
+      r.energy_other_j += j;
+    }
+  }
+  r.energy_static_j = report.attribution.static_total().value();
+  return r;
+}
+
+}  // namespace
+
 CampaignReport CampaignEngine::run(const std::vector<CampaignConfig>& configs,
                                    const CampaignOptions& options) const {
   obs::ScopedSpan span("campaign.run", obs::kCatCampaign);
@@ -126,9 +180,21 @@ CampaignReport CampaignEngine::run(const std::vector<CampaignConfig>& configs,
       const std::size_t i = misses[slot];
       const MaterializedConfig m =
           materialize(report.configs[i], host_threads);
-      const core::PipelineMetrics metrics =
-          core::Experiment(m.testbed).run(m.kind, m.workload, m.options);
-      const ConfigResult result = result_from_metrics(report.keys[i], metrics);
+      ConfigResult result;
+      if (m.viewers > 0) {
+        serve::ServeConfig sc;
+        sc.base = m.workload;
+        sc.viewers =
+            serve::default_fleet(m.viewers, std::min(4, m.viewers));
+        sc.host_threads = host_threads;
+        const serve::ServeReport rep =
+            serve::run_serve_session(sc, m.testbed);
+        result = result_from_serve(report.keys[i], report.configs[i], rep);
+      } else {
+        const core::PipelineMetrics metrics =
+            core::Experiment(m.testbed).run(m.kind, m.workload, m.options);
+        result = result_from_metrics(report.keys[i], metrics);
+      }
       const std::lock_guard lock(sink_mutex);
       cache_.insert(result);
       if (journal_ != nullptr) {
@@ -227,8 +293,10 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
     json_double(os, c.io_frequency_ghz);
     os << ", \"package_cap_w\": ";
     json_double(os, c.package_cap_w);
-    os << ", \"stage_buffers\": " << c.stage_buffers
-       << ",\n     \"duration_s\": ";
+    os << ", \"stage_buffers\": " << c.stage_buffers << ", \"io_sched\": \""
+       << storage::io_scheduler_name(c.io_sched)
+       << "\", \"io_queue_depth\": " << c.io_queue_depth
+       << ", \"viewers\": " << c.viewers << ",\n     \"duration_s\": ";
     json_double(os, r.duration_s);
     os << ", \"energy_j\": ";
     json_double(os, r.energy_j);

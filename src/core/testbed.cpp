@@ -80,10 +80,10 @@ power::DiskPowerParams disk_power_params_for(StorageDeviceKind kind) {
     case StorageDeviceKind::kNvme:
       return power::nvme_power_params();
     case StorageDeviceKind::kRaid0:
-      // Per-spindle HDD constants; the volume's merged activity log already
-      // carries every child's busy time, so duty-weighted energy scales
-      // with the spindle count.
-      break;
+      // Dedicated array rail: all four spindles idle plus the controller,
+      // with per-spindle actives (the volume's merged activity log already
+      // carries every child's busy time).
+      return power::raid0_power_params();
     case StorageDeviceKind::kHdd:
       break;
   }

@@ -50,5 +50,6 @@ inline constexpr const char* kCatStage = "stage";
 inline constexpr const char* kCatCore = "core";
 inline constexpr const char* kCatIo = "io";
 inline constexpr const char* kCatCampaign = "campaign";
+inline constexpr const char* kCatServe = "serve";
 
 }  // namespace greenvis::obs

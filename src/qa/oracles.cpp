@@ -22,6 +22,8 @@
 #include "src/heat/solver3d.hpp"
 #include "src/obs/obs.hpp"
 #include "src/qa/oracle.hpp"
+#include "src/serve/session.hpp"
+#include "src/serve/viewer.hpp"
 #include "src/storage/async_device.hpp"
 #include "src/storage/fault.hpp"
 #include "src/storage/filesystem.hpp"
@@ -759,6 +761,91 @@ OracleResult simd_scalar_vs_vector() {
               "bit-identical to scalar for: " + checked);
 }
 
+// ---- serving: the frame cache is a host accelerator, not a model knob ----
+//
+// The modeled system always dedups shared views; the FrameCache flag only
+// decides whether the host re-rasters. So everything the model reports —
+// deliveries, virtual duration, joules, the per-viewer split — must be
+// bit-identical cache on vs off, while the host-side counters diverge in
+// exactly the predicted way (misses = unique views, hits = sharers).
+
+OracleResult serve_cached_vs_uncached() {
+  serve::ServeConfig config;
+  config.base = small_pipeline_config();
+  config.base.iterations = 8;
+  config.viewers = serve::default_fleet(6, 3);
+  serve::SteerCommand steer;
+  steer.step = 4;
+  steer.viewer = 1;
+  steer.kind = serve::SteerKind::kIsoLevels;
+  steer.iso_levels = 9;
+  config.commands.push_back(steer);
+
+  config.cache_enabled = true;
+  const serve::ServeReport on = serve::run_serve_session(config);
+  config.cache_enabled = false;
+  const serve::ServeReport off = serve::run_serve_session(config);
+
+  if (on.deliveries.size() != off.deliveries.size()) {
+    return fail("delivery counts differ between cache on and off");
+  }
+  for (std::size_t i = 0; i < on.deliveries.size(); ++i) {
+    const serve::Delivery& a = on.deliveries[i];
+    const serve::Delivery& b = off.deliveries[i];
+    if (a.step != b.step || a.viewer != b.viewer || a.key != b.key ||
+        a.digest != b.digest || a.bytes != b.bytes) {
+      return fail("delivery " + std::to_string(i) +
+                  " diverged between cache on and off");
+    }
+  }
+  if (on.duration.value() != off.duration.value() ||
+      on.energy.value() != off.energy.value() ||
+      on.average_power.value() != off.average_power.value() ||
+      on.peak_power.value() != off.peak_power.value()) {
+    return fail("virtual duration or energy changed with the cache flag");
+  }
+  if (on.attribution.total().value() != off.attribution.total().value() ||
+      on.attribution.static_total().value() !=
+          off.attribution.static_total().value()) {
+    return fail("energy attribution changed with the cache flag");
+  }
+  if (on.viewers.size() != off.viewers.size()) {
+    return fail("per-viewer row counts differ");
+  }
+  for (std::size_t i = 0; i < on.viewers.size(); ++i) {
+    const serve::ViewerEnergy& a = on.viewers[i];
+    const serve::ViewerEnergy& b = off.viewers[i];
+    if (a.viewer != b.viewer || a.frames != b.frames || a.bytes != b.bytes ||
+        a.render_share_s != b.render_share_s || a.render_j != b.render_j ||
+        a.encode_j != b.encode_j || a.deliver_j != b.deliver_j) {
+      return fail("viewer " + std::to_string(a.viewer) +
+                  " energy split changed with the cache flag");
+    }
+  }
+  if (on.unique_views_rendered != off.unique_views_rendered) {
+    return fail("modeled unique-view count changed with the cache flag");
+  }
+  // Host-side divergence, exactly as predicted.
+  if (on.cache.hits == 0 ||
+      on.cache.misses != on.unique_views_rendered ||
+      on.host_renders != on.cache.misses) {
+    return fail("cache-on counters inconsistent (hits " +
+                std::to_string(on.cache.hits) + ", misses " +
+                std::to_string(on.cache.misses) + ", host renders " +
+                std::to_string(on.host_renders) + ")");
+  }
+  if (off.cache.lookups() != 0 ||
+      off.host_renders != off.frames_delivered) {
+    return fail("cache-off path touched the cache or skipped a render");
+  }
+  std::ostringstream os;
+  os << on.deliveries.size() << " deliveries to " << on.viewers.size()
+     << " viewers: payload digests, virtual time, joules, and per-viewer "
+        "splits bit-identical cache on/off; host renders "
+     << on.host_renders << " vs " << off.host_renders;
+  return pass(os.str());
+}
+
 }  // namespace
 
 void register_builtin_oracles() {
@@ -774,6 +861,7 @@ void register_builtin_oracles() {
   registry.add("obs.profiler_on_off", profiler_on_vs_off);
   registry.add("codec.legacy_vs_chunked_decode", legacy_vs_chunked_decode);
   registry.add("simd.scalar_vs_vector", simd_scalar_vs_vector);
+  registry.add("serve.cached_vs_uncached", serve_cached_vs_uncached);
 }
 
 }  // namespace greenvis::qa

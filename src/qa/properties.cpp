@@ -9,7 +9,9 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "src/campaign/engine.hpp"
 #include "src/codec/field_codec.hpp"
@@ -21,6 +23,8 @@
 #include "src/qa/domains.hpp"
 #include "src/qa/registry.hpp"
 #include "src/replay/trace_format.hpp"
+#include "src/serve/session.hpp"
+#include "src/serve/viewer.hpp"
 #include "src/storage/async_device.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/util/checksum.hpp"
@@ -857,6 +861,159 @@ void register_storage_properties() {
       });
 }
 
+// ---- serving: join/leave/steer schedules, exactly-once, never stale ----
+//
+// For any viewer fleet (random join/leave windows, shared and distinct
+// view groups) under any steering schedule, the serving session must
+// terminate (no delivery-ring deadlock), deliver exactly one frame per
+// active viewer per frame step and none outside [join, leave), keep every
+// frame key's payload consistent, and produce bit-identical deliveries and
+// virtual time with the host frame cache on and off (a cache hit is never
+// stale: keys fold in the field digest).
+
+void register_serve_properties() {
+  struct ServeCase {
+    core::CaseStudyConfig config;
+    std::vector<serve::ViewerSchedule> viewers;
+    std::vector<serve::SteerCommand> commands;
+    std::uint64_t buffers{2};
+    std::uint64_t capacity{16};
+  };
+  const Gen<ServeCase> gen = [](Choices& c) {
+    ServeCase sc;
+    sc.config = small_case_config()(c);
+    const auto steps = static_cast<std::uint64_t>(sc.config.iterations);
+    const auto n = static_cast<int>(c.draw_range(1, 6));
+    for (int i = 0; i < n; ++i) {
+      serve::ViewerSchedule v;
+      v.viewer = i;
+      v.join_step = static_cast<int>(c.draw_below(steps));
+      if (c.draw_bool()) {
+        v.leave_step = v.join_step + static_cast<int>(c.draw_below(steps + 1));
+      }
+      // Three view groups so some viewers share a raster and some don't;
+      // small frames keep the host cost of many cases down.
+      const std::uint64_t group = c.draw_below(3);
+      v.params.width = 32;
+      v.params.height = 32;
+      v.params.iso_levels = 2 + group;
+      v.params.roi_x0 = 0.1 * static_cast<double>(group);
+      sc.viewers.push_back(v);
+    }
+    const auto cmds = c.draw_below(4);
+    for (std::uint64_t k = 0; k < cmds; ++k) {
+      serve::SteerCommand cmd;
+      cmd.step = static_cast<int>(c.draw_below(steps));
+      cmd.viewer = static_cast<int>(c.draw_below(static_cast<std::uint64_t>(n)));
+      cmd.kind = static_cast<serve::SteerKind>(c.draw_below(4));
+      cmd.iso_levels = 1 + c.draw_below(9);
+      cmd.palette = static_cast<vis::Palette>(c.draw_below(3));
+      cmd.x0 = c.draw_real(-0.5, 1.5);  // out-of-range on purpose: clamps
+      cmd.y0 = c.draw_real(-0.5, 1.5);
+      cmd.x1 = c.draw_real(-0.5, 1.5);
+      cmd.y1 = c.draw_real(-0.5, 1.5);
+      cmd.width = 16 * (1 + c.draw_below(4));
+      cmd.height = 16 * (1 + c.draw_below(4));
+      sc.commands.push_back(cmd);
+    }
+    sc.buffers = 1 + c.draw_below(4);
+    sc.capacity = c.draw_below(32);  // 0 = cache that never retains
+    return sc;
+  };
+  add_property<ServeCase>(
+      "serve.schedule_invariants", gen,
+      [](const ServeCase& sc) {
+        serve::ServeConfig config;
+        config.base = sc.config;
+        config.viewers = sc.viewers;
+        config.commands = sc.commands;
+        config.delivery_buffers = sc.buffers;
+        config.cache_capacity = sc.capacity;
+        config.host_threads = 2;
+        config.cache_enabled = true;
+        const serve::ServeReport on = serve::run_serve_session(config);
+        config.cache_enabled = false;
+        const serve::ServeReport off = serve::run_serve_session(config);
+
+        // Exactly-once: one delivery per (frame step, active viewer), none
+        // outside the subscription window. Replays the schedule directly.
+        std::size_t cursor = 0;
+        for (int step = 0; step < sc.config.iterations; ++step) {
+          if (!sc.config.is_io_step(step)) {
+            continue;
+          }
+          for (const serve::ViewerSchedule& v : sc.viewers) {
+            if (!v.active_at(step)) {
+              continue;
+            }
+            if (cursor >= on.deliveries.size() ||
+                on.deliveries[cursor].step != step ||
+                on.deliveries[cursor].viewer != v.viewer) {
+              std::ostringstream os;
+              os << "expected delivery (step " << step << ", viewer "
+                 << v.viewer << ") missing or out of order at index "
+                 << cursor;
+              return os.str();
+            }
+            ++cursor;
+          }
+        }
+        if (cursor != on.deliveries.size()) {
+          return std::string("delivered ") +
+                 std::to_string(on.deliveries.size() - cursor) +
+                 " frames outside any subscription window";
+        }
+        if (on.frames_delivered != on.deliveries.size()) {
+          return std::string("frames_delivered disagrees with the log");
+        }
+
+        // Never stale / content-addressed: one key, one payload.
+        std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> seen;
+        for (const serve::Delivery& d : on.deliveries) {
+          const auto [it, fresh] =
+              seen.emplace(d.key, std::make_pair(d.digest, d.bytes));
+          if (!fresh && (it->second.first != d.digest ||
+                         it->second.second != d.bytes)) {
+            return std::string("key ") + std::to_string(d.key) +
+                   " served two different payloads";
+          }
+        }
+        if (on.cache.insertions > on.cache.misses) {
+          return std::string("cache inserted more frames than it missed");
+        }
+
+        // Host cache flag invisible to the model: bit-identical deliveries,
+        // clock, and joules.
+        if (on.deliveries.size() != off.deliveries.size()) {
+          return std::string("delivery count changed with the cache flag");
+        }
+        for (std::size_t i = 0; i < on.deliveries.size(); ++i) {
+          const serve::Delivery& a = on.deliveries[i];
+          const serve::Delivery& b = off.deliveries[i];
+          if (a.step != b.step || a.viewer != b.viewer || a.key != b.key ||
+              a.digest != b.digest || a.bytes != b.bytes) {
+            return std::string("delivery ") + std::to_string(i) +
+                   " changed with the cache flag";
+          }
+        }
+        if (on.duration.value() != off.duration.value() ||
+            on.energy.value() != off.energy.value()) {
+          return std::string("virtual time or energy changed with the "
+                             "cache flag");
+        }
+        return ok();
+      },
+      [](const ServeCase& sc) {
+        std::ostringstream os;
+        os << "iters=" << sc.config.iterations
+           << " period=" << sc.config.io_period
+           << " viewers=" << sc.viewers.size()
+           << " cmds=" << sc.commands.size() << " buffers=" << sc.buffers
+           << " cap=" << sc.capacity;
+        return os.str();
+      });
+}
+
 }  // namespace
 
 void register_builtin_properties() {
@@ -868,6 +1025,7 @@ void register_builtin_properties() {
   register_energy_properties();
   register_simd_properties();
   register_storage_properties();
+  register_serve_properties();
 }
 
 }  // namespace greenvis::qa

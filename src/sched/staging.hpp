@@ -68,6 +68,9 @@ struct StagedSnapshot {
   int step{-1};
   std::vector<std::uint8_t> payload;
   std::uint64_t raw_bytes{0};
+  /// Free-form owner tag carried through the ring (the serving layer stores
+  /// the subscriber id so the delivery writer can bill the right viewer).
+  std::uint64_t tag{0};
   /// Producer-track virtual time the encode finished; the write may not
   /// start before the data exists.
   util::Seconds ready{0.0};

@@ -1,0 +1,32 @@
+#include "src/serve/frame_cache.hpp"
+
+namespace greenvis::serve {
+
+const vis::Image* FrameCache::find(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void FrameCache::insert(std::uint64_t key, const vis::Image& image) {
+  if (capacity_ == 0) {
+    return;
+  }
+  if (entries_.contains(key)) {
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evictions;
+  }
+  entries_.emplace(key, image);
+  order_.push_back(key);
+  ++stats_.insertions;
+}
+
+}  // namespace greenvis::serve

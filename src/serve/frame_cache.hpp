@@ -1,0 +1,54 @@
+// Content-addressed frame cache.
+//
+// The serving layer's dedup primitive: frames are stored under the
+// canonical frame key (viewer.hpp), so any number of viewers whose
+// parameters hash alike at a timestep cost one raster plus encode-only
+// fan-outs. Because the key covers the field digest, an entry can never be
+// stale — steering or a new timestep changes the key, and the old entry
+// simply stops being addressed (and ages out of the FIFO ring).
+//
+// Eviction is FIFO at a fixed capacity: insertion order is deterministic
+// (group keys are processed sorted), so the cache's hit/miss sequence — and
+// everything derived from it — is reproducible across hosts and reruns.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/vis/image.hpp"
+
+namespace greenvis::serve {
+
+struct FrameCacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t insertions{0};
+  std::uint64_t evictions{0};
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+};
+
+class FrameCache {
+ public:
+  explicit FrameCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The cached raster for `key`, or nullptr (counted as hit/miss).
+  [[nodiscard]] const vis::Image* find(std::uint64_t key);
+
+  /// Store a rendered frame under its key, evicting the oldest entry when
+  /// full. Inserting an existing key refreshes nothing (first render wins —
+  /// both renders are bit-identical by construction).
+  void insert(std::uint64_t key, const vis::Image& image);
+
+  [[nodiscard]] const FrameCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, vis::Image> entries_;
+  std::deque<std::uint64_t> order_;  // insertion order, oldest first
+  FrameCacheStats stats_;
+};
+
+}  // namespace greenvis::serve

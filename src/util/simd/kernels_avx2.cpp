@@ -375,6 +375,56 @@ void trilinear_block_avx2(const double* field, std::size_t nx, std::size_t ny,
   }
 }
 
+bool composite_block_avx2(const double* vs, std::size_t n,
+                          const CompositeTf* tf, double step, double early,
+                          double* acc) {
+  // Same structure as the SSE2 row at 4-wide: the alpha chain stays
+  // sequential through the shared reference op; the vector lanes produce
+  // the clamped intensities and skip whole transparent (all v <= lo)
+  // blocks. NaN lanes fall back to the reference op — the branch clamp and
+  // min/max disagree on NaN.
+  std::size_t s = 0;
+  if (tf->hi > tf->lo) {
+    const bool zero_transparent =
+        detail::composite_zero_opacity(*tf, step) <= 0.0;
+    const __m256d vlo = _mm256_set1_pd(tf->lo);
+    const __m256d vrange = _mm256_set1_pd(tf->hi - tf->lo);
+    const __m256d vone = _mm256_set1_pd(1.0);
+    const __m256d vzero = _mm256_setzero_pd();
+    alignas(32) double ts[4];
+    for (; s + 4 <= n; s += 4) {
+      const __m256d v = _mm256_loadu_pd(vs + s);
+      if (zero_transparent &&
+          _mm256_movemask_pd(_mm256_cmp_pd(v, vlo, _CMP_LE_OQ)) == 0xF) {
+        continue;
+      }
+      if (_mm256_movemask_pd(_mm256_cmp_pd(v, v, _CMP_EQ_OQ)) != 0xF) {
+        for (std::size_t k = s; k < s + 4; ++k) {
+          if (detail::composite_one(detail::composite_intensity(vs[k], *tf),
+                                    *tf, step, early, acc)) {
+            return true;
+          }
+        }
+        continue;
+      }
+      const __m256d raw = _mm256_div_pd(_mm256_sub_pd(v, vlo), vrange);
+      _mm256_store_pd(ts, _mm256_max_pd(_mm256_min_pd(raw, vone), vzero));
+      for (double t : ts) {
+        if (detail::composite_one(t, *tf, step, early, acc)) {
+          return true;
+        }
+      }
+    }
+  }
+  for (; s < n; ++s) {
+    if (detail::composite_one(detail::composite_intensity(vs[s], *tf), *tf,
+                              step, early, acc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const KernelTable* avx2_table() {
@@ -390,6 +440,7 @@ const KernelTable* avx2_table() {
     k.delta_zigzag = &delta_zigzag_avx2;
     k.unpack_deltas = &unpack_deltas_avx2;
     k.trilinear_block = &trilinear_block_avx2;
+    k.composite_block = &composite_block_avx2;
     return k;
   }();
   return &t;

@@ -115,5 +115,60 @@ inline double trilinear_one(const double* f, std::size_t nx, std::size_t ny,
   return lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz);
 }
 
+/// Exactly vis::TransferFunction::intensity: clamp((v-lo)/(hi-lo)) with a
+/// degenerate range mapping to 0 (branch clamps match std::clamp for
+/// non-NaN operands; NaN passes through, as in the original).
+inline double composite_intensity(double v, const CompositeTf& tf) {
+  if (tf.hi <= tf.lo) {
+    return 0.0;
+  }
+  const double t = (v - tf.lo) / (tf.hi - tf.lo);
+  return t < 0.0 ? 0.0 : (1.0 < t ? 1.0 : t);
+}
+
+/// Composite one sample of precomputed intensity t into acc[4] = {r,g,b,a}
+/// — the exact per-sample sequence of the original ray-marcher loop:
+/// opacity ramp, transparent skip, ColorMap::map's segment search + uint8
+/// channel quantization, front-to-back weight. Returns true when the
+/// accumulated opacity crossed `early` on this sample.
+inline bool composite_one(double t, const CompositeTf& tf, double step,
+                          double early, double* acc) {
+  const double per_length = tf.opacity_scale * std::pow(t, tf.gamma);
+  double a = per_length * step;
+  a = a < 0.0 ? 0.0 : (1.0 < a ? 1.0 : a);
+  if (a <= 0.0) {
+    return false;
+  }
+  std::size_t hi = 1;
+  while (hi + 1 < tf.stop_count && tf.stop_pos[hi] < t) {
+    ++hi;
+  }
+  const double p0 = tf.stop_pos[hi - 1];
+  const double f = (t - p0) / (tf.stop_pos[hi] - p0);
+  const auto chan = [f](double x, double y) {
+    const double c = x + f * (y - x);
+    const double cl = c < 0.0 ? 0.0 : (1.0 < c ? 1.0 : c);
+    // Round-trip through uint8 exactly as ColorMap::map does before the
+    // accumulator promotes the channel back to double.
+    return static_cast<double>(
+        static_cast<std::uint8_t>(std::lround(cl * 255.0)));
+  };
+  const double w = (1.0 - acc[3]) * a;
+  acc[0] += w * chan(tf.stop_r[hi - 1], tf.stop_r[hi]);
+  acc[1] += w * chan(tf.stop_g[hi - 1], tf.stop_g[hi]);
+  acc[2] += w * chan(tf.stop_b[hi - 1], tf.stop_b[hi]);
+  acc[3] += w;
+  return acc[3] >= early;
+}
+
+/// Per-sample opacity at zero intensity — when this is 0 the vector rows
+/// may skip whole blocks of v <= lo samples without touching pow or the
+/// colormap.
+inline double composite_zero_opacity(const CompositeTf& tf, double step) {
+  const double per_length = tf.opacity_scale * std::pow(0.0, tf.gamma);
+  const double a = per_length * step;
+  return a < 0.0 ? 0.0 : (1.0 < a ? 1.0 : a);
+}
+
 }  // namespace detail
 }  // namespace greenvis::util::simd

@@ -125,6 +125,58 @@ double defect3d_row_neon(const double* rhs, const double* row,
   return acc;
 }
 
+bool composite_block_neon(const double* vs, std::size_t n,
+                          const CompositeTf* tf, double step, double early,
+                          double* acc) {
+  // Same structure as the SSE2 row: vector lanes carry the clamped
+  // intensities and skip whole transparent (all v <= lo) blocks; the alpha
+  // chain stays sequential through the shared reference op. NaN lanes take
+  // the reference op (vcle/vceq are false on NaN; vmin/vmax would disagree
+  // with the branch clamp there).
+  std::size_t s = 0;
+  if (tf->hi > tf->lo) {
+    const bool zero_transparent =
+        detail::composite_zero_opacity(*tf, step) <= 0.0;
+    const float64x2_t vlo = vdupq_n_f64(tf->lo);
+    const float64x2_t vrange = vdupq_n_f64(tf->hi - tf->lo);
+    const float64x2_t vone = vdupq_n_f64(1.0);
+    const float64x2_t vzero = vdupq_n_f64(0.0);
+    const auto both = [](uint64x2_t m) {
+      return vgetq_lane_u64(m, 0) != 0 && vgetq_lane_u64(m, 1) != 0;
+    };
+    double ts[2];
+    for (; s + 2 <= n; s += 2) {
+      const float64x2_t v = vld1q_f64(vs + s);
+      if (zero_transparent && both(vcleq_f64(v, vlo))) {
+        continue;
+      }
+      if (!both(vceqq_f64(v, v))) {
+        for (std::size_t k = s; k < s + 2; ++k) {
+          if (detail::composite_one(detail::composite_intensity(vs[k], *tf),
+                                    *tf, step, early, acc)) {
+            return true;
+          }
+        }
+        continue;
+      }
+      const float64x2_t raw = vdivq_f64(vsubq_f64(v, vlo), vrange);
+      vst1q_f64(ts, vmaxq_f64(vminq_f64(raw, vone), vzero));
+      for (double t : ts) {
+        if (detail::composite_one(t, *tf, step, early, acc)) {
+          return true;
+        }
+      }
+    }
+  }
+  for (; s < n; ++s) {
+    if (detail::composite_one(detail::composite_intensity(vs[s], *tf), *tf,
+                              step, early, acc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const KernelTable* neon_table() {
@@ -135,6 +187,7 @@ const KernelTable* neon_table() {
     k.jacobi3d_row = &jacobi3d_row_neon;
     k.defect2d_row = &defect2d_row_neon;
     k.defect3d_row = &defect3d_row_neon;
+    k.composite_block = &composite_block_neon;
     return k;
   }();
   return &t;

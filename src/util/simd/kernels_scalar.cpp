@@ -143,14 +143,27 @@ void trilinear_block_scalar(const double* field, std::size_t nx,
   }
 }
 
+bool composite_block_scalar(const double* vs, std::size_t n,
+                            const CompositeTf* tf, double step, double early,
+                            double* acc) {
+  for (std::size_t s = 0; s < n; ++s) {
+    if (detail::composite_one(detail::composite_intensity(vs[s], *tf), *tf,
+                              step, early, acc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const KernelTable& scalar_table() {
   static const KernelTable t{
-      IsaPath::kScalar,     jacobi2d_row_scalar,  jacobi3d_row_scalar,
-      defect2d_row_scalar,  defect3d_row_scalar,  scan_abs_finite_scalar,
-      quantize_scalar,      delta_zigzag_scalar,  pack_deltas_scalar,
-      unpack_deltas_scalar, trilinear_block_scalar};
+      IsaPath::kScalar,     jacobi2d_row_scalar,   jacobi3d_row_scalar,
+      defect2d_row_scalar,  defect3d_row_scalar,   scan_abs_finite_scalar,
+      quantize_scalar,      delta_zigzag_scalar,   pack_deltas_scalar,
+      unpack_deltas_scalar, trilinear_block_scalar,
+      composite_block_scalar};
   return t;
 }
 

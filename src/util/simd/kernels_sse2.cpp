@@ -217,6 +217,59 @@ std::uint64_t delta_zigzag_sse2(const std::int64_t* q, std::uint64_t* zz,
   return all;
 }
 
+bool composite_block_sse2(const double* vs, std::size_t n,
+                          const CompositeTf* tf, double step, double early,
+                          double* acc) {
+  // The alpha chain is sequential, so accumulation runs per lane through
+  // the shared reference op. Two block-level wins: (a) when zero-intensity
+  // samples are transparent (the common transfer function), a block whose
+  // samples are all v <= lo skips pow and the colormap entirely; (b) other
+  // blocks reuse the vector-computed clamped intensities, bit-identical to
+  // the scalar clamp for non-NaN samples (NaN lanes take the reference op:
+  // cmple/cmpeq are false on NaN, and min/max would disagree with the
+  // branch clamp there).
+  std::size_t s = 0;
+  if (tf->hi > tf->lo) {
+    const bool zero_transparent =
+        detail::composite_zero_opacity(*tf, step) <= 0.0;
+    const __m128d vlo = _mm_set1_pd(tf->lo);
+    const __m128d vrange = _mm_set1_pd(tf->hi - tf->lo);
+    const __m128d vone = _mm_set1_pd(1.0);
+    const __m128d vzero = _mm_setzero_pd();
+    alignas(16) double ts[2];
+    for (; s + 2 <= n; s += 2) {
+      const __m128d v = _mm_loadu_pd(vs + s);
+      if (zero_transparent &&
+          _mm_movemask_pd(_mm_cmple_pd(v, vlo)) == 0x3) {
+        continue;
+      }
+      if (_mm_movemask_pd(_mm_cmpeq_pd(v, v)) != 0x3) {
+        for (std::size_t k = s; k < s + 2; ++k) {
+          if (detail::composite_one(detail::composite_intensity(vs[k], *tf),
+                                    *tf, step, early, acc)) {
+            return true;
+          }
+        }
+        continue;
+      }
+      const __m128d raw = _mm_div_pd(_mm_sub_pd(v, vlo), vrange);
+      _mm_store_pd(ts, _mm_max_pd(_mm_min_pd(raw, vone), vzero));
+      for (double t : ts) {
+        if (detail::composite_one(t, *tf, step, early, acc)) {
+          return true;
+        }
+      }
+    }
+  }
+  for (; s < n; ++s) {
+    if (detail::composite_one(detail::composite_intensity(vs[s], *tf), *tf,
+                              step, early, acc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const KernelTable* sse2_table() {
@@ -230,6 +283,7 @@ const KernelTable* sse2_table() {
     k.scan_abs_finite = &scan_abs_finite_sse2;
     k.quantize = &quantize_sse2;
     k.delta_zigzag = &delta_zigzag_sse2;
+    k.composite_block = &composite_block_sse2;
     return k;
   }();
   return &t;

@@ -33,6 +33,23 @@ struct ScanResult {
   bool finite{true};
 };
 
+/// Flattened transfer function + piecewise-linear colormap for the volume
+/// compositing kernel: plain arrays so the kernel TUs need no vis types.
+/// The stop arrays are SoA views owned by the caller (positions strictly
+/// increasing, front 0.0, back 1.0, stop_count >= 2 — ColorMap's own
+/// invariants).
+struct CompositeTf {
+  double lo{0.0};
+  double hi{1.0};
+  double opacity_scale{0.0};
+  double gamma{1.0};
+  const double* stop_pos{nullptr};
+  const double* stop_r{nullptr};
+  const double* stop_g{nullptr};
+  const double* stop_b{nullptr};
+  std::size_t stop_count{0};
+};
+
 /// One function pointer per vectorized inner loop. All rows/blocks are
 /// length-parameterized so callers keep their own blocking and boundary
 /// handling; kernels only ever touch [ib, ie) / [0, n).
@@ -86,6 +103,18 @@ struct KernelTable {
   void (*trilinear_block)(const double* field, std::size_t nx, std::size_t ny,
                           std::size_t nz, const double* xs, const double* ys,
                           const double* zs, double* out, std::size_t n);
+
+  /// Front-to-back alpha-composite the n samples in vs into acc[4] =
+  /// {r, g, b, a}: per sample, intensity clamp((v-lo)/(hi-lo)), opacity
+  /// clamp(scale*pow(t,gamma)*step), transparent samples skipped, colormap
+  /// segment lerp quantized to uint8 channels, w = (1-acc_a)*a accumulate.
+  /// Returns true when acc[3] crossed early_termination; samples after the
+  /// crossing are not consumed. The alpha chain is sequential, so vector
+  /// rows win on the intensity arithmetic and on skipping whole blocks of
+  /// transparent (v <= lo) samples — results stay bit-identical to scalar.
+  bool (*composite_block)(const double* vs, std::size_t n,
+                          const CompositeTf* tf, double step,
+                          double early_termination, double* acc);
 };
 
 [[nodiscard]] const char* path_name(IsaPath path);

@@ -39,6 +39,9 @@ class ColorMap {
   [[nodiscard]] static ColorMap hot();
   [[nodiscard]] static ColorMap grayscale();
 
+  /// The validated stop list (for flattening into kernel-friendly arrays).
+  [[nodiscard]] const std::vector<Stop>& stops() const { return stops_; }
+
  private:
   std::vector<Stop> stops_;
 };

@@ -57,6 +57,19 @@ double fraction_above(const util::Field2D& field, double value) {
   return static_cast<double>(n) / static_cast<double>(field.size());
 }
 
+util::Field2D crop(const util::Field2D& field, std::size_t i0, std::size_t j0,
+                   std::size_t nx, std::size_t ny) {
+  GREENVIS_REQUIRE(nx >= 1 && ny >= 1);
+  GREENVIS_REQUIRE(i0 + nx <= field.nx() && j0 + ny <= field.ny());
+  util::Field2D out(nx, ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      out.at(i, j) = field.at(i0 + i, j0 + j);
+    }
+  }
+  return out;
+}
+
 util::Field2D slice_row(const util::Field2D& field, std::size_t j) {
   GREENVIS_REQUIRE(j < field.ny());
   util::Field2D out(field.nx(), 1);

@@ -4,6 +4,30 @@
 
 namespace greenvis::vis {
 
+const char* palette_name(Palette palette) {
+  switch (palette) {
+    case Palette::kCoolWarm:
+      return "coolwarm";
+    case Palette::kHot:
+      return "hot";
+    case Palette::kGrayscale:
+      return "gray";
+  }
+  return "coolwarm";
+}
+
+ColorMap make_palette(Palette palette) {
+  switch (palette) {
+    case Palette::kHot:
+      return ColorMap::hot();
+    case Palette::kGrayscale:
+      return ColorMap::grayscale();
+    case Palette::kCoolWarm:
+      break;
+  }
+  return ColorMap::cool_warm();
+}
+
 Image VisPipeline::render(const util::Field2D& field) const {
   Image image;
   render_into(field, image);

@@ -16,6 +16,15 @@
 
 namespace greenvis::vis {
 
+/// Built-in colormap selection — steerable per viewer in the serving layer.
+/// kCoolWarm is the historical hardcoded default, so existing digests are
+/// unchanged unless a palette is explicitly chosen.
+enum class Palette { kCoolWarm, kHot, kGrayscale };
+
+[[nodiscard]] const char* palette_name(Palette palette);
+/// Build the selected built-in ColorMap.
+[[nodiscard]] ColorMap make_palette(Palette palette);
+
 struct VisConfig {
   /// Host render resolution.
   std::size_t width{512};
@@ -26,6 +35,7 @@ struct VisConfig {
   double range_lo{0.0};
   double range_hi{0.0};
   Rgb contour_color{Rgb{20, 20, 20}};
+  Palette palette{Palette::kCoolWarm};
 
   /// -- modeled testbed cost (see DESIGN.md calibration) --
   /// The testbed renders 2048^2 with 4x supersampling at ~56 flops/sample;
@@ -43,7 +53,7 @@ struct VisConfig {
 class VisPipeline {
  public:
   VisPipeline(const VisConfig& config, util::ThreadPool* pool)
-      : config_(config), pool_(pool), cmap_(ColorMap::cool_warm()) {}
+      : config_(config), pool_(pool), cmap_(make_palette(config.palette)) {}
 
   /// Render one frame: pseudocolor + contour overlay.
   [[nodiscard]] Image render(const util::Field2D& field) const;

@@ -134,12 +134,28 @@ Image render_volume(const util::Field3D& field, const VolumeConfig& config,
   const double* fdata = field.values().data();
   const std::size_t fnx = field.nx(), fny = field.ny(), fnz = field.nz();
 
+  // Flatten the transfer function + colormap stops once per render so the
+  // compositing kernel reads plain SoA arrays.
+  const auto& stops = config.tf.color.stops();
+  std::vector<double> stop_pos(stops.size()), stop_r(stops.size()),
+      stop_g(stops.size()), stop_b(stops.size());
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    stop_pos[i] = stops[i].position;
+    stop_r[i] = stops[i].r;
+    stop_g[i] = stops[i].g;
+    stop_b[i] = stops[i].b;
+  }
+  const util::simd::CompositeTf ctf{
+      config.tf.lo,    config.tf.hi,    config.tf.opacity_scale,
+      config.tf.gamma, stop_pos.data(), stop_r.data(),
+      stop_g.data(),   stop_b.data(),   stops.size()};
+
   auto rows = [&](std::size_t y_begin, std::size_t y_end) {
-    // Sample positions are generated in blocks of 8 so the trilinear
-    // interpolation runs through the vector kernel; compositing stays
-    // scalar (the transfer function and early-out are branchy). Samples
-    // precomputed past the early-termination point are discarded, so the
-    // pixels are bit-identical to the one-sample-at-a-time loop.
+    // Sample positions are generated in blocks of 8 so both the trilinear
+    // interpolation and the front-to-back compositing run through the
+    // vector kernels. Samples precomputed past the early-termination point
+    // are discarded, so the pixels are bit-identical to the
+    // one-sample-at-a-time loop.
     constexpr std::size_t kBlock = 8;
     double xs[kBlock], ys[kBlock], zs[kBlock], vs[kBlock];
     for (std::size_t py = y_begin; py < y_end; ++py) {
@@ -157,7 +173,7 @@ Image render_volume(const util::Field3D& field, const VolumeConfig& config,
         if (!intersect_box(origin, dir, ext, t_enter, t_exit)) {
           continue;
         }
-        double acc_r = 0.0, acc_g = 0.0, acc_b = 0.0, acc_a = 0.0;
+        double acc[4] = {0.0, 0.0, 0.0, 0.0};
         double t = t_enter;
         bool saturated = false;
         while (!saturated && t < t_exit) {
@@ -168,35 +184,20 @@ Image render_volume(const util::Field3D& field, const VolumeConfig& config,
             zs[n] = origin.z + dir.z * t;
           }
           kern.trilinear_block(fdata, fnx, fny, fnz, xs, ys, zs, vs, n);
-          for (std::size_t s = 0; s < n; ++s) {
-            const double v = vs[s];
-            const double a = config.tf.opacity(v, config.step);
-            if (a <= 0.0) {
-              continue;
-            }
-            const Rgb c = config.tf.color.map(config.tf.intensity(v));
-            const double w = (1.0 - acc_a) * a;
-            acc_r += w * c.r;
-            acc_g += w * c.g;
-            acc_b += w * c.b;
-            acc_a += w;
-            if (acc_a >= config.early_termination) {
-              saturated = true;
-              break;
-            }
-          }
+          saturated = kern.composite_block(vs, n, &ctf, config.step,
+                                           config.early_termination, acc);
         }
-        if (acc_a <= 0.0) {
+        if (acc[3] <= 0.0) {
           continue;
         }
         const Rgb bg = config.background;
-        auto blend = [&](double acc, std::uint8_t b) {
-          const double out = acc + (1.0 - acc_a) * b;
+        auto blend = [&](double channel, std::uint8_t b) {
+          const double out = channel + (1.0 - acc[3]) * b;
           return static_cast<std::uint8_t>(
               std::lround(std::clamp(out, 0.0, 255.0)));
         };
-        image.at(px, py) = Rgb{blend(acc_r, bg.r), blend(acc_g, bg.g),
-                               blend(acc_b, bg.b)};
+        image.at(px, py) = Rgb{blend(acc[0], bg.r), blend(acc[1], bg.g),
+                               blend(acc[2], bg.b)};
       }
     }
   };

@@ -51,7 +51,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "simd.stencil_rows_match_scalar",
                       "simd.codec_kernels_match_scalar",
                       "simd.trilinear_match_scalar",
-                      "storage.scheduler_invariants"),
+                      "storage.scheduler_invariants",
+                      "serve.schedule_invariants"),
     [](const ::testing::TestParamInfo<const char*>& param_info) {
       std::string name = param_info.param;
       for (char& c : name) {

@@ -3,8 +3,8 @@
 # clang-format is available) verify formatting of everything under src/.
 #
 # Usage: tools/check.sh [--asan] [--bench-smoke] [--campaign-smoke]
-#                       [--conformance] [--energy-smoke] [--simd]
-#                       [--storage-smoke] [build-dir]
+#                       [--conformance] [--energy-smoke] [--serve-smoke]
+#                       [--simd] [--storage-smoke] [build-dir]
 #   --asan        build with AddressSanitizer + UndefinedBehaviorSanitizer
 #                 (RelWithDebInfo, default build dir: build-asan) and run the
 #                 full suite under them — including the obs/pool concurrency
@@ -30,6 +30,15 @@
 #                 tools/golden/ENERGY_profile_case1.json (the profile is a
 #                 pure function of the virtual timelines, so it must never
 #                 drift without an intentional regeneration).
+#   --serve-smoke after the suite, run the serving-layer slice: the serve
+#                 unit tests, the serve.cached_vs_uncached differential
+#                 oracle and the serve.schedule_invariants generative
+#                 property, then `greenvis serve` twice with pinned flags —
+#                 the two profiles must be byte-identical to each other
+#                 (determinism) and to the committed golden
+#                 tools/golden/SERVE_profile_case1.json (the modeled results
+#                 are a pure function of the config; only host wall-clock may
+#                 vary run to run).
 #   --storage-smoke after the suite, run the storage-labeled ctest slice,
 #                 the storage.async_vs_sync differential oracle and the
 #                 storage.scheduler_invariants generative property, then
@@ -53,6 +62,7 @@ BENCH_SMOKE=0
 CAMPAIGN_SMOKE=0
 CONFORMANCE=0
 ENERGY_SMOKE=0
+SERVE_SMOKE=0
 SIMD=0
 STORAGE_SMOKE=0
 while [[ "${1:-}" == --* ]]; do
@@ -62,6 +72,7 @@ while [[ "${1:-}" == --* ]]; do
     --campaign-smoke) CAMPAIGN_SMOKE=1 ;;
     --conformance) CONFORMANCE=1 ;;
     --energy-smoke) ENERGY_SMOKE=1 ;;
+    --serve-smoke) SERVE_SMOKE=1 ;;
     --simd) SIMD=1 ;;
     --storage-smoke) STORAGE_SMOKE=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -212,6 +223,24 @@ EOF
   fi
   cmp "$PROFILE" tools/golden/ENERGY_profile_case1.json
   echo "energy smoke: profile byte-identical to the committed golden"
+fi
+
+if [[ "$SERVE_SMOKE" == 1 ]]; then
+  echo "== serve smoke =="
+  "$BUILD_DIR"/tests/test_serve
+  "$BUILD_DIR"/tests/test_qa --gtest_filter='Oracles.ServeCachedVsUncached'
+  "$BUILD_DIR"/tests/test_property --gtest_filter='*serve_schedule_invariants*'
+  SERVE_A="$BUILD_DIR/SERVE_profile_case1.json"
+  SERVE_B="$BUILD_DIR/SERVE_profile_case1.rerun.json"
+  "$BUILD_DIR"/tools/greenvis serve --case=1 --viewers=8 --views=4 \
+    --out="$SERVE_A" >/dev/null
+  grep -q '"schema": "greenvis.serve_profile.v1"' "$SERVE_A"
+  "$BUILD_DIR"/tools/greenvis serve --case=1 --viewers=8 --views=4 \
+    --out="$SERVE_B" >/dev/null
+  cmp "$SERVE_A" "$SERVE_B"
+  echo "serve smoke: profile byte-identical across reruns"
+  cmp "$SERVE_A" tools/golden/SERVE_profile_case1.json
+  echo "serve smoke: profile byte-identical to the committed golden"
 fi
 
 echo "== format =="

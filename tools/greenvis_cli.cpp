@@ -17,6 +17,8 @@
 //                     [--resume] [--limit N] [--whatif]
 //   greenvis profile [--case N] [--pipeline sync|async|insitu] [--top N]
 //                    [--out FILE]      # span-level joule attribution
+//   greenvis serve [--case N] [--viewers N] [--views G] [--no-cache]
+//                  [--out FILE]        # multi-viewer frame serving
 //   greenvis trace-template            # print a starter trace to stdout
 //
 // Any command also accepts the global observability flags
@@ -48,6 +50,8 @@
 #include "src/qa/oracle.hpp"
 #include "src/qa/registry.hpp"
 #include "src/replay/engine.hpp"
+#include "src/serve/session.hpp"
+#include "src/serve/viewer.hpp"
 #include "src/storage/async_device.hpp"
 #include "src/util/args.hpp"
 #include "src/util/table.hpp"
@@ -369,6 +373,22 @@ int cmd_campaign(const Args& args) {
   for (const std::string& c : split_csv(opt_string(args, "caps", ""))) {
     spec.package_caps.push_back(std::stod(c));
   }
+  for (const std::string& s : split_csv(opt_string(args, "io-scheds", ""))) {
+    if (const auto kind = storage::parse_io_scheduler(s)) {
+      spec.io_scheds.push_back(*kind);
+    } else {
+      std::cerr << "unknown io scheduler '" << s
+                << "' (expected device|noop|elevator|deadline)\n";
+      return 2;
+    }
+  }
+  for (const std::string& d :
+       split_csv(opt_string(args, "io-queue-depths", ""))) {
+    spec.io_queue_depths.push_back(static_cast<std::size_t>(std::stoul(d)));
+  }
+  for (const std::string& v : split_csv(opt_string(args, "viewers", ""))) {
+    spec.viewer_counts.push_back(std::stoi(v));
+  }
   const std::vector<campaign::CampaignConfig> configs = spec.expand();
 
   campaign::ResultCache cache;
@@ -564,6 +584,90 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const int case_number = static_cast<int>(opt_double(args, "case", 1));
+  const int viewers = static_cast<int>(opt_double(args, "viewers", 16));
+  const int views = static_cast<int>(opt_double(args, "views", 4));
+  if (viewers < 1 || views < 1 || views > viewers) {
+    std::cerr << "expected 1 <= --views <= --viewers\n";
+    return 2;
+  }
+  core::TestbedConfig bed_config;
+  bed_config.package_cap = util::Watts{opt_double(args, "cap", 0.0)};
+  const std::string device = opt_string(args, "device", "hdd");
+  if (const auto dev = core::parse_storage_device(device)) {
+    bed_config.device = *dev;
+  } else {
+    std::cerr << "unknown --device '" << device
+              << "' (expected hdd|ssd|nvram|nvme|raid0)\n";
+    return 2;
+  }
+
+  serve::ServeConfig config;
+  config.base = core::case_study(case_number);
+  config.viewers = serve::default_fleet(viewers, views);
+  config.cache_enabled = !args.has("no-cache");
+  config.cache_capacity = static_cast<std::size_t>(opt_double(
+      args, "cache-capacity", static_cast<double>(config.cache_capacity)));
+  config.delivery_mb_per_s =
+      opt_double(args, "link-mbps", config.delivery_mb_per_s);
+  // A deterministic mid-run steer so the default profile exercises the
+  // command queue: viewer 0 re-zooms and re-colors halfway through.
+  serve::SteerCommand steer;
+  steer.step = config.base.iterations / 2;
+  steer.viewer = 0;
+  steer.kind = serve::SteerKind::kRegion;
+  steer.x0 = 0.25;
+  steer.y0 = 0.25;
+  steer.x1 = 0.75;
+  steer.y1 = 0.75;
+  config.commands.push_back(steer);
+  steer.kind = serve::SteerKind::kPalette;
+  steer.palette = vis::Palette::kGrayscale;
+  config.commands.push_back(steer);
+
+  std::cerr << "serving " << config.base.name << " to " << viewers
+            << " viewers (" << views << " view groups, cache "
+            << (config.cache_enabled ? "on" : "off") << ")...\n";
+  const serve::ServeReport report =
+      serve::run_serve_with_baseline(config, bed_config);
+
+  util::TextTable t({"Viewer", "Frames", "MB", "Render (s)", "Render (J)",
+                     "Encode (J)", "Deliver (J)", "Total (J)"});
+  for (const serve::ViewerEnergy& row : report.viewers) {
+    t.add_row({std::to_string(row.viewer), std::to_string(row.frames),
+               util::cell(static_cast<double>(row.bytes) / 1e6),
+               util::cell(row.render_share_s), util::cell(row.render_j),
+               util::cell(row.encode_j), util::cell(row.deliver_j),
+               util::cell(row.total_j())});
+  }
+  std::cout << t.render();
+  std::cout << "\n" << report.frames_delivered << " frames delivered over "
+            << util::cell(report.duration.value()) << " s — "
+            << report.unique_views_rendered << " unique views, "
+            << report.host_renders << " host renders, cache "
+            << report.cache.hits << " hits / " << report.cache.misses
+            << " misses.\n";
+  std::cout << "Session " << util::cell(report.energy.value() / 1000.0)
+            << " kJ: shared " << util::cell(report.shared_j / 1000.0)
+            << " kJ, single-viewer baseline "
+            << util::cell(report.single_viewer_j / 1000.0)
+            << " kJ, marginal "
+            << util::cell(report.marginal_j_per_viewer) << " J/viewer.\n";
+
+  const std::string out = opt_string(args, "out", "SERVE_profile.json");
+  std::ofstream file(out);
+  if (file.good()) {
+    serve::write_serve_profile_json(file, config, report);
+  }
+  if (!file.good()) {
+    std::cerr << "error: cannot write " << out << '\n';
+    return 1;
+  }
+  std::cerr << "wrote " << out << '\n';
+  return 0;
+}
+
 int cmd_verify(const Args& args) {
   // Replay path: re-run one shrunk property counterexample from a
   // reproducer file written by a failing property check.
@@ -641,7 +745,9 @@ commands:
   campaign [--pipelines post,async,insitu] [--grids G,..] [--periods P,..]
       [--iterations N,..] [--codecs raw,delta,rle] [--tolerances T,..]
       [--devices hdd,ssd,nvram,nvme,raid0] [--freqs F,..] [--io-freqs F,..]
-      [--caps W,..] [--out FILE] [--journal FILE] [--resume]
+      [--caps W,..] [--io-scheds device,noop,elevator,deadline]
+      [--io-queue-depths N,..] [--viewers N,..]
+      [--out FILE] [--journal FILE] [--resume]
       [--limit N] [--shards N] [--threads N] [--whatif]
                                                       parameter sweep with a
                                                       deduplicating cache and
@@ -651,6 +757,14 @@ commands:
       [--top N] [--out FILE]                          span-level joule
                                                       attribution table +
                                                       ENERGY_profile.json
+  serve [--case 1|2|3] [--viewers N] [--views G] [--no-cache]
+      [--cache-capacity N] [--link-mbps MB] [--cap W]
+      [--device hdd|ssd|nvram|nvme|raid0] [--out FILE]
+                                                      serve N viewer streams
+                                                      with a deduplicating
+                                                      frame cache; per-viewer
+                                                      joules + marginal cost
+                                                      in SERVE_profile.json
   trace-template                                      starter replay trace
   verify [--out FILE] [--codec raw|delta|rle] [--tolerance T] [--label L]
          [--qa-repro=FILE]                            qa conformance suite
@@ -732,6 +846,8 @@ int main(int argc, char** argv) {
       rc = cmd_campaign(args);
     } else if (command == "profile") {
       rc = cmd_profile(args);
+    } else if (command == "serve") {
+      rc = cmd_serve(args);
     } else if (command == "trace-template") {
       rc = cmd_trace_template();
     } else if (command == "verify") {
